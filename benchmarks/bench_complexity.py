@@ -1,0 +1,90 @@
+"""Section 5.2 — operation complexity of the three algorithms.
+
+The paper's claims:
+
+* Algorithm 1 (timestamp a send)      — O(R)
+* Algorithm 2 (delivery condition)    — O(R)
+* Algorithm 3 (set_id → key set)      — O(R·K)
+
+These are genuine micro-benchmarks (pytest-benchmark timing loops), plus
+cross-size scaling checks: growing R by 16x may not grow the measured
+per-operation cost by more than ~64x (linear with generous slack for
+allocator noise), and unranking stays polynomial, not combinatorial —
+the set_id space grows by *orders of magnitude* while the unranking cost
+stays within small factors.
+"""
+
+import time
+
+import pytest
+
+from repro.core.clocks import EntryVectorClock
+from repro.core.combinatorics import num_key_sets, unrank_lex
+from repro.util.rng import RandomSource
+
+SIZES = [100, 400, 1600]
+
+
+def make_pair(r, k=4, seed=1):
+    rng = RandomSource(seed=seed)
+    sender_keys = sorted(rng.sample(list(range(r)), k))
+    receiver_keys = sorted(rng.sample(list(range(r)), k))
+    return EntryVectorClock(r, sender_keys), EntryVectorClock(r, receiver_keys)
+
+
+@pytest.mark.parametrize("r", SIZES)
+def test_algorithm1_prepare_send(benchmark, r):
+    sender, _ = make_pair(r)
+    benchmark(sender.prepare_send)
+
+
+@pytest.mark.parametrize("r", SIZES)
+def test_algorithm2_delivery_condition(benchmark, r):
+    sender, receiver = make_pair(r)
+    timestamp = sender.prepare_send()
+    result = benchmark(receiver.is_deliverable, timestamp)
+    assert result is True
+
+
+@pytest.mark.parametrize("r,k", [(100, 4), (400, 8), (1600, 16)])
+def test_algorithm3_unrank(benchmark, r, k):
+    rank = num_key_sets(r, k) // 2
+    keys = benchmark(unrank_lex, rank, r, k)
+    assert len(keys) == k
+
+
+def _time_per_op(function, *args, repeat=2000):
+    start = time.perf_counter()
+    for _ in range(repeat):
+        function(*args)
+    return (time.perf_counter() - start) / repeat
+
+
+def test_scaling_is_polynomial(benchmark):
+    """Cross-size check: 16x R must not exceed ~64x cost (O(R) claim with
+    constant-overhead slack), and unranking must not blow up with the
+    combinatorial size of the set_id space."""
+
+    def measure():
+        send_costs = {}
+        deliver_costs = {}
+        for r in SIZES:
+            sender, receiver = make_pair(r)
+            timestamp = sender.prepare_send()
+            send_costs[r] = _time_per_op(sender.prepare_send)
+            deliver_costs[r] = _time_per_op(receiver.is_deliverable, timestamp)
+        unrank_costs = {
+            (r, k): _time_per_op(unrank_lex, num_key_sets(r, k) // 2, r, k, repeat=300)
+            for r, k in [(100, 4), (400, 8), (1600, 16)]
+        }
+        return send_costs, deliver_costs, unrank_costs
+
+    send_costs, deliver_costs, unrank_costs = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert send_costs[1600] < 64 * send_costs[100]
+    assert deliver_costs[1600] < 64 * deliver_costs[100]
+    # set_id space grows from C(100,4)≈3.9e6 to C(1600,16)≈1e38 — about
+    # 31 orders of magnitude — while the unranking cost stays within a
+    # few hundred x (the O(R·K) claim, with bigint arithmetic slack).
+    assert unrank_costs[(1600, 16)] < 500 * unrank_costs[(100, 4)]

@@ -1,0 +1,104 @@
+"""Figure 3 — error rate against K; the empirical optimum vs ln2·R/X.
+
+Paper setup: R = 100, four populations (500–2000 peers), constant
+per-node receive rate of 200 msg/s, mean propagation 100 ms ⇒ X = 20
+concurrent messages; theory predicts K_opt = ln2·100/20 ≈ 3.5, the
+measured optimum is K = 4.
+
+Our reproduction keeps every rate-determining parameter (receive rate,
+delay, R) and runs two smaller populations — the paper's own point with
+this figure is that the curves for different N at equal receive rate
+coincide.  Populations stay *above* R = 100: with N < R every process
+could own a private entry and K = 1 would degenerate into an exact
+vector clock, erasing the effect the figure shows.  Key sets use the
+fully uncoordinated random draw (collisions allowed), which is the only
+option once N exceeds C(R, K) anyway.  Shape assertions: the interior
+optimum beats both extremes (K = 1, plausible clocks; large K).
+"""
+
+import dataclasses
+
+from repro.analysis.sweep import sweep_parameter
+from repro.core.theory import optimal_k, optimal_k_int, p_error
+from repro.sim import GaussianDelayModel, PoissonWorkload, SimulationConfig
+
+from _common import (
+    MEAN_DELAY_MS,
+    lambda_for_concurrency,
+    run_duration,
+    points_table,
+    report,
+    scaled_duration,
+    series_chart,
+)
+
+R = 100
+TARGET_X = 20.0
+K_VALUES = [1, 2, 3, 4, 5, 6, 8]
+POPULATIONS = [150, 250]
+TARGET_DELIVERIES = 80_000.0
+
+
+def run_figure3():
+    curves = {}
+    tables = []
+    for n_nodes in POPULATIONS:
+        lam = lambda_for_concurrency(n_nodes, TARGET_X)
+        duration = run_duration(TARGET_DELIVERIES, n_nodes, lam)
+        base = SimulationConfig(
+            n_nodes=n_nodes,
+            r=R,
+            k=4,
+            duration_ms=duration,
+            key_assigner="random-colliding",
+            workload=PoissonWorkload(lam),
+            delay_model=GaussianDelayModel(MEAN_DELAY_MS),
+            detector="none",
+            track_latency=False,
+        )
+        points = sweep_parameter(
+            base,
+            values=K_VALUES,
+            make_config=lambda cfg, k: dataclasses.replace(cfg, k=k),
+            repeats=1,
+            seed_base=300 + n_nodes,
+        )
+        curves[f"N={n_nodes}"] = points
+        tables.append(points_table(f"N={n_nodes} (lambda={lam:.0f} ms)", points))
+    return curves, tables
+
+
+def test_fig3_optimal_k(benchmark):
+    curves, tables = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+
+    k_theory = optimal_k(R, TARGET_X)
+    k_int = optimal_k_int(R, TARGET_X)
+    chart_series = {
+        name: [(p.value, max(p.eps_min.value, 1e-7)) for p in points]
+        for name, points in curves.items()
+    }
+    theory_note = (
+        f"theory: K_opt = ln2*R/X = {k_theory:.2f} (paper: 3.5, measured 4); "
+        f"integer minimiser of exact P_err: K = {k_int}\n"
+        f"P_err(R=100, K, X=20): "
+        + ", ".join(f"K={k}: {p_error(R, k, TARGET_X):.3f}" for k in K_VALUES)
+    )
+    body = "\n\n".join(
+        tables
+        + [
+            series_chart("error rate vs K (eps_min)", chart_series, x_label="K"),
+            theory_note,
+        ]
+    )
+    report("fig3_optimal_k", body)
+
+    for name, points in curves.items():
+        by_k = {p.value: p for p in points}
+        interior_best = min(
+            (by_k[k] for k in (3, 4, 5)), key=lambda p: p.eps_min.value
+        )
+        # The paper's headline shape: an interior K beats both extremes.
+        assert interior_best.eps_min.value <= by_k[1].eps_min.value, name
+        assert interior_best.eps_min.value <= by_k[8].eps_min.value, name
+        # And errors actually occur at the K=1 end (plausible clocks).
+        assert by_k[1].eps_min.value > 0, name

@@ -1,0 +1,119 @@
+"""Figure 4 — error rate against λ (mean send interval per node).
+
+Paper setup: N = 1000, R = 100, K = 4, network N(100, 20); the protocol
+was *dimensioned* for λ = 5000 ms (⇒ X = 20).  The figure shows the error
+rate stable for λ at or above the estimate and growing quickly once λ
+drops below ~3000 ms (higher concurrency than planned for).
+
+We run N = 150 and sweep λ over the same *ratios to the estimate* the
+paper covers (λ/λ_est from 0.2 to 2.0), which preserves the swept X range
+exactly (X = 20/ratio, i.e. 100 down to 10).  The table reports the
+paper-equivalent λ at N = 1000 for each point.
+
+Shape assertions: error explodes below the estimate (ratio 0.2 at least
+5x the estimate point) and stays within a small factor above it.
+"""
+
+import dataclasses
+
+from repro.analysis.sweep import sweep_parameter
+from repro.core.theory import p_error
+from repro.sim import GaussianDelayModel, PoissonWorkload, SimulationConfig
+
+from _common import (
+    MEAN_DELAY_MS,
+    lambda_for_concurrency,
+    run_duration,
+    paper_equivalent_lambda,
+    points_table,
+    report,
+    scaled_duration,
+    series_chart,
+)
+
+N_NODES = 150
+R = 100
+K = 4
+ESTIMATE_X = 20.0
+RATIOS = [0.2, 0.4, 0.6, 1.0, 1.5, 2.0]
+TARGET_DELIVERIES = 70_000.0
+
+
+def run_figure4():
+    lam_est = lambda_for_concurrency(N_NODES, ESTIMATE_X)
+
+    def config_for(base, ratio):
+        lam = lam_est * ratio
+        duration = run_duration(TARGET_DELIVERIES, N_NODES, lam)
+        return dataclasses.replace(
+            base, workload=PoissonWorkload(lam), duration_ms=duration
+        )
+
+    base = SimulationConfig(
+        n_nodes=N_NODES,
+        r=R,
+        k=K,
+        key_assigner="random-colliding",
+        delay_model=GaussianDelayModel(MEAN_DELAY_MS),
+        detector="none",
+        track_latency=False,
+        duration_ms=1.0,  # replaced per point
+    )
+    return sweep_parameter(
+        base,
+        values=RATIOS,
+        make_config=config_for,
+        repeats=1,
+        seed_base=400,
+    )
+
+
+def test_fig4_lambda(benchmark):
+    points = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+
+    rows = []
+    for point in points:
+        x_nominal = ESTIMATE_X / point.value
+        rows.append(
+            [
+                point.value,
+                paper_equivalent_lambda(x_nominal),
+                point.eps_min.value,
+                point.eps_max.value,
+                point.concurrency.value,
+                p_error(R, K, x_nominal),
+                point.deliveries,
+            ]
+        )
+    from repro.analysis.tables import render_table
+
+    table = render_table(
+        [
+            "lambda/est",
+            "paper-equiv lambda (ms)",
+            "eps_min",
+            "eps_max",
+            "X measured",
+            "P_err theory",
+            "deliveries",
+        ],
+        rows,
+        title=f"N={N_NODES}, R={R}, K={K}, estimate X={ESTIMATE_X}",
+    )
+    chart = series_chart(
+        "error rate vs lambda ratio (eps_min)",
+        {"measured": [(p.value, max(p.eps_min.value, 1e-7)) for p in points]},
+        x_label="lambda/estimate",
+    )
+    report("fig4_lambda", table + "\n\n" + chart)
+
+    by_ratio = {p.value: p for p in points}
+    at_estimate = by_ratio[1.0].eps_min.value
+    overloaded = by_ratio[0.2].eps_min.value
+    relaxed = by_ratio[2.0].eps_min.value
+    # Sharp growth below the estimate (paper: "increases quickly when
+    # lambda is lower than 3000"):
+    assert overloaded > 5 * max(at_estimate, 1e-6)
+    # Stability at or above the estimate: the relaxed point does not
+    # exceed the estimate point.
+    assert relaxed <= at_estimate * 1.5 + 1e-4

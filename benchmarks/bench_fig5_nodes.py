@@ -1,0 +1,114 @@
+"""Figure 5 — error rate against N at fixed per-node send rate.
+
+Paper setup: λ = 5000 ms fixed, R = 100, K = 4, protocol dimensioned for
+N = 1000; the error rate grows quickly as soon as N exceeds the estimate
+("1000 should be considered as the maximum number of nodes in this
+case").  More nodes at the same per-node rate means proportionally more
+concurrency: X = (N−1)·delay/λ.
+
+Our reproduction fixes λ so the estimate population N_est = 150 gives
+X = 20, then sweeps N across 2/3·N_est … 2·N_est — the same X range the
+paper's 500…2000 sweep covers around its N = 1000 estimate.  The table
+reports the paper-equivalent N (scaled by 1000/150).
+
+Shape assertion: the error rate at 2·N_est exceeds the estimate point by
+a wide margin, and the curve is (weakly) increasing from the estimate up.
+"""
+
+import dataclasses
+
+from repro.analysis.sweep import sweep_parameter
+from repro.analysis.tables import render_table
+from repro.core.theory import p_error
+from repro.sim import GaussianDelayModel, PoissonWorkload, SimulationConfig
+
+from _common import (
+    MEAN_DELAY_MS,
+    lambda_for_concurrency,
+    run_duration,
+    points_table,
+    report,
+    scaled_duration,
+    series_chart,
+)
+
+N_ESTIMATE = 150
+R = 100
+K = 4
+ESTIMATE_X = 20.0
+POPULATIONS = [100, 125, 150, 200, 250, 300]
+TARGET_DELIVERIES = 70_000.0
+PAPER_N_ESTIMATE = 1000
+
+
+def run_figure5():
+    lam = lambda_for_concurrency(N_ESTIMATE, ESTIMATE_X)
+
+    def config_for(base, n_nodes):
+        duration = run_duration(TARGET_DELIVERIES, n_nodes, lam)
+        return dataclasses.replace(base, n_nodes=n_nodes, duration_ms=duration)
+
+    base = SimulationConfig(
+        n_nodes=N_ESTIMATE,
+        r=R,
+        k=K,
+        key_assigner="random-colliding",
+        workload=PoissonWorkload(lam),
+        delay_model=GaussianDelayModel(MEAN_DELAY_MS),
+        detector="none",
+        track_latency=False,
+    )
+    return sweep_parameter(
+        base,
+        values=POPULATIONS,
+        make_config=config_for,
+        repeats=1,
+        seed_base=500,
+    )
+
+
+def test_fig5_nodes(benchmark):
+    points = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+
+    rows = []
+    for point in points:
+        x_nominal = (point.value - 1) * MEAN_DELAY_MS / (
+            lambda_for_concurrency(N_ESTIMATE, ESTIMATE_X)
+        )
+        rows.append(
+            [
+                point.value,
+                point.value * PAPER_N_ESTIMATE // N_ESTIMATE,
+                point.eps_min.value,
+                point.eps_max.value,
+                point.concurrency.value,
+                p_error(R, K, max(x_nominal, 0.1)),
+                point.deliveries,
+            ]
+        )
+    table = render_table(
+        [
+            "N",
+            "paper-equiv N",
+            "eps_min",
+            "eps_max",
+            "X measured",
+            "P_err theory",
+            "deliveries",
+        ],
+        rows,
+        title=f"fixed lambda (estimate N={N_ESTIMATE} -> X={ESTIMATE_X}), R={R}, K={K}",
+    )
+    chart = series_chart(
+        "error rate vs N (eps_min)",
+        {"measured": [(p.value, max(p.eps_min.value, 1e-7)) for p in points]},
+        x_label="N",
+    )
+    report("fig5_nodes", table + "\n\n" + chart)
+
+    by_n = {p.value: p for p in points}
+    # Past the estimate the error rate takes off.
+    assert by_n[300].eps_min.value > 5 * max(by_n[150].eps_min.value, 1e-6)
+    # Weak monotonicity above the estimate (allow small-sample noise).
+    assert by_n[300].eps_min.value >= by_n[200].eps_min.value * 0.8
+    assert by_n[250].eps_min.value >= by_n[150].eps_min.value * 0.8

@@ -1,0 +1,135 @@
+"""Section 4.1.3 ablation — how key-set distribution quality shapes the
+error rate.
+
+The paper proposes random ``set_id`` drawing as the churn-friendly
+alternative to a coordinated *perfect distribution*, and argues the
+distribution "heavily affects the accuracy of the resulting protocol".
+This ablation runs the same traffic under six assignment policies:
+
+* ``perfect``        — round tiling (coordinated): sets pairwise disjoint
+  within each round, small spread intersections across rounds;
+* ``balanced-load``  — greedy least-loaded entries (coordinated): exact
+  per-entry load balance, but consecutive joiners receive near-duplicate
+  sets;
+* ``random``         — the paper's scheme, distinct set_ids;
+* ``random-colliding`` — fully uncoordinated draw;
+* ``hash``           — set_id from a stable hash of the identity;
+* ``sequential``     — consecutive lexicographic set_ids.
+
+Findings (asserted below, discussed in EXPERIMENTS.md):
+
+* **Set intersection, not entry load, is what matters.**  The greedy
+  balanced-load policy produces near-duplicate sets — a single concurrent
+  message covers a missing one — and measures clearly worse than the
+  paper's uncoordinated random draw.  The tiling policy, which minimises
+  pairwise intersections, is at least as good as random.
+* **Distinctness of set_ids is immaterial far from saturation.**  With
+  N = 120 and C(100, 4) ≈ 3.9M the collision probability is ~0.2%, so
+  ``random``, ``random-colliding`` and ``hash`` are statistically the
+  same policy; runs are repeated over several assignment draws because
+  the draw itself (did two nodes land on heavily overlapping sets?) is
+  the dominant random variable.
+"""
+
+import dataclasses
+
+from repro.analysis.sweep import sweep_parameter
+from repro.analysis.tables import render_table
+from repro.sim import GaussianDelayModel, PoissonWorkload, SimulationConfig
+
+from _common import (
+    MEAN_DELAY_MS,
+    lambda_for_concurrency,
+    report,
+    run_duration,
+)
+
+N_NODES = 120
+R = 100
+K = 4
+TARGET_X = 25.0
+TARGET_DELIVERIES = 40_000.0
+REPEATS = 4
+ASSIGNERS = [
+    "perfect",
+    "balanced-load",
+    "random",
+    "random-colliding",
+    "hash",
+    "sequential",
+]
+
+
+def run_keyspace_ablation():
+    lam = lambda_for_concurrency(N_NODES, TARGET_X)
+    duration = run_duration(TARGET_DELIVERIES, N_NODES, lam)
+    base = SimulationConfig(
+        n_nodes=N_NODES,
+        r=R,
+        k=K,
+        workload=PoissonWorkload(lam),
+        delay_model=GaussianDelayModel(MEAN_DELAY_MS),
+        detector="none",
+        duration_ms=duration,
+        track_latency=False,
+    )
+    return sweep_parameter(
+        base,
+        values=ASSIGNERS,
+        make_config=lambda cfg, assigner: dataclasses.replace(
+            cfg, key_assigner=assigner
+        ),
+        repeats=REPEATS,
+        seed_base=900,
+    )
+
+
+def test_keyspace_ablation(benchmark):
+    points = benchmark.pedantic(run_keyspace_ablation, rounds=1, iterations=1)
+
+    rows = [
+        [
+            p.value,
+            p.eps_min.value,
+            p.eps_min.low,
+            p.eps_min.high,
+            p.eps_max.value,
+            p.deliveries,
+        ]
+        for p in points
+    ]
+    table = render_table(
+        ["assigner", "eps_min", "lo", "hi", "eps_max", "deliveries"],
+        rows,
+        title=(
+            f"N={N_NODES}, R={R}, K={K}, X={TARGET_X}, "
+            f"{REPEATS} assignment draws pooled per policy"
+        ),
+    )
+    report("keyspace_ablation", table)
+
+    by_name = {p.value: p for p in points}
+    uniform_policies = ("random", "random-colliding", "hash")
+    uniform_worst = max(by_name[n].eps_min.value for n in uniform_policies)
+
+    # Finding 1 (deterministic policies, traffic noise only): among
+    # coordinated assignments, minimising pairwise set intersections
+    # (tiling) clearly beats balancing per-entry load — near-duplicate
+    # sets are covered by a single concurrent message.
+    assert (
+        by_name["balanced-load"].eps_min.value
+        > 1.5 * by_name["perfect"].eps_min.value
+    )
+    # Finding 2: the coordinated tiling is at least as good as any of the
+    # uncoordinated uniform draws — the quality ceiling the paper's
+    # random scheme approaches without coordination.
+    assert by_name["perfect"].eps_min.value <= 1.2 * uniform_worst
+    # Finding 3 (reported, not ranked): the three uniform draws are the
+    # same policy statistically; their pooled estimates still scatter
+    # because the assignment draw (a chance high-overlap pair) is the
+    # dominant random variable.  Each must simply show the phenomenon.
+    for name in uniform_policies:
+        assert by_name[name].eps_min.value > 0, name
+    # Every policy keeps the system live.
+    for point in points:
+        assert all(r.stuck_pending == 0 for r in point.results), point.value

@@ -1,0 +1,90 @@
+"""Section 2's design-space table — the (a, b, c) triplet family.
+
+The paper summarises the landscape with triplets (system size, vector
+size, entries per process):
+
+    Lamport clock    (n, 1, 1)
+    vector clock     (n, n, 1)
+    plausible clock  (n, r, 1)
+    this paper       (n, r, k)
+
+This benchmark regenerates that table augmented with the quantities the
+triplet implies: timestamp wire size (the cost axis) and the theoretical
+covering probability P_err at a reference concurrency (the quality axis),
+for several system sizes.  It asserts the scaling facts the paper builds
+its case on: only the vector clock's timestamp grows with n; only the
+vector clock has zero error; among the fixed-size schemes, the (n, r, k)
+point dominates the plausible clock at the optimum K.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.theory import optimal_k_int, p_error, timestamp_overhead_bits
+
+from _common import report
+
+REFERENCE_X = 20.0
+R = 100
+SYSTEM_SIZES = [100, 1_000, 10_000, 100_000]
+
+
+def build_table():
+    rows = []
+    for n in SYSTEM_SIZES:
+        k_opt = optimal_k_int(R, REFERENCE_X)
+        rows.append(
+            [
+                n,
+                # Lamport (n, 1, 1)
+                timestamp_overhead_bits(1, 1) // 8,
+                1.0,  # P_err: the single entry is always covered
+                # vector (n, n, 1)
+                timestamp_overhead_bits(n, 1) // 8,
+                0.0,
+                # plausible (n, r, 1)
+                timestamp_overhead_bits(R, 1) // 8,
+                p_error(R, 1, REFERENCE_X),
+                # this paper (n, r, k)
+                timestamp_overhead_bits(R, k_opt) // 8,
+                p_error(R, k_opt, REFERENCE_X),
+            ]
+        )
+    return rows
+
+
+def test_table_clock_family(benchmark):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+
+    k_opt = optimal_k_int(R, REFERENCE_X)
+    table = render_table(
+        [
+            "n",
+            "lamport B",
+            "lamport P_err",
+            "vector B",
+            "vector P_err",
+            f"plausible(r={R}) B",
+            "plausible P_err",
+            f"(r={R},k={k_opt}) B",
+            "(r,k) P_err",
+        ],
+        rows,
+        title=f"clock family at X={REFERENCE_X} (B = timestamp bytes)",
+    )
+    report("table_clock_family", table)
+
+    by_n = {row[0]: row for row in rows}
+    # Vector clock timestamps grow linearly with n; the others are flat.
+    # (Up to the sender-key index, which grows only logarithmically.)
+    assert 990 <= by_n[100_000][3] / by_n[100][3] <= 1010
+    assert by_n[100_000][1] == by_n[100][1]
+    assert by_n[100_000][5] == by_n[100][5]
+    assert by_n[100_000][7] == by_n[100][7]
+    # Quality ordering at fixed wire size: (r, k) beats plausible beats
+    # Lamport; the vector clock is exact.
+    row = by_n[1_000]
+    assert row[4] == 0.0
+    assert row[8] < row[6] < row[2]
+    # The paper's headline: at n = 100k the (r, k) timestamp is ~1000x
+    # smaller than the vector clock's while keeping P_err ~ 9%.
+    assert by_n[100_000][3] / by_n[100_000][7] > 900
+    assert by_n[100_000][8] < 0.1

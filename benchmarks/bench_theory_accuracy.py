@@ -1,0 +1,124 @@
+"""Section 5.3 / 5.4 — accuracy of the closed-form error estimate.
+
+The paper bounds the wrong-delivery probability by ``P ≤ P_nc · P_err``
+with ``P_err(R, K, X) = (1 − (1 − 1/R)^{KX})^K`` and validates the
+estimate by simulation ("we show the accuracy of the estimation of the
+probability of an error occurrence").
+
+This benchmark sweeps the concurrency X, measures both the violation
+rate (ε_min ... ε_max) and the network reordering rate P_nc, and checks:
+
+* the measured error never exceeds the bound ``P_nc · P_err`` (within
+  sampling slack) — the bound is sound;
+* bound and measurement rise together across two decades of X — the
+  estimate tracks the phenomenon, which is what makes the dimensioning
+  rule K = ln2·R/X usable.
+"""
+
+import dataclasses
+
+from repro.analysis.sweep import sweep_parameter
+from repro.analysis.tables import render_table
+from repro.core.theory import p_error
+from repro.sim import GaussianDelayModel, PoissonWorkload, SimulationConfig
+
+from _common import (
+    MEAN_DELAY_MS,
+    lambda_for_concurrency,
+    run_duration,
+    report,
+    scaled_duration,
+    series_chart,
+)
+
+N_NODES = 150
+R = 100
+K = 4
+X_VALUES = [5.0, 10.0, 20.0, 40.0]
+TARGET_DELIVERIES = 70_000.0
+
+
+def run_theory_accuracy():
+    def config_for(base, x):
+        lam = lambda_for_concurrency(N_NODES, x)
+        duration = run_duration(TARGET_DELIVERIES, N_NODES, lam)
+        return dataclasses.replace(
+            base, workload=PoissonWorkload(lam), duration_ms=duration
+        )
+
+    base = SimulationConfig(
+        n_nodes=N_NODES,
+        r=R,
+        k=K,
+        key_assigner="random-colliding",
+        delay_model=GaussianDelayModel(MEAN_DELAY_MS),
+        detector="none",
+        track_latency=False,
+        track_reception_order=True,
+    )
+    return sweep_parameter(
+        base,
+        values=X_VALUES,
+        make_config=config_for,
+        repeats=1,
+        seed_base=700,
+    )
+
+
+def test_theory_accuracy(benchmark):
+    points = benchmark.pedantic(run_theory_accuracy, rounds=1, iterations=1)
+
+    rows = []
+    bounds = []
+    for point in points:
+        result = point.results[0]
+        x = point.value
+        p_nc = result.measured_p_nc
+        bound = p_nc * p_error(R, K, x)
+        bounds.append(bound)
+        rows.append(
+            [
+                x,
+                point.concurrency.value,
+                p_nc,
+                p_error(R, K, x),
+                bound,
+                point.eps_min.value,
+                point.eps_max.value,
+                point.deliveries,
+            ]
+        )
+    table = render_table(
+        [
+            "X nominal",
+            "X measured",
+            "P_nc measured",
+            "P_err theory",
+            "bound P_nc*P_err",
+            "eps_min",
+            "eps_max",
+            "deliveries",
+        ],
+        rows,
+        title=f"N={N_NODES}, R={R}, K={K}",
+    )
+    chart = series_chart(
+        "measured error vs theoretical bound",
+        {
+            "eps_min": [(p.value, max(p.eps_min.value, 1e-8)) for p in points],
+            "eps_max": [(p.value, max(p.eps_max.value, 1e-8)) for p in points],
+            "bound": [(x, max(b, 1e-8)) for x, b in zip(X_VALUES, bounds)],
+        },
+        x_label="X",
+    )
+    report("theory_accuracy", table + "\n\n" + chart)
+
+    for point, bound in zip(points, bounds):
+        # Soundness: measurement below the bound (Wilson upper CI of
+        # eps_min against the bound with 2x slack for finite sampling of
+        # P_nc itself).
+        assert point.eps_min.low <= bound * 2.0 + 1e-6, point.value
+    # Tracking: both series rise monotonically in X.
+    eps_series = [p.eps_min.value for p in points]
+    assert eps_series == sorted(eps_series)
+    assert bounds == sorted(bounds)

@@ -1,0 +1,90 @@
+"""A causal group chat over the asyncio deployment layer.
+
+The deployment path end-to-end: three chat participants exchange
+messages through the binary wire codec over an in-process asyncio bus
+whose delays follow the paper's N(100, 20) network model (time-scaled so
+the demo runs in real milliseconds).  Replies are causally chained —
+"re: ..." must never appear before the message it answers, and the
+(R, K) ordering layer guarantees exactly that at every participant.
+
+Swap :class:`LocalAsyncBus` for :class:`repro.net.UdpTransport` and the
+same code runs over real sockets (see ``tests/test_net.py``).
+
+Run:  python examples/async_chat.py
+"""
+
+import asyncio
+
+from repro.core import BasicAlertDetector, ProbabilisticCausalClock, RandomKeyAssigner
+from repro.net import AsyncCausalPeer, LocalAsyncBus
+from repro.sim.network import GaussianDelayModel
+from repro.util.rng import RandomSource
+
+R, K = 64, 3
+NAMES = ["ana", "ben", "chloé"]
+
+
+def build_room(bus):
+    assigner = RandomKeyAssigner(R, K, rng=RandomSource(seed=99))
+    peers = {}
+    for name in NAMES:
+        transcript = []
+
+        def on_delivery(record, transcript=transcript, name=name):
+            sender = record.message.sender
+            text = record.message.payload
+            transcript.append(f"{sender}: {text}")
+
+        peer = AsyncCausalPeer(
+            peer_id=name,
+            clock=ProbabilisticCausalClock(R, assigner.assign(name).keys),
+            transport=bus.attach(name),
+            detector=BasicAlertDetector(),
+            on_delivery=on_delivery,
+        )
+        peer.transcript = transcript
+        peers[name] = peer
+    for name, peer in peers.items():
+        for other in NAMES:
+            if other != name:
+                peer.add_peer(other)
+    return peers
+
+
+async def conversation():
+    bus = LocalAsyncBus(
+        delay_model=GaussianDelayModel(mean=100, std=20, skew_std=20),
+        rng=RandomSource(seed=7).spawn("chat-net"),
+        time_scale=0.001,  # 100 simulated ms ~ 0.1 real ms
+    )
+    peers = build_room(bus)
+    ana, ben, chloe = (peers[name] for name in NAMES)
+
+    await ana.broadcast("anyone up for lunch?")
+    await bus.drain()
+    await ben.broadcast("re: lunch — yes! the usual place?")
+    await chloe.broadcast("I brought my own today")  # concurrent with ben's
+    await bus.drain()
+    await ana.broadcast("re: usual place — see you at noon")
+    await bus.drain()
+
+    print(__doc__)
+    for name in NAMES:
+        print(f"--- transcript at {name} ---")
+        for line in peers[name].transcript:
+            print(f"  {line}")
+        print()
+
+    # The causal chains hold at every participant.
+    for name in NAMES:
+        transcript = peers[name].transcript
+        lunch = next(i for i, l in enumerate(transcript) if "anyone up" in l)
+        reply = next(i for i, l in enumerate(transcript) if "the usual place?" in l)
+        confirm = next(i for i, l in enumerate(transcript) if "see you at noon" in l)
+        assert lunch < reply < confirm, f"causal order broken at {name}"
+    print("causal chains intact at every participant "
+          "(question < reply < confirmation)")
+
+
+if __name__ == "__main__":
+    asyncio.run(conversation())

@@ -1,0 +1,100 @@
+"""Collaborative text editing over probabilistic causal broadcast.
+
+The paper's introduction motivates the mechanism with collaborative
+applications; this example builds one: every node runs an RGA sequence
+CRDT (the data type behind collaborative editors) and keeps typing
+characters into a shared document while the simulated network delivers
+operations through the probabilistic causal ordering layer.
+
+What to watch:
+
+* all replicas converge to the same document once the run drains —
+  protocol-level dedup + FIFO hold-back do the heavy lifting;
+* under the probabilistic clock, occasional causal violations surface as
+  *anomalies* (an insert arriving before its parent); the RGA parks such
+  orphans and integrates them when the parent shows up, so convergence
+  survives;
+* the same workload over exact vector clocks shows zero anomalies — the
+  price is O(N) timestamps on every message.
+
+Run:  python examples/collaborative_editing.py
+"""
+
+import dataclasses
+import string
+
+from repro.crdt import RGA, ROOT
+from repro.sim import PoissonWorkload, SimulationConfig
+from repro.sim.runner import NodeApplication, run_simulation
+from repro.util.rng import RandomSource
+
+
+class Editor(NodeApplication):
+    """One collaborating author: inserts (and sometimes deletes) characters."""
+
+    def __init__(self, node_id: int, rng: RandomSource):
+        self.doc = RGA(node_id)
+        self._rng = rng
+
+    def make_payload(self, node_id, now):
+        visible = self.doc.visible_ids()
+        if visible and self._rng.random() < 0.15:
+            return self.doc.delete(self._rng.choice(visible))
+        parent = ROOT if not visible or self._rng.random() < 0.2 else self._rng.choice(visible)
+        letter = self._rng.choice(string.ascii_lowercase)
+        return self.doc.insert_after(parent, letter)
+
+    def on_deliver(self, node_id, record, verdict, now):
+        self.doc.apply_remote(record.message.payload)
+
+
+def run_session(clock: str, seed: int = 11):
+    editors = {}
+    rng = RandomSource(seed=seed).spawn("editors")
+
+    def factory(node_id):
+        editor = Editor(node_id, rng.spawn(f"editor-{node_id}"))
+        editors[node_id] = editor
+        return editor
+
+    config = SimulationConfig(
+        n_nodes=25,
+        r=24,  # deliberately tight so the probabilistic run shows anomalies
+        k=2,
+        clock=clock,
+        key_assigner="random-colliding",
+        workload=PoissonWorkload(300.0),
+        duration_ms=30_000.0,
+        seed=seed,
+        application_factory=factory,
+    )
+    result = run_simulation(config)
+    return result, editors
+
+
+def describe(clock: str) -> None:
+    result, editors = run_session(clock)
+    documents = {repr(editor.doc.value()) for editor in editors.values()}
+    anomalies = sum(editor.doc.anomalies for editor in editors.values())
+    orphans = sum(editor.doc.orphan_count for editor in editors.values())
+    sample = next(iter(editors.values())).doc.as_text()
+
+    print(f"--- clock = {clock} ---")
+    print(f"operations broadcast: {result.sent}; deliveries: {result.delivered_remote}")
+    print(f"ordering violations (proven): {result.counters.violations}")
+    print(f"RGA anomalies (insert before parent / delete before insert): {anomalies}")
+    print(f"replicas converged: {len(documents) == 1} (distinct states: {len(documents)})")
+    print(f"orphans left parked: {orphans}")
+    print(f"document ({len(sample)} chars): {sample[:60]}{'...' if len(sample) > 60 else ''}")
+    print()
+
+    assert len(documents) == 1, "replicas must converge after the drain"
+    assert orphans == 0
+    if clock == "vector":
+        assert anomalies == 0
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    describe("probabilistic")
+    describe("vector")

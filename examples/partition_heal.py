@@ -1,0 +1,93 @@
+"""A network partition, observed and healed.
+
+Injects a split into a running system (even vs odd nodes for the middle
+ten seconds), watches it through the trace recorder, heals it with
+periodic anti-entropy, and prints the timeline: progress during the
+split, the backlog burst at heal time, and the final fully consistent
+state.
+
+Run:  python examples/partition_heal.py
+"""
+
+from repro.sim import (
+    DirectBroadcast,
+    GaussianDelayModel,
+    PartitionWindow,
+    PartitionedDissemination,
+    PoissonWorkload,
+    SimulationConfig,
+    TraceKind,
+    TraceRecorder,
+    TracingApplication,
+    run_simulation,
+)
+
+SPLIT_START, SPLIT_END = 10_000.0, 20_000.0
+DURATION = 30_000.0
+
+
+def run(recovery: str):
+    delay = GaussianDelayModel()
+    dissemination = PartitionedDissemination(
+        DirectBroadcast(delay),
+        [PartitionWindow.split_even_odd(SPLIT_START, SPLIT_END)],
+    )
+    recorder = TraceRecorder(capacity=500_000)
+    config = SimulationConfig(
+        n_nodes=30,
+        r=50,
+        k=3,
+        key_assigner="random-colliding",
+        workload=PoissonWorkload(400.0),
+        delay_model=delay,
+        dissemination=dissemination,
+        duration_ms=DURATION,
+        seed=21,
+        recovery=recovery,
+        recovery_period_ms=1_500.0,
+        application_factory=TracingApplication(recorder),
+    )
+    return run_simulation(config), dissemination, recorder
+
+
+def phase_of(time_ms: float) -> str:
+    if time_ms < SPLIT_START:
+        return "before"
+    if time_ms < SPLIT_END:
+        return "during"
+    return "after"
+
+
+def main() -> None:
+    print(__doc__)
+    result, dissemination, recorder = run(recovery="periodic")
+
+    deliveries_by_phase = {"before": 0, "during": 0, "after": 0}
+    for event in recorder.select(kind=TraceKind.DELIVER):
+        deliveries_by_phase[phase_of(event.time)] += 1
+
+    print(f"copies dropped at the cut: {dissemination.dropped_by_partition}")
+    print("deliveries per phase (10 s each):")
+    for phase in ("before", "during", "after"):
+        marker = " <- split" if phase == "during" else (" <- heal backlog" if phase == "after" else "")
+        print(f"  {phase:7s} {deliveries_by_phase[phase]:7d}{marker}")
+    print()
+    print(f"anti-entropy sessions: {result.recovery_sessions}, "
+          f"messages repaired: {result.recovery_repaired}")
+    print(f"stuck messages after the run: {result.stuck_pending} (must be 0)")
+    print(f"ordering error bounds: eps_min={result.eps_min:.2e}, "
+          f"eps_max={result.eps_max:.2e}")
+
+    stranded, _, _ = run(recovery="none")
+    print()
+    print(f"the same split without anti-entropy strands "
+          f"{stranded.stuck_pending} messages forever "
+          f"({stranded.undelivered_messages} never fully delivered)")
+
+    assert result.stuck_pending == 0
+    assert stranded.stuck_pending > 0
+    assert deliveries_by_phase["during"] > 0  # each side kept working
+
+
+if __name__ == "__main__":
+    main()

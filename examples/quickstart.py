@@ -1,0 +1,118 @@
+"""Quickstart: the probabilistic causal broadcast in five minutes.
+
+Walks through the public API bottom-up:
+
+1. give two processes (R, K) clocks with random key sets;
+2. broadcast and deliver messages by hand, watching Algorithm 2 delay a
+   causally dependent message;
+3. run a whole simulated system and read the headline numbers the paper
+   reports (error-rate bounds, alert statistics, latency).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    BasicAlertDetector,
+    CausalBroadcastEndpoint,
+    ProbabilisticCausalClock,
+    RandomKeyAssigner,
+    optimal_k,
+    p_error,
+)
+from repro.sim import PoissonWorkload, SimulationConfig, run_simulation
+from repro.util.rng import RandomSource
+
+
+def hand_driven_protocol() -> None:
+    print("=" * 70)
+    print("1. The mechanism by hand (Algorithms 1-3)")
+    print("=" * 70)
+
+    # Every process draws K entries of an R-entry vector (Algorithm 3).
+    r, k = 16, 3
+    assigner = RandomKeyAssigner(r, k, rng=RandomSource(seed=2024))
+    alice_keys = assigner.assign("alice").keys
+    bob_keys = assigner.assign("bob").keys
+    carol_keys = assigner.assign("carol").keys
+    print(f"R={r}, K={k}")
+    print(f"f(alice) = {alice_keys}, f(bob) = {bob_keys}, f(carol) = {carol_keys}")
+
+    alice = CausalBroadcastEndpoint(
+        "alice", ProbabilisticCausalClock(r, alice_keys), detector=BasicAlertDetector()
+    )
+    bob = CausalBroadcastEndpoint(
+        "bob", ProbabilisticCausalClock(r, bob_keys), detector=BasicAlertDetector()
+    )
+    carol = CausalBroadcastEndpoint(
+        "carol", ProbabilisticCausalClock(r, carol_keys), detector=BasicAlertDetector()
+    )
+
+    # Alice broadcasts; Bob delivers it and replies (a causal chain).
+    hello = alice.broadcast("hello")
+    print(f"\nalice broadcasts {hello.payload!r}; timestamp = {hello.timestamp.as_tuple()}")
+    bob.on_receive(hello)
+    reply = bob.broadcast("hello back")
+    print(f"bob delivers it and replies; timestamp = {reply.timestamp.as_tuple()}")
+
+    # Carol receives the reply FIRST: Algorithm 2 holds it back.
+    delivered = carol.on_receive(reply)
+    print(f"\ncarol receives the reply first -> delivered now: {delivered}")
+    print(f"carol's pending queue: {carol.pending_count} message(s)")
+
+    # The original arrives: both messages deliver, in causal order.
+    delivered = carol.on_receive(hello)
+    order = [record.message.payload for record in delivered]
+    print(f"the original arrives -> carol delivers in causal order: {order}")
+
+
+def dimensioning() -> None:
+    print()
+    print("=" * 70)
+    print("2. Dimensioning a deployment (Section 5.3)")
+    print("=" * 70)
+    receive_rate = 200.0  # messages/s arriving at each node
+    delay_ms = 100.0
+    concurrency = receive_rate * delay_ms / 1000.0
+    r = 100
+    print(f"receive rate {receive_rate}/s, delay {delay_ms} ms -> X = {concurrency}")
+    print(f"optimal K = ln2 * R / X = {optimal_k(r, concurrency):.2f}  (paper: 3.5)")
+    for k in (1, 2, 4, 8):
+        print(f"  P_err(R={r}, K={k}, X={concurrency:.0f}) = {p_error(r, k, concurrency):.4f}")
+
+
+def whole_system() -> None:
+    print()
+    print("=" * 70)
+    print("3. A whole simulated system (Section 5.4)")
+    print("=" * 70)
+    config = SimulationConfig(
+        n_nodes=60,
+        r=100,
+        k=4,
+        key_assigner="random-colliding",
+        workload=PoissonWorkload(400.0),  # each node sends every ~0.4 s
+        detector="basic",
+        duration_ms=20_000.0,
+        seed=7,
+    )
+    result = run_simulation(config)
+    print(result.summary())
+    print(
+        f"error-rate bounds: eps_min={result.eps_min:.2e}  eps_max={result.eps_max:.2e}"
+    )
+    print(
+        f"alerts: rate={result.alerts.alert_rate:.2e}, "
+        f"recall on bypassed deliveries={result.alerts.recall_late:.2f} "
+        "(Algorithm 4 guarantees 1.00)"
+    )
+    print(
+        f"latency: mean={result.latency['mean']:.1f} ms, "
+        f"p99={result.latency['p99']:.1f} ms"
+    )
+    assert result.undelivered_messages == 0
+
+
+if __name__ == "__main__":
+    hand_driven_protocol()
+    dimensioning()
+    whole_system()

@@ -1,0 +1,8 @@
+"""Setup shim: enables `python setup.py develop` / legacy editable installs
+in offline environments lacking the `wheel` package (PEP 660 backend needs
+it).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

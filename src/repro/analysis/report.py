@@ -1,0 +1,159 @@
+"""Markdown experiment reports.
+
+Where :mod:`repro.analysis.tables` renders terminal output, this module
+builds the markdown artifacts a reproduction package wants to check in:
+a section per experiment with the configuration, a results table, the
+qualitative claims checked, and pass/fail status.  The benchmark suite
+writes plain-text reports; this builder is for users composing their own
+experiment documents (and it keeps EXPERIMENTS.md regenerable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.analysis.stats import Estimate
+from repro.analysis.sweep import SweepPoint
+from repro.core.errors import ConfigurationError
+
+__all__ = ["ClaimCheck", "ExperimentSection", "ReportBuilder"]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One qualitative claim and whether the data supports it."""
+
+    claim: str
+    passed: bool
+    evidence: str = ""
+
+    def render(self) -> str:
+        """One markdown bullet with a pass/fail marker."""
+        marker = "✅" if self.passed else "❌"
+        evidence = f" — {self.evidence}" if self.evidence else ""
+        return f"- {marker} {self.claim}{evidence}"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, Estimate):
+        return f"{value.value:.3g} [{value.low:.3g}, {value.high:.3g}]"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class ExperimentSection:
+    """One experiment: title, configuration, table, claims."""
+
+    title: str
+    description: str = ""
+    configuration: Dict[str, Any] = field(default_factory=dict)
+    headers: List[str] = field(default_factory=list)
+    rows: List[List[Any]] = field(default_factory=list)
+    claims: List[ClaimCheck] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one table row (width-checked against the headers)."""
+        if self.headers and len(cells) != len(self.headers):
+            raise ConfigurationError(
+                f"row width {len(cells)} does not match header width {len(self.headers)}"
+            )
+        self.rows.append(list(cells))
+
+    def add_sweep(self, points: Sequence[SweepPoint]) -> None:
+        """Populate the table from sweep points (standard columns)."""
+        if not self.headers:
+            self.headers = ["value", "eps_min", "eps_max", "X", "deliveries"]
+        for point in points:
+            self.add_row(
+                point.value,
+                point.eps_min,
+                point.eps_max,
+                point.concurrency,
+                point.deliveries,
+            )
+
+    def check(self, claim: str, passed: bool, evidence: str = "") -> ClaimCheck:
+        """Record one claim check and return it."""
+        entry = ClaimCheck(claim=claim, passed=bool(passed), evidence=evidence)
+        self.claims.append(entry)
+        return entry
+
+    @property
+    def all_claims_pass(self) -> bool:
+        """True when every recorded claim check passed."""
+        return all(claim.passed for claim in self.claims)
+
+    def render(self) -> str:
+        """This section as markdown."""
+        parts = [f"## {self.title}", ""]
+        if self.description:
+            parts += [self.description, ""]
+        if self.configuration:
+            config = ", ".join(
+                f"{key}={_format_value(value)}" for key, value in self.configuration.items()
+            )
+            parts += [f"*Configuration:* {config}", ""]
+        if self.headers and self.rows:
+            parts.append("| " + " | ".join(self.headers) + " |")
+            parts.append("|" + "|".join("---" for _ in self.headers) + "|")
+            for row in self.rows:
+                parts.append("| " + " | ".join(_format_value(cell) for cell in row) + " |")
+            parts.append("")
+        if self.claims:
+            parts += [claim.render() for claim in self.claims]
+            parts.append("")
+        return "\n".join(parts)
+
+
+class ReportBuilder:
+    """Accumulates sections into one markdown document."""
+
+    def __init__(self, title: str, preamble: str = "") -> None:
+        self._title = title
+        self._preamble = preamble
+        self._sections: List[ExperimentSection] = []
+
+    def section(self, title: str, **kwargs: Any) -> ExperimentSection:
+        """Create, register, and return a new experiment section."""
+        entry = ExperimentSection(title=title, **kwargs)
+        self._sections.append(entry)
+        return entry
+
+    @property
+    def sections(self) -> Tuple[ExperimentSection, ...]:
+        """The registered sections, in insertion order."""
+        return tuple(self._sections)
+
+    @property
+    def all_claims_pass(self) -> bool:
+        """True when every claim of every section passed."""
+        return all(section.all_claims_pass for section in self._sections)
+
+    def render(self) -> str:
+        """The whole document as markdown."""
+        parts = [f"# {self._title}", ""]
+        if self._preamble:
+            parts += [self._preamble, ""]
+        failing = [
+            section.title for section in self._sections if not section.all_claims_pass
+        ]
+        if failing:
+            parts += [
+                "**Attention:** claims failing in: " + ", ".join(failing),
+                "",
+            ]
+        for section in self._sections:
+            parts.append(section.render())
+        return "\n".join(parts)
+
+    def write(self, path: str) -> None:
+        """Render and write the document to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())

@@ -1,0 +1,149 @@
+"""Parameter sweeps: the machinery behind every figure reproduction.
+
+A figure in the paper is a curve of error rate against one swept
+parameter (K, λ, N, …) at fixed everything-else.  :func:`sweep_parameter`
+runs the simulator across the swept values, repeating each point with
+distinct seeds, and pools the per-run violation counts into one Wilson
+estimate per point — error rates are binomial proportions, so pooling
+across repeats is the highest-power aggregate.
+
+Scaling: the environment variable ``REPRO_BENCH_SCALE`` (float, default 1)
+multiplies run durations, letting CI run quick shapes and letting a user
+reproduce tighter curves overnight (e.g. ``REPRO_BENCH_SCALE=20``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.analysis.stats import Estimate, mean_estimate, pooled_proportion
+from repro.core.errors import ConfigurationError
+from repro.sim.runner import SimulationConfig, SimulationResult, run_simulation
+
+__all__ = ["SweepPoint", "sweep_parameter", "run_repeated", "bench_scale"]
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Duration multiplier from ``REPRO_BENCH_SCALE`` (>= 0.05)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "")
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ConfigurationError(f"REPRO_BENCH_SCALE must be a float, got {raw!r}") from exc
+    return max(0.05, value)
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated measurements of one swept value."""
+
+    value: Any
+    eps_min: Estimate
+    eps_max: Estimate
+    alert_rate: Estimate
+    concurrency: Estimate
+    deliveries: int
+    results: List[SimulationResult]
+
+    def row(self) -> List[Any]:
+        """Row for :func:`repro.analysis.tables.render_table`."""
+        return [
+            self.value,
+            self.eps_min.value,
+            self.eps_min.low,
+            self.eps_min.high,
+            self.eps_max.value,
+            self.alert_rate.value,
+            self.concurrency.value,
+            self.deliveries,
+        ]
+
+    ROW_HEADERS = [
+        "value",
+        "eps_min",
+        "lo",
+        "hi",
+        "eps_max",
+        "alert_rate",
+        "X",
+        "deliveries",
+    ]
+
+
+def run_repeated(
+    config: SimulationConfig,
+    repeats: int = 3,
+    seed_base: int = 1000,
+    runner: Callable[[SimulationConfig], SimulationResult] = run_simulation,
+) -> List[SimulationResult]:
+    """Run ``config`` with ``repeats`` distinct seeds."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    results = []
+    for repeat in range(repeats):
+        run_config = dataclasses.replace(config, seed=seed_base + repeat)
+        results.append(runner(run_config))
+    return results
+
+
+def _aggregate(value: Any, results: Sequence[SimulationResult]) -> SweepPoint:
+    deliveries = sum(r.counters.deliveries for r in results)
+    return SweepPoint(
+        value=value,
+        eps_min=pooled_proportion(
+            (r.counters.violations, r.counters.deliveries) for r in results
+        ),
+        eps_max=pooled_proportion(
+            (r.counters.violations + r.counters.ambiguous, r.counters.deliveries)
+            for r in results
+        ),
+        alert_rate=pooled_proportion(
+            (r.alerts.alerts, r.alerts.total) for r in results
+        ),
+        concurrency=mean_estimate([r.measured_concurrency for r in results]),
+        deliveries=deliveries,
+        results=list(results),
+    )
+
+
+def sweep_parameter(
+    base: SimulationConfig,
+    values: Sequence[Any],
+    make_config: Callable[[SimulationConfig, Any], SimulationConfig],
+    repeats: int = 3,
+    seed_base: int = 1000,
+    runner: Callable[[SimulationConfig], SimulationResult] = run_simulation,
+    on_point: Optional[Callable[[SweepPoint], None]] = None,
+) -> List[SweepPoint]:
+    """Sweep one parameter.
+
+    Args:
+        base: the fixed configuration.
+        values: swept values, in display order.
+        make_config: builds the per-point config, e.g.
+            ``lambda cfg, k: dataclasses.replace(cfg, k=k)``.
+        repeats: independent seeds per point.
+        seed_base: seeds are ``seed_base + point_index * repeats + repeat``
+            so every run in the sweep is independent.
+        runner: injection point for tests.
+        on_point: progress callback invoked after each aggregated point.
+    """
+    points: List[SweepPoint] = []
+    for index, value in enumerate(values):
+        config = make_config(base, value)
+        results = run_repeated(
+            config,
+            repeats=repeats,
+            seed_base=seed_base + index * repeats,
+            runner=runner,
+        )
+        point = _aggregate(value, results)
+        points.append(point)
+        if on_point is not None:
+            on_point(point)
+    return points

@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the common workflows without writing code:
+
+* ``simulate``  — run one experiment and print the measurements;
+* ``sweep``     — sweep K, λ, or N and print the resulting series;
+* ``dimension`` — the §5.3 recipe: given your rates, delay, and a
+  timestamp byte budget, pick R and K and predict the error;
+* ``theory``    — print the closed-form P_err(K) curve for an (R, X).
+
+Every command prints plain text; ``simulate --json`` emits a
+machine-readable result instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.persistence import result_to_dict
+from repro.analysis.sweep import SweepPoint, sweep_parameter
+from repro.analysis.tables import render_table
+from repro.core.theory import (
+    expected_concurrency,
+    optimal_k,
+    optimal_k_int,
+    p_error,
+    timestamp_overhead_bits,
+)
+from repro.sim import (
+    GaussianDelayModel,
+    PoissonChurn,
+    PoissonWorkload,
+    SimulationConfig,
+    run_simulation,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Probabilistic causal message ordering (PaCT 2017) toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser("simulate", help="run one simulated experiment")
+    _add_simulation_arguments(simulate)
+    simulate.add_argument("--json", action="store_true", help="emit JSON")
+
+    sweep = commands.add_parser("sweep", help="sweep one parameter")
+    _add_simulation_arguments(sweep)
+    sweep.add_argument(
+        "--parameter", choices=("k", "lambda", "nodes"), required=True,
+        help="which knob to sweep",
+    )
+    sweep.add_argument(
+        "--values", required=True,
+        help="comma-separated values, e.g. 1,2,4,8",
+    )
+    sweep.add_argument("--repeats", type=int, default=2, help="seeds per point")
+
+    dimension = commands.add_parser(
+        "dimension", help="pick R and K for a deployment (Section 5.3)"
+    )
+    dimension.add_argument("--nodes", type=int, required=True)
+    dimension.add_argument(
+        "--send-rate", type=float, required=True,
+        help="broadcasts per second per node",
+    )
+    dimension.add_argument("--delay-ms", type=float, default=100.0)
+    dimension.add_argument(
+        "--budget-bytes", type=int, default=512,
+        help="timestamp wire budget per message",
+    )
+
+    theory = commands.add_parser("theory", help="print the P_err(K) curve")
+    theory.add_argument("--r", type=int, default=100)
+    theory.add_argument("--x", type=float, default=20.0, help="concurrency X")
+    theory.add_argument("--k-max", type=int, default=12)
+
+    return parser
+
+
+def _add_simulation_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=60)
+    parser.add_argument("--r", type=int, default=100)
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument(
+        "--clock",
+        choices=("probabilistic", "plausible", "lamport", "vector"),
+        default="probabilistic",
+    )
+    parser.add_argument(
+        "--assigner",
+        choices=("random", "random-colliding", "perfect", "balanced-load",
+                 "sequential", "hash"),
+        default="random-colliding",
+    )
+    parser.add_argument(
+        "--lambda-ms", type=float, default=1000.0,
+        help="mean interval between one node's broadcasts",
+    )
+    parser.add_argument("--duration-ms", type=float, default=30_000.0)
+    parser.add_argument("--delay-mean-ms", type=float, default=100.0)
+    parser.add_argument("--delay-std-ms", type=float, default=20.0)
+    parser.add_argument("--skew-std-ms", type=float, default=20.0)
+    parser.add_argument(
+        "--detector", choices=("none", "basic", "refined"), default="basic"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--churn-interval-ms", type=float, default=None,
+        help="mean ms between joins (and between leaves); omit for static",
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    churn = None
+    if args.churn_interval_ms is not None:
+        churn = PoissonChurn(
+            join_interval_ms=args.churn_interval_ms,
+            leave_interval_ms=args.churn_interval_ms,
+            min_population=max(2, args.nodes // 2),
+        )
+    return SimulationConfig(
+        n_nodes=args.nodes,
+        r=args.r,
+        k=args.k,
+        clock=args.clock,
+        key_assigner=args.assigner,
+        workload=PoissonWorkload(args.lambda_ms),
+        delay_model=GaussianDelayModel(
+            args.delay_mean_ms, args.delay_std_ms, args.skew_std_ms
+        ),
+        detector=args.detector,
+        duration_ms=args.duration_ms,
+        churn=churn,
+        seed=args.seed,
+    )
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    result = run_simulation(_config_from_args(args))
+    if args.json:
+        print(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+        return 0
+    print(result.summary())
+    rows = [
+        ["sent", result.sent],
+        ["delivered (remote)", result.delivered_remote],
+        ["eps_min", result.eps_min],
+        ["eps_max", result.eps_max],
+        ["alert rate", result.alerts.alert_rate],
+        ["alert recall (late)", result.alerts.recall_late],
+        ["latency mean (ms)", result.latency["mean"]],
+        ["latency p99 (ms)", result.latency["p99"]],
+        ["measured X", result.measured_concurrency],
+        ["joins / leaves", f"{result.joins} / {result.leaves}"],
+        ["stuck pending", result.stuck_pending],
+    ]
+    print(render_table(["metric", "value"], rows))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    base = _config_from_args(args)
+    raw_values = [value.strip() for value in args.values.split(",") if value.strip()]
+
+    if args.parameter == "k":
+        values: List = [int(v) for v in raw_values]
+        make = lambda cfg, v: dataclasses.replace(cfg, k=v)  # noqa: E731
+    elif args.parameter == "nodes":
+        values = [int(v) for v in raw_values]
+        make = lambda cfg, v: dataclasses.replace(cfg, n_nodes=v)  # noqa: E731
+    else:
+        values = [float(v) for v in raw_values]
+        make = lambda cfg, v: dataclasses.replace(  # noqa: E731
+            cfg, workload=PoissonWorkload(v)
+        )
+
+    points = sweep_parameter(
+        base, values, make, repeats=args.repeats, seed_base=args.seed + 1000
+    )
+    print(
+        render_table(
+            SweepPoint.ROW_HEADERS,
+            [point.row() for point in points],
+            title=f"sweep of {args.parameter}",
+        )
+    )
+    return 0
+
+
+def _command_dimension(args: argparse.Namespace) -> int:
+    receive_rate = (args.nodes - 1) * args.send_rate
+    x = expected_concurrency(receive_rate, args.delay_ms)
+    r = max(1, (args.budget_bytes * 8) // 33)
+    x_effective = max(x, 0.1)
+    k = optimal_k_int(r, x_effective, k_max=min(r, 32))
+    rows = [
+        ["nodes", args.nodes],
+        ["receive rate (msg/s)", receive_rate],
+        ["concurrency X", x],
+        ["vector size R", r],
+        ["keys per process K", k],
+        ["continuous K (ln2*R/X)", optimal_k(r, x_effective)],
+        ["timestamp bytes", timestamp_overhead_bits(r, k) // 8],
+        ["vector-clock bytes (for comparison)",
+         timestamp_overhead_bits(max(args.nodes, 2), 1) // 8],
+        ["predicted P_err", p_error(r, k, x_effective)],
+    ]
+    print(render_table(["quantity", "value"], rows, title="dimensioning"))
+    return 0
+
+
+def _command_theory(args: argparse.Namespace) -> int:
+    rows = [
+        [k, p_error(args.r, k, args.x)]
+        for k in range(1, min(args.k_max, args.r) + 1)
+    ]
+    print(
+        render_table(
+            ["K", "P_err"],
+            rows,
+            title=f"P_err(R={args.r}, K, X={args.x}); "
+            f"optimum ~ {optimal_k(args.r, args.x):.2f}",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _command_simulate,
+    "sweep": _command_sweep,
+    "dimension": _command_dimension,
+    "theory": _command_theory,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (| head):
+        # normal shell usage, not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Core library: the paper's probabilistic causal ordering mechanism.
+
+This subpackage is deployment-ready and simulator-independent: logical
+clocks of the (n, r, k) family, key-space assignment (Algorithm 3),
+the broadcast/delivery protocol machine (Algorithms 1–2), the delivery
+error detectors (Algorithms 4–5), and the closed-form error analysis of
+Section 5.3.
+"""
+
+from repro.core.clocks import (
+    DynamicVectorClock,
+    EntryVectorClock,
+    LamportCausalClock,
+    PlausibleCausalClock,
+    ProbabilisticCausalClock,
+    Timestamp,
+    VectorCausalClock,
+)
+from repro.core.combinatorics import (
+    binomial,
+    iter_combinations_lex,
+    num_key_sets,
+    rank_colex,
+    rank_lex,
+    unrank_colex,
+    unrank_lex,
+)
+from repro.core.detector import (
+    BasicAlertDetector,
+    DeliveryErrorDetector,
+    DetectorStats,
+    NullDetector,
+    RefinedAlertDetector,
+)
+from repro.core.errors import (
+    CausalityViolationError,
+    ConfigurationError,
+    DuplicateMessageError,
+    MembershipError,
+    RankOutOfRangeError,
+    ReproError,
+    SimulationError,
+    UnknownProcessError,
+)
+from repro.core.matrix import (
+    MatrixClockEndpoint,
+    MatrixTimestamp,
+    PointToPointMessage,
+)
+from repro.core.keyspace import (
+    BalancedLoadKeyAssigner,
+    ExplicitKeyAssigner,
+    HashKeyAssigner,
+    KeyAssigner,
+    KeyAssignment,
+    PerfectKeyAssigner,
+    RandomKeyAssigner,
+    SequentialKeyAssigner,
+    entry_loads,
+    pairwise_overlap_counts,
+)
+from repro.core.protocol import (
+    CausalBroadcastEndpoint,
+    DeliveryRecord,
+    EndpointStats,
+    Message,
+)
+from repro.core.theory import (
+    expected_concurrency,
+    optimal_k,
+    optimal_k_int,
+    p_entry_covered,
+    p_error,
+    p_reorder_same_sender,
+    p_violation_bound,
+    predicted_error_series,
+    timestamp_overhead_bits,
+)
+
+__all__ = [
+    # clocks
+    "Timestamp",
+    "EntryVectorClock",
+    "ProbabilisticCausalClock",
+    "PlausibleCausalClock",
+    "LamportCausalClock",
+    "VectorCausalClock",
+    "DynamicVectorClock",
+    # combinatorics
+    "binomial",
+    "num_key_sets",
+    "unrank_lex",
+    "rank_lex",
+    "unrank_colex",
+    "rank_colex",
+    "iter_combinations_lex",
+    # keyspace
+    "KeyAssignment",
+    "KeyAssigner",
+    "RandomKeyAssigner",
+    "SequentialKeyAssigner",
+    "PerfectKeyAssigner",
+    "BalancedLoadKeyAssigner",
+    "HashKeyAssigner",
+    "ExplicitKeyAssigner",
+    "entry_loads",
+    "pairwise_overlap_counts",
+    # point-to-point (RST matrix clocks)
+    "MatrixTimestamp",
+    "PointToPointMessage",
+    "MatrixClockEndpoint",
+    # protocol
+    "Message",
+    "DeliveryRecord",
+    "EndpointStats",
+    "CausalBroadcastEndpoint",
+    # detectors
+    "DeliveryErrorDetector",
+    "NullDetector",
+    "BasicAlertDetector",
+    "RefinedAlertDetector",
+    "DetectorStats",
+    # theory
+    "p_entry_covered",
+    "p_error",
+    "optimal_k",
+    "optimal_k_int",
+    "predicted_error_series",
+    "expected_concurrency",
+    "p_reorder_same_sender",
+    "p_violation_bound",
+    "timestamp_overhead_bits",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "RankOutOfRangeError",
+    "DuplicateMessageError",
+    "UnknownProcessError",
+    "CausalityViolationError",
+    "SimulationError",
+    "MembershipError",
+]

@@ -1,0 +1,402 @@
+"""Logical clocks for causal ordering: the (n, r, k) family.
+
+The paper frames known clock schemes as points of a single design space
+described by a triplet ``(a, b, c)`` — system size, vector size, entries
+per process:
+
+* Lamport clock                     ``(n, 1, 1)``
+* vector clock (Fidge/Mattern)      ``(n, n, 1)``
+* plausible clock (Torres-Rojas)    ``(n, r, 1)``
+* **this paper**                    ``(n, r, k)``
+
+All four are provided here as configurations of one generic mechanism,
+:class:`EntryVectorClock`, which implements the paper's Algorithm 1
+(timestamping a broadcast) and Algorithm 2 (the delivery condition).  A
+process ``p_i`` owns a set of entries ``f(p_i)``; sending increments all
+owned entries and attaches the vector; a message ``m`` from ``p_j`` is
+deliverable at ``p_i`` once::
+
+    forall x in  f(p_j):  V_i[x] >= m.V[x] - 1
+    forall x not in f(p_j):  V_i[x] >= m.V[x]
+
+and delivering it increments the ``f(p_j)`` entries of ``V_i``.
+
+Vectors are NumPy ``int64`` arrays: the delivery test is a single
+vectorised comparison, which keeps large simulations tractable.  A
+:class:`Timestamp` precomputes the *adjusted* threshold vector
+(``m.V`` minus one at the sender's keys) when it is created, so the
+delivery test at every one of the N receivers is one ``>=``/``all`` pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError, UnknownProcessError
+
+__all__ = [
+    "Timestamp",
+    "EntryVectorClock",
+    "ProbabilisticCausalClock",
+    "PlausibleCausalClock",
+    "LamportCausalClock",
+    "VectorCausalClock",
+    "DynamicVectorClock",
+]
+
+ProcessId = Hashable
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+@dataclass(frozen=True)
+class Timestamp:
+    """The control information a broadcast message carries.
+
+    Attributes:
+        vector: the sender's R-entry vector right after Algorithm 1's
+            increment (read-only array; ``m.V`` in the paper).
+        sender_keys: the sender's entry set ``f(p_j)`` (ascending tuple).
+            Carrying the keys on the message is what lets a receiver apply
+            the delivery condition without knowing the membership.
+        seq: per-sender sequence number (1-based); used for duplicate
+            suppression and by the ground-truth oracle, not by the
+            probabilistic delivery condition itself.
+        adjusted: cached threshold ``m.V`` with 1 subtracted at
+            ``sender_keys`` — the delivery test is ``V_i >= adjusted``
+            elementwise.
+    """
+
+    vector: np.ndarray
+    sender_keys: Tuple[int, ...]
+    seq: int
+    adjusted: np.ndarray = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+    sender_keys_array: np.ndarray = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        keys_array = np.asarray(self.sender_keys, dtype=np.intp)
+        object.__setattr__(self, "sender_keys_array", _freeze(keys_array))
+        if self.adjusted is None:
+            adjusted = self.vector.copy()
+            adjusted[keys_array] -= 1
+            object.__setattr__(self, "adjusted", _freeze(adjusted))
+
+    @property
+    def size(self) -> int:
+        """Vector size R."""
+        return int(self.vector.shape[0])
+
+    def as_tuple(self) -> Tuple[int, ...]:
+        """The timestamp vector as a plain tuple of ints."""
+        return tuple(int(v) for v in self.vector)
+
+    def overhead_bits(self, bits_per_entry: int = 32) -> int:
+        """Wire overhead of this timestamp, in bits.
+
+        Counts the vector entries plus the sender key set (each key needs
+        ``ceil(log2 R)`` bits).  Used by the clock-family comparison table.
+        """
+        if self.size <= 1:
+            key_bits = 0
+        else:
+            key_bits = len(self.sender_keys) * max(1, (self.size - 1).bit_length())
+        return self.size * bits_per_entry + key_bits
+
+    def dominates_on(self, other: "Timestamp", entries: Iterable[int]) -> bool:
+        """True when ``self.vector >= other.vector`` on every given entry."""
+        return all(int(self.vector[e]) >= int(other.vector[e]) for e in entries)
+
+
+class EntryVectorClock:
+    """Per-process state of the generic (R, K) causal-ordering mechanism.
+
+    One instance lives at each process.  It is *not* thread-safe: in the
+    intended uses (a single-threaded protocol endpoint, or the
+    discrete-event simulator) each instance is driven by one event loop.
+
+    Args:
+        r: vector size (the paper's ``R``).
+        own_keys: this process's entry set ``f(p_i)``; ascending iterable
+            of ints in ``[0, R)``.
+    """
+
+    def __init__(self, r: int, own_keys: Sequence[int]) -> None:
+        if r <= 0:
+            raise ConfigurationError(f"vector size R must be positive, got {r}")
+        keys = tuple(sorted(int(k) for k in own_keys))
+        if not keys:
+            raise ConfigurationError("a clock needs at least one own entry")
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(f"duplicate own keys: {keys}")
+        if keys[0] < 0 or keys[-1] >= r:
+            raise ConfigurationError(f"own keys {keys} outside [0, {r})")
+        self._r = r
+        self._own_keys = keys
+        self._own_keys_array = np.asarray(keys, dtype=np.intp)
+        self._vector = np.zeros(r, dtype=np.int64)
+        self._send_seq = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def r(self) -> int:
+        """Vector size R."""
+        return self._r
+
+    @property
+    def k(self) -> int:
+        """Number of own entries K."""
+        return len(self._own_keys)
+
+    @property
+    def own_keys(self) -> Tuple[int, ...]:
+        """This process's entry set ``f(p_i)``."""
+        return self._own_keys
+
+    @property
+    def send_count(self) -> int:
+        """How many messages this clock has timestamped."""
+        return self._send_seq
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """Current local vector as a tuple (for assertions and debugging)."""
+        return tuple(int(v) for v in self._vector)
+
+    def initialize_from(self, vector: Sequence[int]) -> None:
+        """Bootstrap the local vector from a state transfer.
+
+        A process joining a running system cannot start from zeros: every
+        future message's timestamp embeds the history of messages sent
+        before the join, which the newcomer will never receive.  Real
+        deployments ship a state snapshot at join time; the simulator
+        models it by seeding the clock with the cumulative vector of all
+        messages sent so far.  Only valid before this clock has sent or
+        delivered anything.
+        """
+        values = np.asarray(vector, dtype=np.int64)
+        if values.shape != self._vector.shape:
+            raise ConfigurationError(
+                f"initial vector has shape {values.shape}, expected {self._vector.shape}"
+            )
+        if self._send_seq or self._vector.any():
+            raise ConfigurationError("initialize_from() requires a pristine clock")
+        if (values < 0).any():
+            raise ConfigurationError("initial vector entries must be >= 0")
+        self._vector[:] = values
+
+    def vector_view(self) -> np.ndarray:
+        """Read-only view of the local vector (no copy)."""
+        view = self._vector.view()
+        view.flags.writeable = False
+        return view
+
+    def rekey(self, new_keys: Sequence[int]) -> Tuple[int, ...]:
+        """Switch this process's entry set ``f(p_i)`` to ``new_keys``.
+
+        The mechanism tolerates online re-dimensioning: every message
+        carries its sender's keys, so receivers never need to know the
+        current assignment, and the delivery condition remains live
+        across the switch (the non-sender-entry clause forces receivers
+        to catch up with the pre-switch history).  This is what makes an
+        *adaptive K* possible — a node observing a concurrency different
+        from the estimate can re-draw a key set sized by
+        ``K = ln2 · R / X_measured``.  Returns the previous key set.
+        """
+        keys = tuple(sorted(int(k) for k in new_keys))
+        if not keys:
+            raise ConfigurationError("a clock needs at least one own entry")
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(f"duplicate own keys: {keys}")
+        if keys[0] < 0 or keys[-1] >= self._r:
+            raise ConfigurationError(f"own keys {keys} outside [0, {self._r})")
+        previous = self._own_keys
+        self._own_keys = keys
+        self._own_keys_array = np.asarray(keys, dtype=np.intp)
+        return previous
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 — timestamping a broadcast
+    # ------------------------------------------------------------------
+
+    def prepare_send(self) -> Timestamp:
+        """Increment the own entries and return the timestamp to attach.
+
+        Implements Algorithm 1: ``forall x in f(p_i): V_i[x] += 1`` then
+        copy ``V_i`` onto the message.
+        """
+        self._vector[self._own_keys_array] += 1
+        self._send_seq += 1
+        return Timestamp(
+            vector=_freeze(self._vector.copy()),
+            sender_keys=self._own_keys,
+            seq=self._send_seq,
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 — delivery condition and delivery bookkeeping
+    # ------------------------------------------------------------------
+
+    def is_deliverable(self, timestamp: Timestamp) -> bool:
+        """Evaluate Algorithm 2's wait condition for a received message.
+
+        True when every entry of the local vector has reached the
+        message's adjusted threshold: at the sender's keys the local value
+        may lag by one (that gap is the message itself), everywhere else
+        it must have caught up with everything the sender had delivered.
+        """
+        self._check_compatible(timestamp)
+        return bool(np.all(self._vector >= timestamp.adjusted))
+
+    def record_delivery(self, timestamp: Timestamp) -> None:
+        """Account for a delivery: increment the sender's entries locally.
+
+        Must be called exactly once per delivered message, after
+        :meth:`is_deliverable` returned True (the protocol endpoint
+        enforces this ordering; the clock itself does not re-check, so the
+        simulator can also use it to *force* an out-of-order delivery when
+        modelling a violating configuration).
+        """
+        self._check_compatible(timestamp)
+        self._vector[timestamp.sender_keys_array] += 1
+
+    def lag(self, timestamp: Timestamp) -> int:
+        """Total missing count: how far the local vector is below the
+        message's adjusted threshold, summed over entries.
+
+        0 means deliverable; larger values indicate more missing causal
+        predecessors.  Used by diagnostics and by the pending-queue
+        ordering heuristic.
+        """
+        self._check_compatible(timestamp)
+        deficit = timestamp.adjusted - self._vector
+        return int(deficit[deficit > 0].sum())
+
+    def _check_compatible(self, timestamp: Timestamp) -> None:
+        if timestamp.size != self._r:
+            raise ConfigurationError(
+                f"timestamp size {timestamp.size} incompatible with clock size {self._r}"
+            )
+
+
+class ProbabilisticCausalClock(EntryVectorClock):
+    """The paper's contribution: the ``(n, r, k)`` clock with ``k > 1``.
+
+    Semantically identical to :class:`EntryVectorClock`; the subclass
+    exists to name the configuration and validate that it is the genuinely
+    probabilistic regime (``1 < K < R`` — the interior of the family where
+    the paper shows the optimum lies).
+    """
+
+    def __init__(self, r: int, own_keys: Sequence[int]) -> None:
+        super().__init__(r, own_keys)
+        if not 1 <= self.k <= r:
+            raise ConfigurationError(f"need 1 <= K <= R, got K={self.k}, R={r}")
+
+
+class PlausibleCausalClock(EntryVectorClock):
+    """Torres-Rojas & Ahamad's plausible clock: the ``(n, r, 1)`` point.
+
+    Each process owns exactly one of ``r`` entries, several processes per
+    entry.  Equivalent to the paper's scheme with ``K = 1``.
+    """
+
+    def __init__(self, r: int, own_entry: int) -> None:
+        super().__init__(r, (own_entry,))
+
+
+class LamportCausalClock(EntryVectorClock):
+    """Lamport's scalar clock as the degenerate ``(n, 1, 1)`` point.
+
+    A single shared entry: every process increments the same counter on
+    send, and the delivery condition forces near-total synchronisation
+    (a message with scalar timestamp ``t`` waits until the local counter
+    reaches ``t - 1``).  Included as the extreme baseline the paper cites.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(1, (0,))
+
+
+class VectorCausalClock(EntryVectorClock):
+    """Exact vector clock: the ``(n, n, 1)`` point with per-process entries.
+
+    With ``R = N`` and ``f(p_i) = {i}`` the generic delivery condition is
+    the classical causal-broadcast rule (Birman–Schiper–Stephenson) and no
+    violation is possible.  Requires static membership with dense process
+    indices; see :class:`DynamicVectorClock` for the churn-tolerant
+    (but unbounded) variant.
+    """
+
+    def __init__(self, n: int, own_index: int) -> None:
+        if not 0 <= own_index < n:
+            raise ConfigurationError(f"own index {own_index} outside [0, {n})")
+        super().__init__(n, (own_index,))
+
+
+class DynamicVectorClock:
+    """A map-based exact vector clock that tolerates joins.
+
+    Entries are keyed by process identity rather than by a dense index, so
+    processes may join at any time without renumbering.  This is the
+    classical alternative the paper argues against for large dynamic
+    systems: its timestamps grow with the number of processes ever seen.
+    It serves as the perfect-ordering baseline in benchmarks and as the
+    ground-truth component of the simulator's oracle for churn scenarios.
+
+    The public operations mirror :class:`EntryVectorClock` but timestamps
+    are plain dicts.
+    """
+
+    def __init__(self, own_id: ProcessId) -> None:
+        self._own_id = own_id
+        self._vector: dict = {own_id: 0}
+        self._send_seq = 0
+
+    @property
+    def own_id(self) -> ProcessId:
+        """This process's identity (its map key)."""
+        return self._own_id
+
+    @property
+    def send_count(self) -> int:
+        """How many messages this clock has timestamped."""
+        return self._send_seq
+
+    def snapshot(self) -> dict:
+        """Copy of the local vector (process id -> count)."""
+        return dict(self._vector)
+
+    def prepare_send(self) -> dict:
+        """Increment the own entry and return the timestamp dict."""
+        self._vector[self._own_id] = self._vector.get(self._own_id, 0) + 1
+        self._send_seq += 1
+        return dict(self._vector)
+
+    def is_deliverable(self, timestamp: dict, sender_id: ProcessId) -> bool:
+        """Classical causal delivery test for a message from ``sender_id``."""
+        if sender_id not in timestamp:
+            raise UnknownProcessError(sender_id)
+        for process_id, value in timestamp.items():
+            threshold = value - 1 if process_id == sender_id else value
+            if self._vector.get(process_id, 0) < threshold:
+                return False
+        return True
+
+    def record_delivery(self, timestamp: dict, sender_id: ProcessId) -> None:
+        """Account for delivering one message from ``sender_id``."""
+        self._vector[sender_id] = self._vector.get(sender_id, 0) + 1
+
+    def merge(self, timestamp: dict) -> None:
+        """Entrywise max-merge (used by the oracle after a wrong delivery,
+        per Section 5.4.1 of the paper)."""
+        for process_id, value in timestamp.items():
+            if value > self._vector.get(process_id, 0):
+                self._vector[process_id] = value

@@ -1,0 +1,182 @@
+"""Matrix clocks: causal order for point-to-point messages (RST).
+
+The paper's related work cites Raynal, Schiper and Toueg's "simple way to
+implement" causal ordering for *point-to-point* communication with a
+matrix of counters (its ref [11]).  This module provides that algorithm
+as a complete, tested substrate — both as a baseline for comparisons and
+because real systems mix broadcast with direct messages.
+
+State at process ``i``: an ``n × n`` matrix ``M`` where ``M[a][b]`` is
+the number of messages sent by ``a`` to ``b``, to ``i``'s knowledge.
+
+* **send** ``i → j``: increment ``M[i][j]``, attach a copy ``W`` of the
+  matrix to the message.
+* **deliver** at ``j`` of a message from ``i`` carrying ``W``: wait until
+  ``W[i][j] == M[i][j] + 1`` (FIFO from the sender) and
+  ``W[k][j] <= M[k][j]`` for every ``k ≠ i`` (everything the sender knew
+  had been sent to ``j`` has arrived); then ``M := max(M, W)``.
+
+The cost the paper is escaping is explicit here: ``n²`` counters per
+process and per message — compare ``timestamp_overhead_bits(R, K)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, List, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["MatrixTimestamp", "PointToPointMessage", "MatrixClockEndpoint"]
+
+ProcessId = Hashable
+
+
+@dataclass(frozen=True)
+class MatrixTimestamp:
+    """The matrix snapshot a point-to-point message carries."""
+
+    matrix: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """System size (the matrix is n x n)."""
+        return int(self.matrix.shape[0])
+
+
+@dataclass(frozen=True)
+class PointToPointMessage:
+    """One direct message with its control information."""
+
+    sender: int
+    destination: int
+    seq: int
+    timestamp: MatrixTimestamp
+    payload: Any = None
+
+    @property
+    def message_id(self) -> Tuple[int, int, int]:
+        """Unique id ``(sender, destination, seq)``."""
+        return (self.sender, self.destination, self.seq)
+
+
+class MatrixClockEndpoint:
+    """Per-process state of the RST point-to-point causal order.
+
+    Processes are dense indices ``0..n-1`` (matrix clocks inherently need
+    to know the full membership — the restriction the paper's mechanism
+    lifts for the broadcast case).
+    """
+
+    def __init__(self, n: int, own_index: int) -> None:
+        if n <= 0:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        if not 0 <= own_index < n:
+            raise ConfigurationError(f"own index {own_index} outside [0, {n})")
+        self._n = n
+        self._own = own_index
+        self._matrix = np.zeros((n, n), dtype=np.int64)
+        self._pending: List[PointToPointMessage] = []
+        self._sent = 0
+        self.delivered: List[PointToPointMessage] = []
+
+    @property
+    def own_index(self) -> int:
+        """This process's dense index."""
+        return self._own
+
+    @property
+    def pending_count(self) -> int:
+        """Messages held back by the delivery condition."""
+        return len(self._pending)
+
+    def matrix_snapshot(self) -> np.ndarray:
+        """Copy of the local matrix (for assertions and debugging)."""
+        return self._matrix.copy()
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send(self, destination: int, payload: Any = None) -> PointToPointMessage:
+        """Produce a causally timestamped message for ``destination``."""
+        if not 0 <= destination < self._n:
+            raise ConfigurationError(f"destination {destination} outside [0, {self._n})")
+        if destination == self._own:
+            raise ConfigurationError("sending to self is not meaningful here")
+        self._matrix[self._own, destination] += 1
+        self._sent += 1
+        snapshot = self._matrix.copy()
+        snapshot.flags.writeable = False
+        return PointToPointMessage(
+            sender=self._own,
+            destination=destination,
+            seq=int(self._matrix[self._own, destination]),
+            timestamp=MatrixTimestamp(matrix=snapshot),
+            payload=payload,
+        )
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def is_deliverable(self, message: PointToPointMessage) -> bool:
+        """The RST delivery condition for a message addressed to us."""
+        self._check_addressed(message)
+        w = message.timestamp.matrix
+        i, j = message.sender, self._own
+        if w[i, j] != self._matrix[i, j] + 1:
+            return False
+        column_w = w[:, j].copy()
+        column_w[i] = 0  # the sender's own entry is handled above
+        column_m = self._matrix[:, j].copy()
+        column_m[i] = 0
+        return bool(np.all(column_w <= column_m))
+
+    def on_receive(self, message: PointToPointMessage) -> List[PointToPointMessage]:
+        """Process an arrival; returns the messages delivered (cascade)."""
+        self._check_addressed(message)
+        delivered: List[PointToPointMessage] = []
+        if self.is_deliverable(message):
+            self._deliver(message)
+            delivered.append(message)
+            delivered.extend(self._drain())
+        else:
+            self._pending.append(message)
+        return delivered
+
+    def _drain(self) -> List[PointToPointMessage]:
+        delivered: List[PointToPointMessage] = []
+        progressed = True
+        while progressed and self._pending:
+            progressed = False
+            still: List[PointToPointMessage] = []
+            for queued in self._pending:
+                if self.is_deliverable(queued):
+                    self._deliver(queued)
+                    delivered.append(queued)
+                    progressed = True
+                else:
+                    still.append(queued)
+            self._pending = still
+        return delivered
+
+    def _deliver(self, message: PointToPointMessage) -> None:
+        np.maximum(self._matrix, message.timestamp.matrix, out=self._matrix)
+        self.delivered.append(message)
+
+    def _check_addressed(self, message: PointToPointMessage) -> None:
+        if message.timestamp.n != self._n:
+            raise ConfigurationError(
+                f"matrix size {message.timestamp.n} incompatible with n={self._n}"
+            )
+        if message.destination != self._own:
+            raise ConfigurationError(
+                f"message addressed to {message.destination}, this is {self._own}"
+            )
+
+    def overhead_bits(self, bits_per_entry: int = 32) -> int:
+        """Wire cost of one timestamp: the full n x n matrix."""
+        return self._n * self._n * bits_per_entry

@@ -1,0 +1,260 @@
+"""The causal broadcast endpoint: Algorithms 1 and 2 wired together.
+
+A :class:`CausalBroadcastEndpoint` is the per-process protocol state a real
+deployment would embed: the logical clock (any member of the (n, r, k)
+family), duplicate suppression, the pending queue of received-but-not-yet-
+deliverable messages, an optional delivery-error detector (Algorithms 4/5)
+and the callback into the application layer.
+
+The endpoint is transport-agnostic.  Feeding it is the job of either a
+real network layer or the discrete-event simulator (:mod:`repro.sim`):
+
+* :meth:`broadcast` timestamps an outgoing message (Algorithm 1) and
+  returns it; the caller disseminates it.
+* :meth:`on_receive` accepts an incoming message (the ``rec(m)`` event of
+  the paper), applies Algorithm 2's wait condition, and returns the list
+  of messages *delivered* as a consequence — the head message and any
+  pending messages it unblocked, in delivery order.
+
+Deliveries at the sender: Algorithm 1's increment of ``f(p_i)`` already
+records the sender's own message in its vector, so the sender never runs
+Algorithm 2 on its own message.  :meth:`broadcast` reports the payload to
+the local application immediately (self-delivery), matching the usual
+broadcast semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, List, Optional, Tuple
+
+from repro.core.clocks import EntryVectorClock, Timestamp
+from repro.core.detector import DeliveryErrorDetector, NullDetector
+from repro.core.errors import ConfigurationError
+
+__all__ = ["Message", "DeliveryRecord", "EndpointStats", "CausalBroadcastEndpoint"]
+
+ProcessId = Hashable
+MessageId = Tuple[ProcessId, int]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A broadcast message: payload plus the paper's control information.
+
+    Attributes:
+        sender: identity of the broadcasting process.
+        seq: per-sender sequence number (1-based), assigned by the
+            endpoint; together with ``sender`` it forms the unique id.
+        timestamp: the attached (R, K) timestamp (``m.V`` + ``f(p_j)``).
+        payload: opaque application data.
+    """
+
+    sender: ProcessId
+    seq: int
+    timestamp: Timestamp
+    payload: Any = None
+
+    @property
+    def message_id(self) -> MessageId:
+        """Globally unique identifier ``(sender, seq)``."""
+        return (self.sender, self.seq)
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One delivery handed to the application layer.
+
+    Attributes:
+        message: the delivered message.
+        alert: whether the configured detector flagged this delivery as a
+            possible causal-order violation (Algorithm 4/5).
+        local: True for the sender's immediate self-delivery.
+    """
+
+    message: Message
+    alert: bool = False
+    local: bool = False
+
+
+@dataclass
+class EndpointStats:
+    """Operational counters of one endpoint."""
+
+    sent: int = 0
+    received: int = 0
+    duplicates: int = 0
+    delivered: int = 0
+    alerts: int = 0
+    pending_peak: int = 0
+
+    def observe_pending(self, size: int) -> None:
+        """Track the pending-queue high-water mark."""
+        if size > self.pending_peak:
+            self.pending_peak = size
+
+
+class CausalBroadcastEndpoint:
+    """Per-process protocol machine for (probabilistic) causal broadcast.
+
+    Args:
+        process_id: this process's identity.
+        clock: its logical clock (owns the entry set ``f(p_i)``).
+        detector: pre-delivery alert check; defaults to the silent
+            :class:`NullDetector`.
+        deliver_callback: invoked with a :class:`DeliveryRecord` for each
+            delivery, including the local self-delivery on broadcast.
+        max_pending: optional safety bound on the pending queue; exceeded
+            means the configuration is pathological (e.g. a partitioned
+            sender) and raises :class:`ConfigurationError` rather than
+            accumulating unbounded state.
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        clock: EntryVectorClock,
+        detector: Optional[DeliveryErrorDetector] = None,
+        deliver_callback: Optional[Callable[[DeliveryRecord], None]] = None,
+        max_pending: Optional[int] = None,
+    ) -> None:
+        if max_pending is not None and max_pending <= 0:
+            raise ConfigurationError(f"max_pending must be positive, got {max_pending}")
+        self._process_id = process_id
+        self._clock = clock
+        self._detector = detector if detector is not None else NullDetector()
+        self._callback = deliver_callback
+        self._max_pending = max_pending
+        self._pending: List[Message] = []
+        self._seen: set = set()
+        self.stats = EndpointStats()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def process_id(self) -> ProcessId:
+        """This endpoint's process identity."""
+        return self._process_id
+
+    @property
+    def clock(self) -> EntryVectorClock:
+        """The logical clock driving the delivery condition."""
+        return self._clock
+
+    @property
+    def detector(self) -> DeliveryErrorDetector:
+        """The configured pre-delivery alert check."""
+        return self._detector
+
+    @property
+    def pending_count(self) -> int:
+        """Messages received but still failing the delivery condition."""
+        return len(self._pending)
+
+    def pending_messages(self) -> Tuple[Message, ...]:
+        """Snapshot of the pending queue (receive order)."""
+        return tuple(self._pending)
+
+    def has_seen(self, message_id: MessageId) -> bool:
+        """Whether a message id was already received (duplicate filter)."""
+        return message_id in self._seen
+
+    def mark_seen(self, message_id: MessageId) -> bool:
+        """Record a message id as seen without processing it.
+
+        Used by hosts that sink traffic addressed to a retired endpoint
+        (e.g. the simulator, for copies arriving after a node left) and
+        still need exactly-once accounting.  Returns True when the id was
+        new.
+        """
+        if message_id in self._seen:
+            return False
+        self._seen.add(message_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # sending (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def broadcast(self, payload: Any = None, now: float = 0.0) -> Message:
+        """Timestamp a new message and hand it back for dissemination.
+
+        Also performs the local self-delivery (application callback with
+        ``local=True``); the clock increment of Algorithm 1 is the
+        sender-side bookkeeping for it.
+        """
+        timestamp = self._clock.prepare_send()
+        message = Message(
+            sender=self._process_id,
+            seq=timestamp.seq,
+            timestamp=timestamp,
+            payload=payload,
+        )
+        self._seen.add(message.message_id)
+        self.stats.sent += 1
+        self._emit(DeliveryRecord(message=message, alert=False, local=True))
+        return message
+
+    # ------------------------------------------------------------------
+    # receiving (Algorithm 2 + cascade)
+    # ------------------------------------------------------------------
+
+    def on_receive(self, message: Message, now: float = 0.0) -> List[DeliveryRecord]:
+        """Process the arrival of ``message`` (the paper's ``rec(m)``).
+
+        Returns the deliveries it triggered, in order: possibly none (the
+        message joined the pending queue, or was a duplicate), possibly
+        several (it unblocked queued messages).
+        """
+        self.stats.received += 1
+        if message.message_id in self._seen:
+            self.stats.duplicates += 1
+            return []
+        self._seen.add(message.message_id)
+
+        delivered: List[DeliveryRecord] = []
+        if self._clock.is_deliverable(message.timestamp):
+            delivered.append(self._deliver(message, now))
+            delivered.extend(self._drain_pending(now))
+        else:
+            self._pending.append(message)
+            if self._max_pending is not None and len(self._pending) > self._max_pending:
+                raise ConfigurationError(
+                    f"pending queue of {self._process_id!r} exceeded "
+                    f"max_pending={self._max_pending}"
+                )
+            self.stats.observe_pending(len(self._pending))
+        return delivered
+
+    def _drain_pending(self, now: float) -> List[DeliveryRecord]:
+        """Deliver queued messages until a full pass makes no progress."""
+        delivered: List[DeliveryRecord] = []
+        progressed = True
+        while progressed and self._pending:
+            progressed = False
+            still_pending: List[Message] = []
+            for queued in self._pending:
+                if self._clock.is_deliverable(queued.timestamp):
+                    delivered.append(self._deliver(queued, now))
+                    progressed = True
+                else:
+                    still_pending.append(queued)
+            self._pending = still_pending
+        return delivered
+
+    def _deliver(self, message: Message, now: float) -> DeliveryRecord:
+        alert = self._detector.check(self._clock, message.timestamp, now)
+        self._clock.record_delivery(message.timestamp)
+        self._detector.on_delivered(message.timestamp, now)
+        record = DeliveryRecord(message=message, alert=alert, local=False)
+        self.stats.delivered += 1
+        if alert:
+            self.stats.alerts += 1
+        self._emit(record)
+        return record
+
+    def _emit(self, record: DeliveryRecord) -> None:
+        if self._callback is not None:
+            self._callback(record)

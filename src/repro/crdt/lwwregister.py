@@ -1,0 +1,67 @@
+"""Last-Writer-Wins register.
+
+A single-value register where the write carrying the highest
+``(logical timestamp, replica id)`` pair wins.  Like the PN-counter it
+converges under any delivery order, but unlike the counter it is
+*semantically* sensitive to ordering: a causal violation can make a stale
+value visible for a while (the register shows ``w1`` after the user
+already saw ``w2`` overwrite it, because ``w2`` was delivered first and
+``w1`` arrived late and lost).  The register therefore counts a
+``stale_applications`` statistic: writes that arrived after a causally
+later write had already been applied — the visible-glitch counterpart of
+the paper's error rate for state that needs no structural repair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.crdt.base import OpBasedCrdt
+
+__all__ = ["LWWRegister"]
+
+WriteStamp = Tuple[int, str]
+WriteOp = Tuple[str, Any, WriteStamp]
+
+
+class LWWRegister(OpBasedCrdt):
+    """Converging register with last-writer-wins conflict resolution."""
+
+    def __init__(self, replica_id: Hashable, initial: Any = None) -> None:
+        super().__init__(replica_id)
+        self._value = initial
+        self._stamp: Optional[WriteStamp] = None
+        self._clock = 0
+        self.stale_applications = 0
+
+    def write(self, value: Any) -> WriteOp:
+        """Write locally; returns the operation to broadcast."""
+        self._clock += 1
+        stamp: WriteStamp = (self._clock, repr(self.replica_id))
+        self._apply(value, stamp)
+        return ("write", value, stamp)
+
+    def apply_remote(self, operation: WriteOp) -> None:
+        _, value, stamp = operation
+        self._clock = max(self._clock, stamp[0])
+        self._apply(value, stamp)
+
+    def _apply(self, value: Any, stamp: WriteStamp) -> None:
+        if self._stamp is None or stamp > self._stamp:
+            self._value = value
+            self._stamp = stamp
+        else:
+            # A write older than the current one arrived late: under
+            # causal delivery we would have seen it before its overwriter.
+            self.stale_applications += 1
+
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def stamp(self) -> Optional[WriteStamp]:
+        """The winning write's ``(clock, replica)`` stamp."""
+        return self._stamp
+
+    def state_signature(self) -> Tuple:
+        return (repr(self._value), self._stamp)

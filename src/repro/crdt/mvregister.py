@@ -1,0 +1,111 @@
+"""Multi-Value Register: keep all concurrent writes, prune dominated ones.
+
+Where the LWW register arbitrates concurrent writes with a timestamp, the
+MV-register exposes them: ``values()`` returns every write not causally
+dominated by another (the Dynamo shopping-cart semantics).  Domination is
+tracked with per-write *version vectors* (one entry per writing replica),
+so this type is both a consumer of causal delivery **and** a live,
+self-contained illustration of why the paper's mechanism exists: every
+write carries a vector that grows with the number of writers, exactly
+the overhead the (R, K) timestamps avoid at the transport layer.
+
+Causal sensitivity: a write ``w2`` that causally follows ``w1`` carries a
+version vector dominating ``w1``'s, so applying them in either order
+converges (the dominated write is pruned on arrival of the dominating
+one).  What a causal-order violation changes is *visibility*: a replica
+that receives ``w2`` before ``w1`` will briefly show ``w2`` and then, on
+``w1``'s late arrival, correctly prune it — no anomaly counter needed,
+but the window where siblings flicker is measurable and tests cover it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.crdt.base import OpBasedCrdt
+
+__all__ = ["MVRegister"]
+
+VersionVector = Tuple[Tuple[str, int], ...]
+WriteOp = Tuple[str, Any, VersionVector, str]
+
+
+def _dominates(left: Dict[str, int], right: Dict[str, int]) -> bool:
+    """True when ``left`` >= ``right`` everywhere and > somewhere."""
+    strictly_greater = False
+    for key, value in right.items():
+        if left.get(key, 0) < value:
+            return False
+    for key, value in left.items():
+        if value > right.get(key, 0):
+            strictly_greater = True
+    return strictly_greater
+
+
+class MVRegister(OpBasedCrdt):
+    """Register exposing all causally concurrent values."""
+
+    def __init__(self, replica_id: Hashable) -> None:
+        super().__init__(replica_id)
+        self._replica_key = repr(replica_id)
+        # Live (not-yet-dominated) writes: version vector -> value.
+        self._siblings: List[Tuple[Dict[str, int], Any]] = []
+        # This replica's knowledge: max version vector observed.
+        self._observed: Dict[str, int] = {}
+
+    def write(self, value: Any) -> WriteOp:
+        """Overwrite everything this replica has observed."""
+        self._observed[self._replica_key] = self._observed.get(self._replica_key, 0) + 1
+        version = dict(self._observed)
+        self._integrate(version, value)
+        frozen: VersionVector = tuple(sorted(version.items()))
+        return ("write", value, frozen, self._replica_key)
+
+    def apply_remote(self, operation: WriteOp) -> None:
+        kind = operation[0]
+        if kind != "write":
+            raise ConfigurationError(f"unknown MV-register operation {kind!r}")
+        _, value, frozen, _ = operation
+        version = dict(frozen)
+        for key, counter in version.items():
+            if counter > self._observed.get(key, 0):
+                self._observed[key] = counter
+        self._integrate(version, value)
+
+    def _integrate(self, version: Dict[str, int], value: Any) -> None:
+        # Drop live siblings dominated by the new write; drop the new
+        # write if a live sibling dominates it (it arrived late).
+        survivors: List[Tuple[Dict[str, int], Any]] = []
+        dominated = False
+        for existing_version, existing_value in self._siblings:
+            if _dominates(version, existing_version):
+                continue  # the newcomer supersedes it
+            if _dominates(existing_version, version) or existing_version == version:
+                dominated = True
+            survivors.append((existing_version, existing_value))
+        if not dominated:
+            survivors.append((version, value))
+        self._siblings = survivors
+
+    def values(self) -> List[Any]:
+        """All causally concurrent values (deterministic order)."""
+        return [value for _, value in sorted(
+            self._siblings, key=lambda pair: sorted(pair[0].items())
+        )]
+
+    def value(self) -> Any:
+        """Alias returning the sibling list (OpBasedCrdt interface)."""
+        return self.values()
+
+    @property
+    def sibling_count(self) -> int:
+        return len(self._siblings)
+
+    def state_signature(self) -> Tuple:
+        return tuple(
+            (tuple(sorted(version.items())), repr(value))
+            for version, value in sorted(
+                self._siblings, key=lambda pair: sorted(pair[0].items())
+            )
+        )

@@ -1,0 +1,121 @@
+"""Observed-Remove Set: causally sensitive add/remove semantics.
+
+The OR-Set (Shapiro et al., the paper's ref [13]) gives add-wins
+semantics: a ``remove(e)`` deletes exactly the add-tags of ``e`` the
+remover had *observed*.  Its correctness argument assumes causal
+delivery: a remove must arrive after the adds it observed.
+
+Under the probabilistic broadcast a remove can overtake one of its
+observed adds.  This implementation detects that as an **anomaly** and
+applies the standard repair: the overtaken tags are remembered as
+*pre-removed tombstones*, so when the late add finally arrives it is
+cancelled instead of resurrecting the element.  With that fallback the
+type still converges; the anomaly counter measures how often the causal
+assumption was violated — the application-level metric the paper's error
+rate translates into.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, Set, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.crdt.base import OpBasedCrdt
+
+__all__ = ["ORSet"]
+
+Tag = Tuple[Hashable, int]
+AddOp = Tuple[str, Any, Tag]
+RemoveOp = Tuple[str, Any, FrozenSet[Tag]]
+
+
+class ORSet(OpBasedCrdt):
+    """Observed-remove set with pre-remove tombstone repair."""
+
+    def __init__(self, replica_id: Hashable) -> None:
+        super().__init__(replica_id)
+        self._live_tags: Dict[Any, Set[Tag]] = {}
+        self._pre_removed: Set[Tag] = set()
+        # Every add-tag ever applied (including ones later removed): a
+        # remove naming a tag absent from this set has overtaken its add —
+        # a genuine causal anomaly.  A tag that is merely no longer *live*
+        # was removed by a concurrent remove, which is legitimate.
+        self._seen_tags: Set[Tag] = set()
+
+    # ------------------------------------------------------------------
+    # local mutators (apply locally, return the op to broadcast)
+    # ------------------------------------------------------------------
+
+    def add(self, element: Any) -> AddOp:
+        """Add ``element`` with a fresh unique tag."""
+        tag = self.fresh_tag()
+        self._apply_add(element, tag)
+        return ("add", element, tag)
+
+    def remove(self, element: Any) -> RemoveOp:
+        """Remove the currently observed tags of ``element``.
+
+        Removing an absent element is legal and yields an empty tag set
+        (a no-op for every replica).
+        """
+        observed = frozenset(self._live_tags.get(element, set()))
+        self._apply_remove(element, observed)
+        return ("remove", element, observed)
+
+    # ------------------------------------------------------------------
+    # remote application
+    # ------------------------------------------------------------------
+
+    def apply_remote(self, operation: Tuple) -> None:
+        kind = operation[0]
+        if kind == "add":
+            _, element, tag = operation
+            self._apply_add(element, tag)
+        elif kind == "remove":
+            _, element, tags = operation
+            missing = set(tags) - self._seen_tags
+            if missing:
+                # The remove observed adds we have never seen: a causal
+                # violation surfaced at the application layer.
+                self.anomalies += 1
+                self._pre_removed.update(missing)
+                self._seen_tags.update(missing)
+            self._apply_remove(element, tags)
+        else:
+            raise ConfigurationError(f"unknown OR-Set operation {kind!r}")
+
+    def _apply_add(self, element: Any, tag: Tag) -> None:
+        self._seen_tags.add(tag)
+        if tag in self._pre_removed:
+            # The remove that observed this add arrived first; honour it.
+            self._pre_removed.discard(tag)
+            return
+        self._live_tags.setdefault(element, set()).add(tag)
+
+    def _apply_remove(self, element: Any, tags: FrozenSet[Tag]) -> None:
+        live = self._live_tags.get(element)
+        if live is None:
+            return
+        live.difference_update(tags)
+        if not live:
+            del self._live_tags[element]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, element: Any) -> bool:
+        return element in self._live_tags
+
+    def value(self) -> Set[Any]:
+        """The visible set of elements."""
+        return set(self._live_tags)
+
+    def state_signature(self) -> Tuple:
+        elements = tuple(
+            (repr(element), tuple(sorted(map(repr, tags))))
+            for element, tags in sorted(
+                self._live_tags.items(), key=lambda item: repr(item[0])
+            )
+        )
+        return (elements, tuple(sorted(map(repr, self._pre_removed))))

@@ -1,0 +1,180 @@
+"""RGA — a replicated growable array (collaborative text editing).
+
+The Replicated Growable Array is the classic sequence CRDT behind
+collaborative editors (the paper's introduction names exactly this
+application class, and its ref [10] is P2P collaborative editing).  Every
+element has a unique id; ``insert_after(parent, value)`` places a new
+element after an existing one, siblings ordered by descending id
+(Lamport-timestamp pairs), and ``delete`` tombstones an element.
+
+Causal delivery is RGA's safety net: an insert can only be integrated if
+its parent is already present, and a delete only if its target is.  When
+the probabilistic broadcast delivers out of causal order, this
+implementation:
+
+* counts an **anomaly**,
+* parks orphan inserts in a waiting room keyed by the missing parent and
+  integrates them the moment the parent arrives (so convergence is
+  preserved),
+* remembers early deletes as pre-tombstones applied when the target
+  arrives.
+
+The number of anomalies and the *time elements spend invisible* are the
+user-facing manifestation of the paper's error rate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.crdt.base import OpBasedCrdt
+
+__all__ = ["RGA", "ROOT"]
+
+ElementId = Tuple[int, Hashable]
+InsertOp = Tuple[str, Optional[ElementId], ElementId, Any]
+DeleteOp = Tuple[str, ElementId]
+
+ROOT: Optional[ElementId] = None
+"""The virtual parent of the first element of the sequence."""
+
+
+class _Node:
+    __slots__ = ("element_id", "value", "deleted", "children")
+
+    def __init__(self, element_id: Optional[ElementId], value: Any) -> None:
+        self.element_id = element_id
+        self.value = value
+        self.deleted = False
+        self.children: List[ElementId] = []  # sorted descending by id
+
+
+class RGA(OpBasedCrdt):
+    """Sequence CRDT with orphan buffering for out-of-causal-order ops."""
+
+    def __init__(self, replica_id: Hashable) -> None:
+        super().__init__(replica_id)
+        self._nodes: Dict[Optional[ElementId], _Node] = {ROOT: _Node(ROOT, None)}
+        self._counter = 0
+        self._orphans: Dict[ElementId, List[InsertOp]] = {}
+        self._pre_tombstones: set = set()
+
+    # ------------------------------------------------------------------
+    # local mutators
+    # ------------------------------------------------------------------
+
+    def insert_after(self, parent: Optional[ElementId], value: Any) -> InsertOp:
+        """Insert ``value`` after ``parent`` (``ROOT`` for the front).
+
+        Returns the operation to broadcast.  Raises
+        :class:`ConfigurationError` when the parent is unknown locally —
+        local callers must reference elements they can see.
+        """
+        if parent not in self._nodes:
+            raise ConfigurationError(f"unknown parent element {parent!r}")
+        self._counter += 1
+        element_id: ElementId = (self._counter, self.replica_id)
+        self._integrate_insert(parent, element_id, value)
+        return ("insert", parent, element_id, value)
+
+    def delete(self, element_id: ElementId) -> DeleteOp:
+        """Tombstone a visible element; returns the operation to broadcast."""
+        node = self._nodes.get(element_id)
+        if node is None or node.deleted:
+            raise ConfigurationError(f"element {element_id!r} is not visible")
+        node.deleted = True
+        return ("delete", element_id)
+
+    # ------------------------------------------------------------------
+    # remote application
+    # ------------------------------------------------------------------
+
+    def apply_remote(self, operation: Tuple) -> None:
+        kind = operation[0]
+        if kind == "insert":
+            _, parent, element_id, value = operation
+            self._counter = max(self._counter, element_id[0])
+            if element_id in self._nodes:
+                return  # duplicate (defensive; protocol already dedups)
+            if parent not in self._nodes:
+                self.anomalies += 1
+                self._orphans.setdefault(parent, []).append(operation)
+                return
+            self._integrate_insert(parent, element_id, value)
+        elif kind == "delete":
+            _, element_id = operation
+            node = self._nodes.get(element_id)
+            if node is None:
+                self.anomalies += 1
+                self._pre_tombstones.add(element_id)
+                return
+            node.deleted = True
+        else:
+            raise ConfigurationError(f"unknown RGA operation {kind!r}")
+
+    def _integrate_insert(
+        self, parent: Optional[ElementId], element_id: ElementId, value: Any
+    ) -> None:
+        node = _Node(element_id, value)
+        if element_id in self._pre_tombstones:
+            self._pre_tombstones.discard(element_id)
+            node.deleted = True
+        self._nodes[element_id] = node
+        siblings = self._nodes[parent].children
+        # Descending id order: later (higher-timestamp) inserts win the
+        # position closest to the parent, the RGA tie-break.
+        position = 0
+        while position < len(siblings) and siblings[position] > element_id:
+            position += 1
+        siblings.insert(position, element_id)
+        # Any orphans that were waiting for this element can now join.
+        for orphan in self._orphans.pop(element_id, []):
+            _, orphan_parent, orphan_id, orphan_value = orphan
+            if orphan_id not in self._nodes:
+                self._integrate_insert(orphan_parent, orphan_id, orphan_value)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def orphan_count(self) -> int:
+        """Inserts currently parked because their parent has not arrived."""
+        return sum(len(ops) for ops in self._orphans.values())
+
+    def value(self) -> List[Any]:
+        """The visible sequence, in document order."""
+        result: List[Any] = []
+        stack = list(reversed(self._nodes[ROOT].children))
+        while stack:
+            element_id = stack.pop()
+            node = self._nodes[element_id]
+            if not node.deleted:
+                result.append(node.value)
+            stack.extend(reversed(node.children))
+        return result
+
+    def visible_ids(self) -> List[ElementId]:
+        """Ids of the visible elements, in document order."""
+        result: List[ElementId] = []
+        stack = list(reversed(self._nodes[ROOT].children))
+        while stack:
+            element_id = stack.pop()
+            node = self._nodes[element_id]
+            if not node.deleted:
+                result.append(element_id)
+            stack.extend(reversed(node.children))
+        return result
+
+    def as_text(self) -> str:
+        """Concatenate a character sequence (editor-style usage)."""
+        return "".join(str(v) for v in self.value())
+
+    def state_signature(self) -> Tuple:
+        ordered = tuple(
+            (element_id, self._nodes[element_id].value)
+            for element_id in self.visible_ids()
+        )
+        waiting = tuple(sorted((repr(p) for p in self._orphans), key=str))
+        return (ordered, waiting, tuple(sorted(map(repr, self._pre_tombstones))))

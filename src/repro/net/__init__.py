@@ -1,0 +1,19 @@
+"""Asyncio deployment layer: run the protocol over real transports.
+
+:mod:`repro.sim` answers "how does the mechanism behave"; this package
+answers "how do I ship it": the same protocol endpoint behind an asyncio
+peer, a binary wire codec, an in-process bus with realistic delays, and
+a UDP transport.
+"""
+
+from repro.net.bus import BusTransport, LocalAsyncBus
+from repro.net.peer import AsyncCausalPeer, Transport
+from repro.net.udp import UdpTransport
+
+__all__ = [
+    "Transport",
+    "AsyncCausalPeer",
+    "LocalAsyncBus",
+    "BusTransport",
+    "UdpTransport",
+]

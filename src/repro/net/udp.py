@@ -1,0 +1,76 @@
+"""UDP transport: real datagrams for the causal broadcast peer.
+
+Binds an asyncio datagram endpoint (loopback by default) and ships
+encoded messages to explicit ``(host, port)`` peer addresses.  UDP is
+fire-and-forget — exactly the unreliable substrate the paper mentions
+when motivating the recent-messages list of Algorithm 5 — so deployments
+pair it with either a gossip layer or anti-entropy for completeness; the
+protocol endpoint's duplicate suppression absorbs retransmissions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.net.peer import Transport
+
+__all__ = ["UdpTransport"]
+
+HostPort = Tuple[str, int]
+
+# Conservative bound: stay under the common 64 KiB UDP datagram ceiling.
+_MAX_DATAGRAM = 60_000
+
+
+class _Protocol(asyncio.DatagramProtocol):
+    def __init__(self) -> None:
+        self.receiver: Optional[Callable[[bytes], None]] = None
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        if self.receiver is not None:
+            self.receiver(data)
+
+
+class UdpTransport(Transport):
+    """A bound UDP socket speaking the library's wire format.
+
+    Use :meth:`create` (async) to construct::
+
+        transport = await UdpTransport.create(port=0)   # ephemeral port
+        print(transport.local_address)
+    """
+
+    def __init__(self, transport: asyncio.DatagramTransport, protocol: _Protocol) -> None:
+        self._transport = transport
+        self._protocol = protocol
+
+    @classmethod
+    async def create(cls, host: str = "127.0.0.1", port: int = 0) -> "UdpTransport":
+        """Bind a datagram endpoint; ``port=0`` picks an ephemeral port."""
+        loop = asyncio.get_running_loop()
+        transport, protocol = await loop.create_datagram_endpoint(
+            _Protocol, local_addr=(host, port)
+        )
+        return cls(transport, protocol)
+
+    @property
+    def local_address(self) -> HostPort:
+        """The bound ``(host, port)``."""
+        sock = self._transport.get_extra_info("sockname")
+        return (sock[0], sock[1])
+
+    async def send(self, destination: HostPort, data: bytes) -> None:
+        if len(data) > _MAX_DATAGRAM:
+            raise ConfigurationError(
+                f"datagram of {len(data)} bytes exceeds the {_MAX_DATAGRAM} B "
+                "UDP bound; shrink R or the payload, or use a stream transport"
+            )
+        self._transport.sendto(data, destination)
+
+    def set_receiver(self, callback: Callable[[bytes], None]) -> None:
+        self._protocol.receiver = callback
+
+    async def close(self) -> None:
+        self._transport.close()

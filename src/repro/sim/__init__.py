@@ -1,0 +1,111 @@
+"""Simulation substrate: the event-based evaluation environment of §5.4.
+
+Provides the discrete-event kernel, network delay models, dissemination
+strategies (direct broadcast and push gossip), workload generators,
+membership/churn models, the ground-truth causality oracle (ε_min/ε_max),
+metric collectors, anti-entropy recovery, and the experiment runner.
+"""
+
+from repro.sim.dissemination import (
+    DirectBroadcast,
+    Dissemination,
+    DisseminationContext,
+    PushGossip,
+)
+from repro.sim.failures import CrashSchedule, PartitionWindow, PartitionedDissemination
+from repro.sim.partialview import PartialViewGossip
+from repro.sim.trace import TraceKind, TraceRecorder, TracingApplication
+from repro.sim.engine import Simulator
+from repro.sim.membership import (
+    ChurnAction,
+    ChurnEvent,
+    ChurnModel,
+    MembershipView,
+    NoChurn,
+    PoissonChurn,
+    ScriptedChurn,
+)
+from repro.sim.metrics import AlertConfusion, MetricSet, StreamingSummary
+from repro.sim.network import (
+    ConstantDelayModel,
+    DelayModel,
+    ExponentialDelayModel,
+    GaussianDelayModel,
+    UniformDelayModel,
+)
+from repro.sim.node import SimNode
+from repro.sim.oracle import (
+    CausalityOracle,
+    ClassifiedDelivery,
+    DeliveryVerdict,
+    OracleCounters,
+)
+from repro.sim.recovery import AntiEntropySession, DeliveryLog, RecoveryStats, diff_logs
+from repro.sim.rng import RandomSource
+from repro.sim.runner import SimulationConfig, SimulationResult, run_simulation
+from repro.sim.workload import (
+    BurstyWorkload,
+    HotspotWorkload,
+    PoissonWorkload,
+    ReplayWorkload,
+    UniformJitterWorkload,
+    Workload,
+)
+
+__all__ = [
+    "Simulator",
+    "RandomSource",
+    # network
+    "DelayModel",
+    "GaussianDelayModel",
+    "ConstantDelayModel",
+    "UniformDelayModel",
+    "ExponentialDelayModel",
+    # dissemination
+    "Dissemination",
+    "DisseminationContext",
+    "DirectBroadcast",
+    "PushGossip",
+    "PartialViewGossip",
+    # fault injection
+    "PartitionWindow",
+    "PartitionedDissemination",
+    "CrashSchedule",
+    # observability
+    "TraceKind",
+    "TraceRecorder",
+    "TracingApplication",
+    # workload
+    "Workload",
+    "PoissonWorkload",
+    "UniformJitterWorkload",
+    "BurstyWorkload",
+    "HotspotWorkload",
+    "ReplayWorkload",
+    # membership
+    "ChurnAction",
+    "ChurnEvent",
+    "ChurnModel",
+    "MembershipView",
+    "NoChurn",
+    "PoissonChurn",
+    "ScriptedChurn",
+    # oracle & metrics
+    "CausalityOracle",
+    "ClassifiedDelivery",
+    "DeliveryVerdict",
+    "OracleCounters",
+    "AlertConfusion",
+    "MetricSet",
+    "StreamingSummary",
+    # recovery
+    "DeliveryLog",
+    "diff_logs",
+    "AntiEntropySession",
+    "RecoveryStats",
+    # runner
+    "SimNode",
+    "SimulationConfig",
+    "SimulationResult",
+    "run_simulation",
+]

@@ -1,0 +1,186 @@
+"""Fault injection: network partitions and crash-stop failures.
+
+The paper assumes a reliable broadcast substrate; real networks fail in
+structured ways.  This module injects the two classic faults into any
+dissemination strategy, so the experiments can ask what the probabilistic
+ordering layer does *around* them:
+
+* :class:`PartitionedDissemination` wraps a strategy and drops every copy
+  that would cross a partition boundary during scheduled split windows.
+  While split, each side keeps ordering its own traffic; at heal time the
+  backlog flows (or, with anti-entropy, is pulled) across — the burst
+  that stresses the covering probability.
+* :class:`CrashSchedule` produces scripted *crash-stop* events: unlike a
+  graceful leave, a crashed node's in-flight messages are still counted
+  (its sends remain causal dependencies for everyone else), which is
+  exactly why the oracle keeps their records alive.
+
+Both compose with every other layer (gossip, churn, recovery, adaptive
+K) because they act strictly below the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.protocol import Message
+from repro.sim.dissemination import Dissemination, DisseminationContext
+from repro.sim.membership import ChurnAction, ChurnEvent, ChurnModel
+from repro.util.rng import RandomSource
+
+__all__ = ["PartitionWindow", "PartitionedDissemination", "CrashSchedule"]
+
+ProcessId = Hashable
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One split: from ``start_ms`` to ``end_ms`` the system is cut into
+    groups; traffic crossing group boundaries is dropped.
+
+    ``group_of`` maps a node id to its group index; nodes mapping to
+    ``None`` are unaffected (they hear everyone).
+    """
+
+    start_ms: float
+    end_ms: float
+    group_of: Callable[[ProcessId], Optional[int]]
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0 or self.end_ms <= self.start_ms:
+            raise ConfigurationError(
+                f"invalid partition window [{self.start_ms}, {self.end_ms})"
+            )
+
+    def active_at(self, now: float) -> bool:
+        return self.start_ms <= now < self.end_ms
+
+    def separates(self, a: ProcessId, b: ProcessId) -> bool:
+        group_a = self.group_of(a)
+        group_b = self.group_of(b)
+        return group_a is not None and group_b is not None and group_a != group_b
+
+    @staticmethod
+    def split_even_odd(start_ms: float, end_ms: float) -> "PartitionWindow":
+        """Convenience: bipartition integer node ids by parity."""
+        return PartitionWindow(
+            start_ms=start_ms,
+            end_ms=end_ms,
+            group_of=lambda node: int(node) % 2 if isinstance(node, int) else None,
+        )
+
+
+class _FilteringContext(DisseminationContext):
+    """Context proxy that drops scheduled copies crossing a partition."""
+
+    def __init__(
+        self,
+        inner: DisseminationContext,
+        sender: ProcessId,
+        windows: Sequence[PartitionWindow],
+        now_fn: Callable[[], float],
+        on_drop: Callable[[], None],
+    ) -> None:
+        self._inner = inner
+        self._sender = sender
+        self._windows = windows
+        self._now_fn = now_fn
+        self._on_drop = on_drop
+
+    def members(self):
+        return self._inner.members()
+
+    @property
+    def rng(self) -> RandomSource:
+        return self._inner.rng
+
+    def schedule_receive(self, node_id, message, delay_ms: float) -> None:
+        now = self._now_fn()
+        for window in self._windows:
+            if window.active_at(now) and window.separates(self._sender, node_id):
+                self._on_drop()
+                return
+        self._inner.schedule_receive(node_id, message, delay_ms)
+
+
+class PartitionedDissemination(Dissemination):
+    """Wrap any dissemination strategy with partition windows.
+
+    The wrapper filters at *transmission* time: a copy sent while a
+    window is active and crossing groups is dropped (the real network
+    would not carry it).  Relay hops are filtered against the relaying
+    node, so gossip routed around a partition behaves correctly: only
+    links that actually cross the cut are severed.
+
+    Args:
+        inner: the real strategy (direct broadcast, gossip, ...).
+        windows: partition windows (may overlap).
+        now_fn: returns the current simulation time; the runner's
+            simulator clock is injected by :func:`attach_clock` (the
+            runner does this automatically when it sees the attribute).
+    """
+
+    def __init__(
+        self, inner: Dissemination, windows: Sequence[PartitionWindow]
+    ) -> None:
+        super().__init__(inner.delay_model)
+        self._inner = inner
+        self._windows = list(windows)
+        self._now_fn: Callable[[], float] = lambda: 0.0
+        self.dropped_by_partition = 0
+
+    def attach_clock(self, now_fn: Callable[[], float]) -> None:
+        """Inject the simulation clock (called by the runner)."""
+        self._now_fn = now_fn
+
+    def _count_drop(self) -> None:
+        self.dropped_by_partition += 1
+
+    def _filtering(self, context: DisseminationContext, origin: ProcessId):
+        return _FilteringContext(
+            context, origin, self._windows, self._now_fn, self._count_drop
+        )
+
+    def disseminate(
+        self, context: DisseminationContext, message: Message, sender_id: ProcessId
+    ) -> int:
+        return self._inner.disseminate(
+            self._filtering(context, sender_id), message, sender_id
+        )
+
+    def on_first_reception(
+        self, context: DisseminationContext, message: Message, node_id: ProcessId
+    ) -> None:
+        self._inner.on_first_reception(
+            self._filtering(context, node_id), message, node_id
+        )
+
+    def forget(self, node_id: ProcessId) -> None:
+        forget = getattr(self._inner, "forget", None)
+        if forget is not None:
+            forget(node_id)
+
+
+class CrashSchedule(ChurnModel):
+    """Scripted crash-stop failures, expressed as leave events.
+
+    A crash is modelled as an abrupt leave at a scheduled time: the node
+    stops sending and receiving immediately.  Unlike
+    :class:`~repro.sim.membership.PoissonChurn`, times are explicit, so a
+    test can crash node X right between two causally related sends and
+    check the system's behaviour around the gap.
+    """
+
+    def __init__(self, crash_times_ms: Sequence[float]) -> None:
+        if any(t < 0 for t in crash_times_ms):
+            raise ConfigurationError("crash times must be >= 0")
+        self._times = sorted(float(t) for t in crash_times_ms)
+
+    def events(self, rng: RandomSource, horizon_ms: float) -> List[ChurnEvent]:
+        return [
+            ChurnEvent(time=t, action=ChurnAction.LEAVE)
+            for t in self._times
+            if t < horizon_ms
+        ]

@@ -1,0 +1,188 @@
+"""Membership and churn models.
+
+The headline motivation of the paper is very large systems *with changing
+membership*: vector clocks break under churn (they need the exact process
+count), whereas the (R, K) scheme lets a node join by drawing a fresh
+``set_id`` locally, with no global coordination.
+
+:class:`MembershipView` tracks who is currently in the group; churn models
+decide *when* joins and leaves happen:
+
+* :class:`NoChurn` — static membership (the paper's measured runs);
+* :class:`PoissonChurn` — joins and leaves as independent Poisson
+  processes, bounded between a minimum and maximum population;
+* :class:`ScriptedChurn` — explicit (time, join/leave) events, for tests
+  and for reproducing targeted scenarios (mass leave, flash crowd).
+
+The runner consumes churn as a sequence of timed events and performs the
+actual node construction/teardown.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError, MembershipError
+from repro.sim.rng import RandomSource
+
+__all__ = [
+    "ChurnAction",
+    "ChurnEvent",
+    "MembershipView",
+    "ChurnModel",
+    "NoChurn",
+    "PoissonChurn",
+    "ScriptedChurn",
+]
+
+ProcessId = Hashable
+
+
+class ChurnAction(enum.Enum):
+    JOIN = "join"
+    LEAVE = "leave"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change: at ``time`` ms, apply ``action``.
+
+    For scripted leaves, ``node_id`` may name the departing node; when
+    ``None`` the runner picks a random current member.  Joins always get a
+    fresh runner-generated identity.
+    """
+
+    time: float
+    action: ChurnAction
+    node_id: Optional[ProcessId] = None
+
+
+class MembershipView:
+    """The set of currently live nodes, with O(1) random sampling support.
+
+    Maintains both a set (membership tests) and a list (uniform sampling)
+    using the swap-remove idiom.
+    """
+
+    def __init__(self, initial: Sequence[ProcessId] = ()) -> None:
+        self._members: List[ProcessId] = []
+        self._index: dict = {}
+        self.joined_total = 0
+        self.left_total = 0
+        for node_id in initial:
+            self.add(node_id)
+
+    def add(self, node_id: ProcessId) -> None:
+        """Register a joining member."""
+        if node_id in self._index:
+            raise MembershipError(f"{node_id!r} is already a member")
+        self._index[node_id] = len(self._members)
+        self._members.append(node_id)
+        self.joined_total += 1
+
+    def remove(self, node_id: ProcessId) -> None:
+        """Remove a departing member (swap-remove, O(1))."""
+        position = self._index.pop(node_id, None)
+        if position is None:
+            raise MembershipError(f"{node_id!r} is not a member")
+        last = self._members.pop()
+        if last != node_id:
+            self._members[position] = last
+            self._index[last] = position
+        self.left_total += 1
+
+    def sample(self, rng: RandomSource) -> ProcessId:
+        """Uniformly pick one current member."""
+        if not self._members:
+            raise MembershipError("membership is empty")
+        return self._members[rng.integer(0, len(self._members))]
+
+    def members(self) -> Tuple[ProcessId, ...]:
+        """Snapshot of the current membership."""
+        return tuple(self._members)
+
+    def __contains__(self, node_id: ProcessId) -> bool:
+        return node_id in self._index
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[ProcessId]:
+        return iter(tuple(self._members))
+
+
+class ChurnModel(ABC):
+    """Produces the timed membership changes of one run."""
+
+    @abstractmethod
+    def events(self, rng: RandomSource, horizon_ms: float) -> List[ChurnEvent]:
+        """All churn events in ``[0, horizon_ms)``, sorted by time."""
+
+
+class NoChurn(ChurnModel):
+    """Static membership."""
+
+    def events(self, rng: RandomSource, horizon_ms: float) -> List[ChurnEvent]:
+        return []
+
+
+class PoissonChurn(ChurnModel):
+    """Joins and leaves as Poisson processes.
+
+    Args:
+        join_interval_ms: mean time between joins (``None`` disables joins).
+        leave_interval_ms: mean time between leaves (``None`` disables).
+        min_population / max_population: leaves are suppressed at the
+            floor, joins at the ceiling (the runner enforces this again at
+            execution time, since scripted populations drift).
+    """
+
+    def __init__(
+        self,
+        join_interval_ms: Optional[float] = None,
+        leave_interval_ms: Optional[float] = None,
+        min_population: int = 2,
+        max_population: Optional[int] = None,
+    ) -> None:
+        for name, value in (("join", join_interval_ms), ("leave", leave_interval_ms)):
+            if value is not None and value <= 0:
+                raise ConfigurationError(f"{name}_interval_ms must be > 0, got {value}")
+        if min_population < 2:
+            raise ConfigurationError(f"min_population must be >= 2, got {min_population}")
+        if max_population is not None and max_population < min_population:
+            raise ConfigurationError("max_population must be >= min_population")
+        self.join_interval_ms = join_interval_ms
+        self.leave_interval_ms = leave_interval_ms
+        self.min_population = min_population
+        self.max_population = max_population
+
+    def events(self, rng: RandomSource, horizon_ms: float) -> List[ChurnEvent]:
+        events: List[ChurnEvent] = []
+        for interval, action in (
+            (self.join_interval_ms, ChurnAction.JOIN),
+            (self.leave_interval_ms, ChurnAction.LEAVE),
+        ):
+            if interval is None:
+                continue
+            time = rng.exponential(interval)
+            while time < horizon_ms:
+                events.append(ChurnEvent(time=time, action=action))
+                time += rng.exponential(interval)
+        events.sort(key=lambda event: event.time)
+        return events
+
+
+class ScriptedChurn(ChurnModel):
+    """Replays an explicit list of churn events."""
+
+    def __init__(self, events: Sequence[ChurnEvent]) -> None:
+        ordered = sorted(events, key=lambda event: event.time)
+        if any(event.time < 0 for event in ordered):
+            raise ConfigurationError("churn events cannot be scheduled before t=0")
+        self._events = list(ordered)
+
+    def events(self, rng: RandomSource, horizon_ms: float) -> List[ChurnEvent]:
+        return [event for event in self._events if event.time < horizon_ms]

@@ -1,0 +1,160 @@
+"""Network delay models (Section 5.4 methodology).
+
+The paper's model has two stages:
+
+1. each *message* draws one base propagation time
+   ``d ~ N(mu, sigma^2)`` (headline values: N(100, 20) ms);
+2. each *receiver* of that message draws its own arrival delay from
+   ``N(d, sigma_m^2)`` (headline skew: 20 ms) — so receptions of the same
+   broadcast cluster around the message's base delay.
+
+:class:`GaussianDelayModel` implements exactly that.  Alternative models
+(constant, uniform, exponential/heavy-tail) are provided to probe the
+mechanism's sensitivity to the delay distribution — the error analysis
+only depends on the *concurrency* ``X``, so the shape of the distribution
+is an interesting ablation axis the paper leaves implicit.
+
+All delays are milliseconds and strictly positive (Gaussian draws are
+truncated just above zero by resampling).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.errors import ConfigurationError
+from repro.sim.rng import RandomSource
+
+__all__ = [
+    "DelayModel",
+    "GaussianDelayModel",
+    "ConstantDelayModel",
+    "UniformDelayModel",
+    "ExponentialDelayModel",
+]
+
+_MIN_DELAY_MS = 1e-6
+
+
+class DelayModel(ABC):
+    """Two-stage delay sampler: per-message base, per-receiver arrival."""
+
+    @abstractmethod
+    def sample_base(self, rng: RandomSource) -> float:
+        """Draw the message's base propagation time ``d`` (ms)."""
+
+    @abstractmethod
+    def sample_arrival(self, rng: RandomSource, base: float) -> float:
+        """Draw one receiver's delay given the message's base ``d`` (ms)."""
+
+    @abstractmethod
+    def mean_delay(self) -> float:
+        """Expected one-way delay (ms), used to estimate the concurrency X
+        and to size detector windows."""
+
+
+class GaussianDelayModel(DelayModel):
+    """The paper's model: ``d ~ N(mean, std²)``, arrivals ``~ N(d, skew_std²)``.
+
+    Defaults are the paper's headline parameters (100, 20, 20).
+    """
+
+    def __init__(self, mean: float = 100.0, std: float = 20.0, skew_std: float = 20.0) -> None:
+        if mean <= 0:
+            raise ConfigurationError(f"mean delay must be > 0, got {mean}")
+        if std < 0 or skew_std < 0:
+            raise ConfigurationError("standard deviations must be >= 0")
+        self._mean = mean
+        self._std = std
+        self._skew_std = skew_std
+
+    def sample_base(self, rng: RandomSource) -> float:
+        return rng.gauss_positive(self._mean, self._std, floor=_MIN_DELAY_MS)
+
+    def sample_arrival(self, rng: RandomSource, base: float) -> float:
+        if self._skew_std == 0:
+            return base
+        return rng.gauss_positive(base, self._skew_std, floor=_MIN_DELAY_MS)
+
+    def mean_delay(self) -> float:
+        return self._mean
+
+
+class ConstantDelayModel(DelayModel):
+    """Every reception takes exactly ``delay`` ms.
+
+    With a constant delay there is no network reordering at all
+    (``P_nc = 0``) so the probabilistic mechanism makes no errors —
+    a useful sanity configuration for tests.
+    """
+
+    def __init__(self, delay: float = 100.0) -> None:
+        if delay <= 0:
+            raise ConfigurationError(f"delay must be > 0, got {delay}")
+        self._delay = delay
+
+    def sample_base(self, rng: RandomSource) -> float:
+        return self._delay
+
+    def sample_arrival(self, rng: RandomSource, base: float) -> float:
+        return base
+
+    def mean_delay(self) -> float:
+        return self._delay
+
+
+class UniformDelayModel(DelayModel):
+    """Base delay uniform in ``[low, high]``; optional uniform receiver skew
+    of half-width ``skew`` around the base."""
+
+    def __init__(self, low: float, high: float, skew: float = 0.0) -> None:
+        if not 0 < low <= high:
+            raise ConfigurationError(f"need 0 < low <= high, got [{low}, {high}]")
+        if skew < 0:
+            raise ConfigurationError(f"skew must be >= 0, got {skew}")
+        self._low = low
+        self._high = high
+        self._skew = skew
+
+    def sample_base(self, rng: RandomSource) -> float:
+        return rng.uniform(self._low, self._high)
+
+    def sample_arrival(self, rng: RandomSource, base: float) -> float:
+        if self._skew == 0:
+            return base
+        return max(_MIN_DELAY_MS, rng.uniform(base - self._skew, base + self._skew))
+
+    def mean_delay(self) -> float:
+        return 0.5 * (self._low + self._high)
+
+
+class ExponentialDelayModel(DelayModel):
+    """Heavy-tailed delays: ``d = offset + Exp(mean_excess)``.
+
+    Models occasional slow paths (queueing); stresses the mechanism with a
+    higher reorder probability than the Gaussian model at equal mean.
+    """
+
+    def __init__(
+        self, mean_excess: float = 50.0, offset: float = 50.0, skew_std: float = 0.0
+    ) -> None:
+        if mean_excess <= 0:
+            raise ConfigurationError(f"mean_excess must be > 0, got {mean_excess}")
+        if offset < 0:
+            raise ConfigurationError(f"offset must be >= 0, got {offset}")
+        if skew_std < 0:
+            raise ConfigurationError(f"skew_std must be >= 0, got {skew_std}")
+        self._mean_excess = mean_excess
+        self._offset = offset
+        self._skew_std = skew_std
+
+    def sample_base(self, rng: RandomSource) -> float:
+        return self._offset + rng.exponential(self._mean_excess)
+
+    def sample_arrival(self, rng: RandomSource, base: float) -> float:
+        if self._skew_std == 0:
+            return base
+        return rng.gauss_positive(base, self._skew_std, floor=_MIN_DELAY_MS)
+
+    def mean_delay(self) -> float:
+        return self._offset + self._mean_excess

@@ -1,0 +1,50 @@
+"""A simulated participant: protocol endpoint plus run-time bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+import numpy as np
+
+from repro.core.keyspace import KeyAssignment
+from repro.core.protocol import CausalBroadcastEndpoint
+
+__all__ = ["SimNode"]
+
+ProcessId = Hashable
+
+
+@dataclass
+class SimNode:
+    """One node of the simulated system.
+
+    Attributes:
+        node_id: its identity (stable across the run).
+        slot: dense index assigned by the oracle (and, for the exact
+            vector-clock baseline, the node's own clock entry).
+        endpoint: the causal-broadcast protocol machine under test.
+        assignment: the node's key set (``f(p_i)``), if the configured
+            clock uses assigned keys.
+        joined_at / left_at: membership interval in simulation time (ms);
+            ``left_at`` is None while the node is alive.
+    """
+
+    node_id: ProcessId
+    slot: int
+    endpoint: CausalBroadcastEndpoint
+    assignment: Optional[KeyAssignment] = None
+    joined_at: float = 0.0
+    left_at: Optional[float] = None
+    bootstrap_sends: Optional[np.ndarray] = None
+    """For late joiners: per-slot send counts at join time — the history
+    the state transfer already covered (never to be replayed)."""
+
+    @property
+    def alive(self) -> bool:
+        """Whether the node is still a member."""
+        return self.left_at is None
+
+    def leave(self, now: float) -> None:
+        """Mark the node as departed at time ``now``."""
+        self.left_at = now

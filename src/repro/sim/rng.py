@@ -1,0 +1,10 @@
+"""Re-export of :class:`repro.util.rng.RandomSource`.
+
+The implementation lives in :mod:`repro.util.rng` so that core modules can
+use it without importing the whole simulation package; this alias keeps
+the natural ``repro.sim.rng`` spelling working for simulator code.
+"""
+
+from repro.util.rng import RandomSource
+
+__all__ = ["RandomSource"]

@@ -1,0 +1,787 @@
+"""Experiment runner: builds a system, drives it, measures it.
+
+This module reproduces the methodology of Section 5.4: ``N`` nodes each
+broadcasting with Poisson inter-send times (mean λ ms), a network whose
+per-message propagation time is ``N(100, 20)`` ms with per-receiver skew
+``N(d, 20)`` ms, the probabilistic causal ordering mechanism under test at
+every node, and a vector-clock oracle classifying every delivery into
+correct / proven-violation / ambiguous (the ε_min and ε_max bounds).
+
+Entry point::
+
+    from repro.sim import SimulationConfig, run_simulation
+    result = run_simulation(SimulationConfig(n_nodes=100, r=100, k=4,
+                                             duration_ms=60_000, seed=7))
+    print(result.counters.eps_min, result.counters.eps_max)
+
+Everything is pluggable: workload, delay model, dissemination strategy,
+clock family member, key assigner, detector, churn model.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.clocks import (
+    EntryVectorClock,
+    LamportCausalClock,
+    PlausibleCausalClock,
+    ProbabilisticCausalClock,
+    VectorCausalClock,
+)
+from repro.core.detector import (
+    BasicAlertDetector,
+    DeliveryErrorDetector,
+    NullDetector,
+    RefinedAlertDetector,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.keyspace import (
+    BalancedLoadKeyAssigner,
+    HashKeyAssigner,
+    KeyAssigner,
+    PerfectKeyAssigner,
+    RandomKeyAssigner,
+    SequentialKeyAssigner,
+)
+from repro.core.combinatorics import num_key_sets, unrank_lex
+from repro.core.protocol import CausalBroadcastEndpoint, Message
+from repro.core.theory import optimal_k_int, p_error
+from repro.sim.dissemination import DirectBroadcast, Dissemination, DisseminationContext
+from repro.sim.engine import Simulator
+from repro.sim.membership import (
+    ChurnAction,
+    ChurnModel,
+    MembershipView,
+    NoChurn,
+    PoissonChurn,
+)
+from repro.sim.metrics import AlertConfusion, MetricSet
+from repro.sim.network import DelayModel, GaussianDelayModel
+from repro.sim.node import SimNode
+from repro.sim.oracle import CausalityOracle, OracleCounters
+from repro.sim.recovery import DeliveryLog, RecoveryStats, diff_logs
+from repro.sim.rng import RandomSource
+from repro.sim.workload import PoissonWorkload, Workload
+
+__all__ = ["NodeApplication", "SimulationConfig", "SimulationResult", "run_simulation"]
+
+
+class NodeApplication:
+    """Optional per-node application layer driven by the runner.
+
+    Subclass and pass a factory via
+    :attr:`SimulationConfig.application_factory` to run real payloads
+    (e.g. CRDT operations) through a simulated system.  The default
+    implementations make the application a no-op.
+    """
+
+    def make_payload(self, node_id: int, now: float) -> object:
+        """Produce the payload of one outgoing broadcast.
+
+        Called right before the protocol send, so this is also the hook
+        where an op-based application applies its operation locally.
+        """
+        return None
+
+    def on_deliver(self, node_id: int, record, verdict, now: float) -> None:
+        """Observe one remote delivery at ``node_id``.
+
+        ``record`` is the protocol's :class:`~repro.core.protocol.DeliveryRecord`
+        (payload, alert flag); ``verdict`` is the oracle's
+        :class:`~repro.sim.oracle.DeliveryVerdict` — simulation-only ground
+        truth a real deployment would not have, provided so experiments can
+        correlate application anomalies with proven violations.
+        """
+
+    def on_leave(self, node_id: int, now: float) -> None:
+        """Observe this node leaving the system."""
+
+CLOCK_MODES = ("probabilistic", "plausible", "lamport", "vector")
+ASSIGNER_MODES = (
+    "random",
+    "random-colliding",
+    "perfect",
+    "balanced-load",
+    "sequential",
+    "hash",
+)
+DETECTOR_MODES = ("none", "basic", "refined")
+
+
+@dataclass
+class SimulationConfig:
+    """Parameters of one simulated run.
+
+    The defaults follow the paper's Section 5.4.3 reference configuration,
+    scaled only in population and duration (the paper uses N=1000 and
+    >10⁸ messages; see DESIGN.md for the substitution note).
+
+    Attributes:
+        n_nodes: initial population ``N``.
+        r: vector size ``R`` (ignored for ``lamport`` and ``vector`` clocks).
+        k: entries per process ``K`` (ignored unless ``probabilistic``).
+        clock: which member of the (n, r, k) family every node runs —
+            ``probabilistic`` (the paper), ``plausible`` (K=1 baseline),
+            ``lamport`` (R=1 baseline), or ``vector`` (exact baseline).
+        key_assigner: how key sets are distributed — ``random`` (the
+            paper's distributed scheme, distinct set_ids), ``random-colliding``
+            (no distinctness guarantee), ``perfect``, ``sequential``, ``hash``.
+        workload: per-node send process; default Poisson with λ=5000 ms.
+        delay_model: network delays; default the paper's N(100,20)+N(d,20).
+        dissemination: message spreading; default reliable direct broadcast.
+        detector: pre-delivery alert check (Algorithms 4/5):
+            ``none`` | ``basic`` | ``refined``.
+        detector_window_ms: recent-list retention for the refined detector;
+            default 4x the mean network delay (≈ the paper's
+            ``O(T_propagation)`` guidance).
+        detector_max_entries: hard cap on the recent list.
+        duration_ms: sending horizon; reception drains afterwards.
+        max_messages: optional global cap on broadcasts (whichever of the
+            horizon and the cap hits first ends sending).
+        churn: membership dynamics; default static.
+        seed: master seed; every random stream derives from it.
+        track_latency: collect the send→deliver latency summary.
+        max_pending: optional safety bound on any pending queue.
+        application_factory: optional ``callable(node_id) -> NodeApplication``
+            giving every node an application layer (payload production and
+            delivery observation) — how the CRDT experiments and examples
+            ride on the simulator.
+        track_reception_order: also measure the *network's* reordering
+            rate P_nc (fraction of receptions arriving out of causal
+            order) — the system property the paper's bound
+            ``P <= P_nc * P_err`` multiplies by.  Adds one oracle check
+            per reception.
+        recovery: the out-of-band anti-entropy procedure Section 4.2
+            assumes — ``none`` (default), ``alert`` (run a session with a
+            random peer ``recovery_delay_ms`` after an Algorithm 4/5
+            alert fires, the paper's intended trigger), or ``periodic``
+            (every node syncs every ``recovery_period_ms``; also repairs
+            message loss, which raises no alert because the dependent
+            messages simply stay pending).
+        recovery_delay_ms / recovery_period_ms: trigger timing.
+        recovery_log_size: per-node delivered-message window exchanged by
+            anti-entropy sessions.
+        adaptive_k_interval_ms: enable *adaptive K* (an extension beyond
+            the paper): every node periodically re-estimates the
+            concurrency X from its own delivery rate and, when the
+            integer optimum K = argmin P_err(R, K, X) moved, re-draws a
+            key set of the new size.  Possible because timestamps carry
+            the sender's keys, so nobody else needs to learn about the
+            switch.  ``None`` (default) disables adaptation.
+    """
+
+    n_nodes: int
+    r: int = 100
+    k: int = 4
+    clock: str = "probabilistic"
+    key_assigner: str = "random"
+    workload: Optional[Workload] = None
+    delay_model: Optional[DelayModel] = None
+    dissemination: Optional[Dissemination] = None
+    detector: str = "basic"
+    detector_window_ms: Optional[float] = None
+    detector_max_entries: int = 256
+    duration_ms: float = 60_000.0
+    max_messages: Optional[int] = None
+    churn: Optional[ChurnModel] = None
+    seed: int = 0
+    track_latency: bool = True
+    max_pending: Optional[int] = None
+    application_factory: Optional[object] = None
+    track_reception_order: bool = False
+    recovery: str = "none"
+    recovery_delay_ms: float = 50.0
+    recovery_period_ms: float = 2_000.0
+    recovery_log_size: int = 4096
+    adaptive_k_interval_ms: Optional[float] = None
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent parameters."""
+        if self.n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.clock not in CLOCK_MODES:
+            raise ConfigurationError(f"clock must be one of {CLOCK_MODES}, got {self.clock!r}")
+        if self.key_assigner not in ASSIGNER_MODES:
+            raise ConfigurationError(
+                f"key_assigner must be one of {ASSIGNER_MODES}, got {self.key_assigner!r}"
+            )
+        if self.detector not in DETECTOR_MODES:
+            raise ConfigurationError(
+                f"detector must be one of {DETECTOR_MODES}, got {self.detector!r}"
+            )
+        if self.clock == "probabilistic" and not 1 <= self.k <= self.r:
+            raise ConfigurationError(f"need 1 <= K <= R, got K={self.k}, R={self.r}")
+        if self.clock in ("probabilistic", "plausible") and self.r < 1:
+            raise ConfigurationError(f"R must be >= 1, got {self.r}")
+        if self.duration_ms <= 0:
+            raise ConfigurationError(f"duration_ms must be > 0, got {self.duration_ms}")
+        if self.max_messages is not None and self.max_messages < 0:
+            raise ConfigurationError(f"max_messages must be >= 0, got {self.max_messages}")
+        if self.recovery not in ("none", "alert", "periodic"):
+            raise ConfigurationError(
+                f"recovery must be none|alert|periodic, got {self.recovery!r}"
+            )
+        if self.recovery_delay_ms < 0 or self.recovery_period_ms <= 0:
+            raise ConfigurationError("recovery timings must be positive")
+        if self.recovery_log_size <= 0:
+            raise ConfigurationError("recovery_log_size must be positive")
+        if self.adaptive_k_interval_ms is not None:
+            if self.adaptive_k_interval_ms <= 0:
+                raise ConfigurationError("adaptive_k_interval_ms must be > 0")
+            if self.clock != "probabilistic":
+                raise ConfigurationError(
+                    "adaptive K only applies to the probabilistic clock"
+                )
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run measured."""
+
+    config: SimulationConfig
+    counters: OracleCounters
+    alerts: AlertConfusion
+    latency: Dict[str, float]
+    pending: Dict[str, float]
+    sent: int
+    delivered_remote: int
+    duplicates: int
+    undelivered_messages: int
+    stuck_pending: int
+    sim_time_ms: float
+    events: int
+    wall_seconds: float
+    joins: int
+    leaves: int
+    mean_membership: float
+    measured_concurrency: float
+    measured_p_nc: Optional[float]
+    """Out-of-causal-order reception rate (None unless
+    ``track_reception_order`` was enabled)."""
+
+    recovery_sessions: int = 0
+    """Anti-entropy sessions executed (0 when recovery is 'none')."""
+
+    recovery_repaired: int = 0
+    """Messages applied out-of-band by anti-entropy."""
+
+    adaptive_rekeys: int = 0
+    """Key-set re-draws performed by the adaptive-K controller."""
+
+    final_k_values: Tuple[int, ...] = ()
+    """Distribution of K across live nodes at the end of the run."""
+
+    @property
+    def eps_min(self) -> float:
+        """Lower bound on the causal-violation rate (proven violations)."""
+        return self.counters.eps_min
+
+    @property
+    def eps_max(self) -> float:
+        """Upper bound on the causal-violation rate (ambiguous included)."""
+        return self.counters.eps_max
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        return (
+            f"{self.config.clock} clock (R={self.config.r}, K={self.config.k}), "
+            f"N={self.config.n_nodes}: sent={self.sent}, "
+            f"delivered={self.delivered_remote}, "
+            f"eps_min={self.eps_min:.3e}, eps_max={self.eps_max:.3e}, "
+            f"alert_rate={self.alerts.alert_rate:.3e}, "
+            f"mean latency={self.latency.get('mean', 0.0):.1f} ms, "
+            f"X={self.measured_concurrency:.1f}"
+        )
+
+
+class _Run(DisseminationContext):
+    """Mutable state of one simulation execution."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        config.validate()
+        self._config = config
+        self._sim = Simulator()
+        self._rng_root = RandomSource(seed=config.seed)
+        self._rng_network = self._rng_root.spawn("network")
+        self._rng_workload = self._rng_root.spawn("workload")
+        self._rng_keys = self._rng_root.spawn("keys")
+        self._rng_churn = self._rng_root.spawn("churn")
+
+        self._workload = config.workload if config.workload is not None else PoissonWorkload(5000.0)
+        self._delay_model = (
+            config.delay_model if config.delay_model is not None else GaussianDelayModel()
+        )
+        self._dissemination = (
+            config.dissemination
+            if config.dissemination is not None
+            else DirectBroadcast(self._delay_model)
+        )
+        attach_clock = getattr(self._dissemination, "attach_clock", None)
+        if attach_clock is not None:
+            # Fault-injection wrappers need the simulation clock.
+            attach_clock(lambda: self._sim.now)
+
+        churn = config.churn if config.churn is not None else NoChurn()
+        self._churn_events = churn.events(self._rng_churn, config.duration_ms)
+        self._min_population = getattr(churn, "min_population", 2)
+        joins = sum(1 for event in self._churn_events if event.action is ChurnAction.JOIN)
+        self._capacity = config.n_nodes + joins
+
+        self._oracle = CausalityOracle(
+            capacity=self._capacity, track_receptions=config.track_reception_order
+        )
+        self._membership = MembershipView()
+        self._nodes: Dict[int, SimNode] = {}
+        self._metrics = MetricSet()
+        self._assigner = self._make_assigner()
+        self._effective_r = self._effective_vector_size()
+        self._global_key_sum = np.zeros(self._effective_r, dtype=np.int64)
+        self._global_true_sends = np.zeros(self._capacity, dtype=np.int64)
+        self._applications: Dict[int, NodeApplication] = {}
+        self._delivery_logs: Dict[int, DeliveryLog] = {}
+        self._recovery_stats = RecoveryStats()
+        self._recovery_pending: set = set()
+        self._rng_recovery = self._rng_root.spawn("recovery")
+        self._rng_adaptive = self._rng_root.spawn("adaptive")
+        self._adaptive_last_delivered: Dict[int, int] = {}
+        self._adaptive_rekeys = 0
+        self._sent = 0
+        self._next_node_id = 0
+        self._members_cache: Tuple[int, ...] = ()
+        self._members_dirty = True
+        # Time-weighted membership integral for the mean population.
+        self._pop_integral = 0.0
+        self._pop_last_change = 0.0
+
+    # ------------------------------------------------------------------
+    # DisseminationContext interface
+    # ------------------------------------------------------------------
+
+    @property
+    def rng(self) -> RandomSource:
+        return self._rng_network
+
+    def members(self) -> Tuple[int, ...]:
+        if self._members_dirty:
+            self._members_cache = self._membership.members()
+            self._members_dirty = False
+        return self._members_cache
+
+    def schedule_receive(self, node_id: int, message: Message, delay_ms: float) -> None:
+        self._sim.schedule(delay_ms, self._handle_receive, (node_id, message))
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _effective_vector_size(self) -> int:
+        mode = self._config.clock
+        if mode == "lamport":
+            return 1
+        if mode == "vector":
+            return self._capacity
+        return self._config.r
+
+    def _make_assigner(self) -> Optional[KeyAssigner]:
+        mode = self._config.clock
+        if mode in ("lamport", "vector"):
+            return None
+        k = self._config.k if mode == "probabilistic" else 1
+        name = self._config.key_assigner
+        if name == "random":
+            return RandomKeyAssigner(self._config.r, k, rng=self._rng_keys)
+        if name == "random-colliding":
+            return RandomKeyAssigner(
+                self._config.r, k, rng=self._rng_keys, avoid_collisions=False
+            )
+        if name == "perfect":
+            return PerfectKeyAssigner(self._config.r, k)
+        if name == "balanced-load":
+            return BalancedLoadKeyAssigner(self._config.r, k)
+        if name == "sequential":
+            return SequentialKeyAssigner(self._config.r, k)
+        if name == "hash":
+            return HashKeyAssigner(self._config.r, k)
+        raise ConfigurationError(f"unknown key assigner {name!r}")
+
+    def _make_detector(self) -> DeliveryErrorDetector:
+        mode = self._config.detector
+        if mode == "none":
+            return NullDetector()
+        if mode == "basic":
+            return BasicAlertDetector()
+        window = self._config.detector_window_ms
+        if window is None:
+            window = 4.0 * self._delay_model.mean_delay()
+        return RefinedAlertDetector(
+            window=window, max_entries=self._config.detector_max_entries
+        )
+
+    def _make_clock(self, slot: int) -> Tuple[EntryVectorClock, Optional[object]]:
+        mode = self._config.clock
+        if mode == "lamport":
+            return LamportCausalClock(), None
+        if mode == "vector":
+            return VectorCausalClock(self._capacity, slot), None
+        assignment = self._assigner.assign(slot)
+        if mode == "plausible":
+            return PlausibleCausalClock(self._config.r, assignment.keys[0]), assignment
+        return ProbabilisticCausalClock(self._config.r, assignment.keys), assignment
+
+    def _spawn_node(self, now: float, bootstrap: bool) -> SimNode:
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        slot = self._oracle.register_node(
+            node_id,
+            initial_knowledge=self._global_true_sends.copy() if bootstrap else None,
+        )
+        clock, assignment = self._make_clock(slot)
+        if bootstrap:
+            clock.initialize_from(self._global_key_sum)
+        endpoint = CausalBroadcastEndpoint(
+            process_id=node_id,
+            clock=clock,
+            detector=self._make_detector(),
+            max_pending=self._config.max_pending,
+        )
+        node = SimNode(
+            node_id=node_id,
+            slot=slot,
+            endpoint=endpoint,
+            assignment=assignment,
+            joined_at=now,
+            bootstrap_sends=self._global_true_sends.copy() if bootstrap else None,
+        )
+        self._nodes[node_id] = node
+        if self._config.recovery != "none":
+            self._delivery_logs[node_id] = DeliveryLog(
+                max_entries=self._config.recovery_log_size
+            )
+            if self._config.recovery == "periodic":
+                self._sim.schedule(
+                    self._rng_recovery.uniform(0, self._config.recovery_period_ms),
+                    self._handle_periodic_recovery,
+                    node_id,
+                )
+        if self._config.adaptive_k_interval_ms is not None:
+            self._sim.schedule(
+                self._rng_adaptive.uniform(
+                    0.5 * self._config.adaptive_k_interval_ms,
+                    1.5 * self._config.adaptive_k_interval_ms,
+                ),
+                self._handle_adaptive_k,
+                node_id,
+            )
+        factory = self._config.application_factory
+        if factory is not None:
+            self._applications[node_id] = factory(node_id)
+        self._track_population()
+        self._membership.add(node_id)
+        self._members_dirty = True
+        return node
+
+    def _track_population(self) -> None:
+        now = self._sim.now
+        self._pop_integral += len(self._membership) * (now - self._pop_last_change)
+        self._pop_last_change = now
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+
+    def _schedule_next_send(self, node_id: int) -> None:
+        interval = self._workload.next_interval(self._rng_workload, node_id)
+        if interval == float("inf"):
+            return
+        next_time = self._sim.now + interval
+        if next_time > self._config.duration_ms:
+            return
+        self._sim.schedule_at(next_time, self._handle_send, node_id)
+
+    def _handle_send(self, node_id: int) -> None:
+        node = self._nodes.get(node_id)
+        if node is None or not node.alive:
+            return
+        budget = self._config.max_messages
+        if budget is not None and self._sent >= budget:
+            return
+        application = self._applications.get(node_id)
+        payload = (
+            application.make_payload(node_id, self._sim.now)
+            if application is not None
+            else None
+        )
+        message = node.endpoint.broadcast(payload=payload, now=self._sim.now)
+        self._sent += 1
+        log = self._delivery_logs.get(node_id)
+        if log is not None:
+            log.record(message)
+        self._global_key_sum[message.timestamp.sender_keys_array] += 1
+        self._global_true_sends[node.slot] += 1
+        fanout = self._dissemination.disseminate(self, message, node_id)
+        if self._config.recovery != "none":
+            # Anti-entropy eventually reaches every member, so the
+            # delivery budget is the full remote membership even when the
+            # dissemination layer loses copies.
+            fanout = max(fanout, len(self.members()) - 1)
+        self._oracle.on_send(node_id, message.message_id, self._sim.now, fanout)
+        self._schedule_next_send(node_id)
+
+    def _handle_receive(self, event: Tuple[int, Message]) -> None:
+        node_id, message = event
+        node = self._nodes.get(node_id)
+        if node is None or not node.alive:
+            # Exactly-once budget accounting for departed receivers: only
+            # the first copy counts, and only if the node was a member
+            # when the message was sent (stale gossip views route copies
+            # to nodes that left earlier — those were never budgeted).
+            if node is not None and node.endpoint.mark_seen(message.message_id):
+                send_time = self._oracle.send_time_of(message.message_id)
+                if (
+                    send_time is not None
+                    and node.joined_at <= send_time
+                    and (node.left_at is None or send_time < node.left_at)
+                ):
+                    self._oracle.adjust_fanout(message.message_id, -1)
+            return
+        endpoint = node.endpoint
+        if node.bootstrap_sends is not None and not endpoint.has_seen(
+            message.message_id
+        ):
+            # A late joiner's state transfer already covers messages sent
+            # before its join; copies routed here by stale views or
+            # recovery must not be re-applied (they were never budgeted
+            # for this node and would double-count clock increments).
+            sender_slot = self._nodes[message.sender].slot
+            if message.seq <= int(node.bootstrap_sends[sender_slot]):
+                endpoint.mark_seen(message.message_id)
+                return
+        first_copy = not endpoint.has_seen(message.message_id)
+        if first_copy and self._config.track_reception_order:
+            self._oracle.observe_reception(node_id, message.message_id)
+        records = endpoint.on_receive(message, self._sim.now)
+        if first_copy:
+            self._dissemination.on_first_reception(self, message, node_id)
+        now = self._sim.now
+        application = self._applications.get(node_id)
+        log = self._delivery_logs.get(node_id)
+        alert_fired = False
+        for record in records:
+            classified = self._oracle.classify_delivery(
+                node_id, record.message.message_id, now
+            )
+            self._metrics.alerts.observe(record.alert, classified.verdict)
+            alert_fired = alert_fired or record.alert
+            if log is not None:
+                log.record(record.message)
+            if self._config.track_latency:
+                self._metrics.latency.observe(classified.latency_ms)
+            if application is not None:
+                application.on_deliver(node_id, record, classified.verdict, now)
+        if (
+            alert_fired
+            and self._config.recovery == "alert"
+            and node_id not in self._recovery_pending
+        ):
+            # The paper's loop: an alert marks a possible violation, so
+            # schedule the costly procedure — once per outstanding alert.
+            self._recovery_pending.add(node_id)
+            self._sim.schedule(
+                self._config.recovery_delay_ms, self._handle_recovery, node_id
+            )
+        self._metrics.pending.observe(endpoint.pending_count)
+
+    def _handle_adaptive_k(self, node_id: int) -> None:
+        """Periodic re-dimensioning: re-estimate X, re-draw keys if the
+        optimal K moved.  Uncoordinated by design — exactly like the
+        initial random draw of Section 4.1.3."""
+        node = self._nodes.get(node_id)
+        if node is None or not node.alive:
+            return
+        interval = self._config.adaptive_k_interval_ms
+        delivered = node.endpoint.stats.delivered
+        window = delivered - self._adaptive_last_delivered.get(node_id, 0)
+        self._adaptive_last_delivered[node_id] = delivered
+        receive_rate = window / (interval / 1000.0)
+        x_estimate = receive_rate * self._delay_model.mean_delay() / 1000.0
+        if x_estimate > 0.1:
+            r = self._config.r
+            current_k = node.endpoint.clock.k
+            k_optimal = optimal_k_int(r, x_estimate, k_max=min(r, 16))
+            # Hysteresis: only pay a re-draw when it buys a material
+            # reduction of the covering probability; P_err is nearly flat
+            # around its optimum, so adjacent-K flapping is pure churn.
+            if k_optimal != current_k and p_error(r, k_optimal, x_estimate) < (
+                0.8 * p_error(r, current_k, x_estimate)
+            ):
+                set_id = self._rng_adaptive.integer(0, num_key_sets(r, k_optimal))
+                node.endpoint.clock.rekey(unrank_lex(set_id, r, k_optimal))
+                self._adaptive_rekeys += 1
+        if self._sim.now + interval <= self._config.duration_ms:
+            self._sim.schedule(interval, self._handle_adaptive_k, node_id)
+
+    def _handle_periodic_recovery(self, node_id: int) -> None:
+        node = self._nodes.get(node_id)
+        if node is None or not node.alive:
+            return
+        self._run_recovery_session(node_id)
+        # Keep syncing a few periods into the drain so losses from the
+        # final sending window are repaired too.
+        horizon = self._config.duration_ms + 4 * self._config.recovery_period_ms
+        if self._sim.now + self._config.recovery_period_ms <= horizon:
+            self._sim.schedule(
+                self._config.recovery_period_ms,
+                self._handle_periodic_recovery,
+                node_id,
+            )
+
+    def _handle_recovery(self, node_id: int) -> None:
+        self._recovery_pending.discard(node_id)
+        node = self._nodes.get(node_id)
+        if node is None or not node.alive:
+            return
+        self._run_recovery_session(node_id)
+
+    def _run_recovery_session(self, node_id: int) -> None:
+        """One anti-entropy exchange with a random live peer.
+
+        Messages the peer has delivered but this node never received are
+        fed through the normal reception path, so the delivery condition,
+        oracle accounting, and application callbacks all apply; the
+        protocol's duplicate filter absorbs the overlap when the original
+        copy arrives later.
+        """
+        if len(self._membership) < 2:
+            return
+        peer_id = node_id
+        while peer_id == node_id:
+            peer_id = self._membership.sample(self._rng_recovery)
+        own_log = self._delivery_logs.get(node_id)
+        peer_log = self._delivery_logs.get(peer_id)
+        if own_log is None or peer_log is None:
+            return
+        missing_here, _ = diff_logs(own_log, peer_log)
+        node = self._nodes[node_id]
+        endpoint = node.endpoint
+        repaired = 0
+        for message in missing_here:
+            if endpoint.has_seen(message.message_id):
+                continue
+            if node.bootstrap_sends is not None:
+                # Messages sent before this node joined are already part
+                # of its state transfer: replaying them would double-count
+                # their clock increments (and their oracle records may be
+                # gone).
+                sender_slot = self._nodes[message.sender].slot
+                if message.seq <= int(node.bootstrap_sends[sender_slot]):
+                    continue
+            repaired += 1
+            self._handle_receive((node_id, message))
+        self._recovery_stats.add(repaired)
+
+    def _handle_churn(self, action: ChurnAction) -> None:
+        if action is ChurnAction.JOIN:
+            node = self._spawn_node(self._sim.now, bootstrap=True)
+            self._schedule_next_send(node.node_id)
+            return
+        if len(self._membership) <= self._min_population:
+            return
+        node_id = self._membership.sample(self._rng_churn)
+        node = self._nodes[node_id]
+        self._track_population()
+        self._membership.remove(node_id)
+        self._members_dirty = True
+        node.leave(self._sim.now)
+        forget = getattr(self._dissemination, "forget", None)
+        if forget is not None:
+            # Partial-view transports drop the departed node's own view;
+            # its id ages out of other views through piggyback turnover.
+            forget(node_id)
+        application = self._applications.get(node_id)
+        if application is not None:
+            application.on_leave(node_id, self._sim.now)
+        if self._assigner is not None and node.assignment is not None:
+            self._assigner.release(node.slot)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def execute(self) -> SimulationResult:
+        """Build the system, run to drain, and measure."""
+        started = _time.perf_counter()
+        for _ in range(self._config.n_nodes):
+            self._spawn_node(0.0, bootstrap=False)
+        for node_id in list(self._nodes):
+            self._schedule_next_send(node_id)
+        for event in self._churn_events:
+            self._sim.schedule_at(event.time, self._handle_churn, event.action)
+        self._sim.run()
+        self._track_population()
+        wall = _time.perf_counter() - started
+        return self._build_result(wall)
+
+    def _build_result(self, wall_seconds: float) -> SimulationResult:
+        delivered_remote = self._oracle.totals.deliveries
+        duplicates = sum(node.endpoint.stats.duplicates for node in self._nodes.values())
+        stuck = sum(
+            node.endpoint.pending_count for node in self._nodes.values() if node.alive
+        )
+        sim_time = self._sim.now
+        mean_membership = self._pop_integral / sim_time if sim_time > 0 else float(
+            len(self._membership)
+        )
+        # Rate over the sending horizon: deliveries trail into the drain
+        # tail, but steady-state traffic is defined by the horizon.
+        window_ms = min(sim_time, self._config.duration_ms)
+        receive_rate = (
+            delivered_remote / (window_ms / 1000.0) / mean_membership
+            if window_ms > 0 and mean_membership > 0
+            else 0.0
+        )
+        concurrency = receive_rate * self._delay_model.mean_delay() / 1000.0
+        return SimulationResult(
+            config=self._config,
+            counters=self._oracle.totals,
+            alerts=self._metrics.alerts,
+            latency=self._metrics.latency.as_dict(),
+            pending=self._metrics.pending.as_dict(),
+            sent=self._sent,
+            delivered_remote=delivered_remote,
+            duplicates=duplicates,
+            undelivered_messages=self._oracle.outstanding_messages,
+            stuck_pending=stuck,
+            sim_time_ms=sim_time,
+            events=self._sim.processed_events,
+            wall_seconds=wall_seconds,
+            joins=self._membership.joined_total - self._config.n_nodes,
+            leaves=self._membership.left_total,
+            mean_membership=mean_membership,
+            measured_concurrency=concurrency,
+            measured_p_nc=(
+                self._oracle.p_nc_measured
+                if self._config.track_reception_order
+                else None
+            ),
+            recovery_sessions=self._recovery_stats.sessions,
+            recovery_repaired=self._recovery_stats.messages_repaired,
+            adaptive_rekeys=self._adaptive_rekeys,
+            final_k_values=tuple(
+                node.endpoint.clock.k
+                for node in self._nodes.values()
+                if node.alive
+            ),
+        )
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Run one simulated experiment and return its measurements.
+
+    Deterministic: the same config (seed included) replays the same run.
+    """
+    return _Run(config).execute()

@@ -1,0 +1,182 @@
+"""Structured event tracing for simulations.
+
+Debugging a distributed ordering protocol needs the event timeline: who
+sent what when, where it was queued, when it finally delivered, which
+deliveries the oracle flagged.  :class:`TraceRecorder` collects typed
+:class:`TraceEvent` records with O(1) appends, bounded memory (ring
+buffer), and query helpers; :class:`TracingApplication` plugs it into the
+runner as a :class:`~repro.sim.runner.NodeApplication`, so any experiment
+can be traced without touching the runner.
+
+Traces are data, not text: render with :meth:`TraceRecorder.format` when
+a human needs to read them, filter with :meth:`TraceRecorder.select` when
+a test needs to assert on them.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["TraceKind", "TraceEvent", "TraceRecorder", "TracingApplication"]
+
+# Sentinel for "any node" in queries (None is a legal node id).
+_ANY_NODE = object()
+
+
+class TraceKind(enum.Enum):
+    SEND = "send"
+    DELIVER = "deliver"
+    ALERT = "alert"
+    VIOLATION = "violation"
+    AMBIGUOUS = "ambiguous"
+    JOIN = "join"
+    LEAVE = "leave"
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline entry."""
+
+    time: float
+    kind: TraceKind
+    node: Any
+    message_id: Optional[Tuple] = None
+    detail: Optional[str] = None
+
+    def format(self) -> str:
+        """One human-readable trace line."""
+        parts = [f"{self.time:12.3f}ms", self.kind.value.upper().ljust(9), f"node={self.node}"]
+        if self.message_id is not None:
+            parts.append(f"msg={self.message_id}")
+        if self.detail:
+            parts.append(self.detail)
+        return "  ".join(str(part) for part in parts)
+
+
+class TraceRecorder:
+    """Bounded in-memory event log with query helpers."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._capacity = capacity
+
+    def record(
+        self,
+        time: float,
+        kind: TraceKind,
+        node: Any,
+        message_id: Optional[Tuple] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        if len(self._events) == self._capacity:
+            self.dropped += 1
+        self._events.append(
+            TraceEvent(time=time, kind=kind, node=node, message_id=message_id, detail=detail)
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[TraceEvent]:
+        """All retained events, oldest first."""
+        return list(self._events)
+
+    def select(
+        self,
+        kind: Optional[TraceKind] = None,
+        node: Any = _ANY_NODE,
+        message_id: Optional[Tuple] = None,
+        since: Optional[float] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Filter events; every criterion is optional and conjunctive.
+
+        ``node`` defaults to a sentinel meaning "any node" (``None`` is a
+        legal node id, so it cannot serve as the default).
+        """
+        selected = []
+        for event in self._events:
+            if kind is not None and event.kind is not kind:
+                continue
+            if node is not _ANY_NODE and event.node != node:
+                continue
+            if message_id is not None and event.message_id != message_id:
+                continue
+            if since is not None and event.time < since:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            selected.append(event)
+        return selected
+
+    def message_timeline(self, message_id: Tuple) -> List[TraceEvent]:
+        """Everything that happened to one message, in order."""
+        return self.select(message_id=message_id)
+
+    def counts_by_kind(self) -> Dict[TraceKind, int]:
+        """Histogram of retained events by kind."""
+        counts: Dict[TraceKind, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of (the tail of) the trace."""
+        events = self.events()
+        if limit is not None:
+            events = events[-limit:]
+        lines = [event.format() for event in events]
+        if self.dropped:
+            lines.insert(0, f"... {self.dropped} earlier events dropped ...")
+        return "\n".join(lines)
+
+
+class TracingApplication:
+    """A :class:`~repro.sim.runner.NodeApplication` factory that traces.
+
+    Usage::
+
+        recorder = TraceRecorder()
+        config = SimulationConfig(..., application_factory=TracingApplication(recorder))
+        run_simulation(config)
+        print(recorder.format(limit=50))
+    """
+
+    def __init__(self, recorder: TraceRecorder) -> None:
+        self.recorder = recorder
+
+    def __call__(self, node_id: Any) -> "TracingApplication._Node":
+        return TracingApplication._Node(self.recorder)
+
+    class _Node:
+        def __init__(self, recorder: TraceRecorder) -> None:
+            self._recorder = recorder
+            self._counter = 0
+
+        def make_payload(self, node_id: Any, now: float) -> Any:
+            self._counter += 1
+            self._recorder.record(now, TraceKind.SEND, node_id, (node_id, self._counter))
+            return None
+
+        def on_deliver(self, node_id: Any, record: Any, verdict: Any, now: float) -> None:
+            message_id = record.message.message_id
+            self._recorder.record(now, TraceKind.DELIVER, node_id, message_id)
+            if record.alert:
+                self._recorder.record(now, TraceKind.ALERT, node_id, message_id)
+            verdict_name = getattr(verdict, "value", None)
+            if verdict_name == "violation":
+                self._recorder.record(now, TraceKind.VIOLATION, node_id, message_id)
+            elif verdict_name == "ambiguous":
+                self._recorder.record(now, TraceKind.AMBIGUOUS, node_id, message_id)
+
+        def on_leave(self, node_id: Any, now: float) -> None:
+            self._recorder.record(now, TraceKind.LEAVE, node_id)

@@ -1,0 +1,5 @@
+"""Small shared utilities with no heavyweight dependencies."""
+
+from repro.util.rng import RandomSource
+
+__all__ = ["RandomSource"]

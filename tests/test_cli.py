@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestTheoryCommand:
+    def test_prints_curve(self, capsys):
+        code, out = run_cli(capsys, "theory", "--r", "100", "--x", "20")
+        assert code == 0
+        assert "P_err" in out
+        assert "3.47" in out  # the paper's optimum
+
+    def test_k_max_respected(self, capsys):
+        code, out = run_cli(capsys, "theory", "--r", "50", "--x", "10", "--k-max", "3")
+        lines = [line for line in out.splitlines() if line.strip() and line.strip()[0].isdigit()]
+        assert len(lines) == 3
+
+
+class TestDimensionCommand:
+    def test_recipe_fields(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "dimension", "--nodes", "1000", "--send-rate", "0.2",
+            "--delay-ms", "100", "--budget-bytes", "512",
+        )
+        assert code == 0
+        assert "concurrency X" in out
+        assert "keys per process K" in out
+        assert "vector-clock bytes" in out
+
+    def test_tiny_budget_still_valid(self, capsys):
+        code, out = run_cli(
+            capsys, "dimension", "--nodes", "10", "--send-rate", "1",
+            "--budget-bytes", "8",
+        )
+        assert code == 0
+        assert "vector size R" in out
+
+
+class TestSimulateCommand:
+    BASE = [
+        "simulate", "--nodes", "15", "--r", "30", "--k", "3",
+        "--lambda-ms", "800", "--duration-ms", "6000", "--seed", "4",
+    ]
+
+    def test_text_output(self, capsys):
+        code, out = run_cli(capsys, *self.BASE)
+        assert code == 0
+        assert "eps_min" in out
+        assert "stuck pending" in out
+
+    def test_json_output(self, capsys):
+        code, out = run_cli(capsys, *self.BASE, "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["traffic"]["sent"] > 0
+        assert payload["traffic"]["delivered_remote"] == payload["traffic"]["sent"] * 14
+        assert payload["traffic"]["stuck_pending"] == 0
+        counters = payload["counters"]
+        assert 0.0 <= counters["eps_min"] <= counters["eps_max"] <= 1.0
+
+    def test_churn_flag(self, capsys):
+        code, out = run_cli(
+            capsys, *self.BASE, "--churn-interval-ms", "1500", "--json"
+        )
+        payload = json.loads(out)
+        membership = payload["membership"]
+        assert membership["joins"] >= 0 and membership["leaves"] >= 0
+
+    def test_clock_choices(self, capsys):
+        for clock in ("vector", "lamport", "plausible"):
+            code, out = run_cli(capsys, *self.BASE, "--clock", clock, "--json")
+            assert code == 0, clock
+            assert json.loads(out)["traffic"]["stuck_pending"] == 0
+
+
+class TestSweepCommand:
+    def test_sweep_k(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "sweep", "--parameter", "k", "--values", "2,3",
+            "--nodes", "12", "--r", "24", "--lambda-ms", "800",
+            "--duration-ms", "5000", "--repeats", "1",
+        )
+        assert code == 0
+        assert "sweep of k" in out
+        data_lines = [l for l in out.splitlines() if l.strip().startswith(("2", "3"))]
+        assert len(data_lines) == 2
+
+    def test_sweep_lambda(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "sweep", "--parameter", "lambda", "--values", "500,1000",
+            "--nodes", "10", "--r", "20", "--duration-ms", "4000",
+            "--repeats", "1",
+        )
+        assert code == 0
+        assert "sweep of lambda" in out
+
+    def test_sweep_nodes(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "sweep", "--parameter", "nodes", "--values", "8,12",
+            "--r", "20", "--lambda-ms", "800", "--duration-ms", "4000",
+            "--repeats", "1",
+        )
+        assert code == 0
+        assert "sweep of nodes" in out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--clock", "quantum"])

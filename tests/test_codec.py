@@ -1,0 +1,176 @@
+"""Tests for the wire codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clocks import ProbabilisticCausalClock, Timestamp
+from repro.core.codec import (
+    CodecError,
+    JsonPayloadCodec,
+    MessageCodec,
+    RawBytesPayloadCodec,
+    decode_varint,
+    encode_varint,
+)
+from repro.core.protocol import CausalBroadcastEndpoint, Message
+
+
+def make_message(payload=None, sender="node-1", r=16, keys=(0, 3, 7), sends=1):
+    endpoint = CausalBroadcastEndpoint(sender, ProbabilisticCausalClock(r, keys))
+    message = None
+    for _ in range(sends):
+        message = endpoint.broadcast(payload)
+    return message
+
+
+class TestVarint:
+    def test_known_values(self):
+        assert encode_varint(0) == b"\x00"
+        assert encode_varint(127) == b"\x7f"
+        assert encode_varint(128) == b"\x80\x01"
+        assert encode_varint(300) == b"\xac\x02"
+
+    def test_roundtrip_large(self):
+        for value in (0, 1, 127, 128, 2**32, 2**63 - 1):
+            data = encode_varint(value)
+            decoded, offset = decode_varint(data, 0)
+            assert decoded == value and offset == len(data)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            encode_varint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(CodecError):
+            decode_varint(b"\x80", 0)
+
+    @given(value=st.integers(0, 2**63 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, value):
+        decoded, _ = decode_varint(encode_varint(value), 0)
+        assert decoded == value
+
+
+class TestMessageCodec:
+    def test_roundtrip_preserves_everything(self):
+        codec = MessageCodec()
+        original = make_message(payload={"op": "add", "item": "milk"}, sends=5)
+        decoded = codec.decode(codec.encode(original))
+        assert decoded.sender == original.sender
+        assert decoded.seq == original.seq
+        assert decoded.payload == original.payload
+        assert decoded.timestamp.as_tuple() == original.timestamp.as_tuple()
+        assert decoded.timestamp.sender_keys == original.timestamp.sender_keys
+        assert list(decoded.timestamp.adjusted) == list(original.timestamp.adjusted)
+
+    def test_decoded_message_drives_a_real_endpoint(self):
+        codec = MessageCodec()
+        sender = CausalBroadcastEndpoint("a", ProbabilisticCausalClock(8, (0, 1)))
+        receiver = CausalBroadcastEndpoint("b", ProbabilisticCausalClock(8, (2, 3)))
+        m1 = sender.broadcast("one")
+        m2 = sender.broadcast("two")
+        wire2 = codec.encode(m2)
+        wire1 = codec.encode(m1)
+        assert receiver.on_receive(codec.decode(wire2)) == []
+        delivered = receiver.on_receive(codec.decode(wire1))
+        assert [r.message.payload for r in delivered] == ["one", "two"]
+
+    def test_fixed_and_varint_agree(self):
+        message = make_message(payload=[1, 2, 3], sends=9)
+        fixed = MessageCodec(varint_entries=False)
+        varint = MessageCodec(varint_entries=True)
+        assert fixed.decode(fixed.encode(message)).timestamp.as_tuple() == (
+            varint.decode(varint.encode(message)).timestamp.as_tuple()
+        )
+
+    def test_varint_is_smaller_for_sparse_vectors(self):
+        message = make_message(r=100, keys=(0, 1, 2, 3))
+        fixed = MessageCodec(varint_entries=False)
+        varint = MessageCodec(varint_entries=True)
+        assert varint.encoded_size(message) < fixed.encoded_size(message)
+
+    def test_tuple_payload_roundtrips_via_json(self):
+        # CRDT ops are nested tuples; JSON turns them into lists and the
+        # codec normalises back.
+        payload = ("add", "x", ("replica", 3))
+        codec = MessageCodec()
+        decoded = codec.decode(codec.encode(make_message(payload=payload)))
+        assert decoded.payload == payload
+
+    def test_none_payload(self):
+        codec = MessageCodec()
+        decoded = codec.decode(codec.encode(make_message(payload=None)))
+        assert decoded.payload is None
+
+    def test_unicode_sender(self):
+        codec = MessageCodec()
+        decoded = codec.decode(codec.encode(make_message(sender="pëer-ωμέγα")))
+        assert decoded.sender == "pëer-ωμέγα"
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CodecError):
+            MessageCodec().decode(b"XX\x01\x00garbage")
+
+    def test_truncation_rejected_everywhere(self):
+        codec = MessageCodec()
+        wire = codec.encode(make_message(payload={"k": "v"}))
+        for cut in (3, 5, 10, len(wire) - 1):
+            with pytest.raises(CodecError):
+                codec.decode(wire[:cut])
+
+    def test_unencodable_payload_rejected(self):
+        codec = MessageCodec()
+        with pytest.raises(CodecError):
+            codec.encode(make_message(payload=object()))
+
+    def test_raw_bytes_codec(self):
+        codec = MessageCodec(payload_codec=RawBytesPayloadCodec())
+        decoded = codec.decode(codec.encode(make_message(payload=b"\x00\xff")))
+        assert decoded.payload == b"\x00\xff"
+        with pytest.raises(CodecError):
+            codec.encode(make_message(payload="not bytes"))
+
+
+class TestJsonPayloadCodec:
+    def test_empty_is_none(self):
+        codec = JsonPayloadCodec()
+        assert codec.decode(b"") is None
+        assert codec.encode(None) == b""
+
+    def test_nested_tuplify(self):
+        codec = JsonPayloadCodec()
+        assert codec.decode(codec.encode({"a": [1, [2, 3]]})) == {"a": (1, (2, 3))}
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CodecError):
+            JsonPayloadCodec().decode(b"{nope")
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    r=st.integers(1, 40),
+    seed_entries=st.data(),
+    seq=st.integers(1, 2**40),
+)
+def test_any_timestamp_roundtrips(r, seed_entries, seq):
+    k = seed_entries.draw(st.integers(1, min(4, r)))
+    keys = tuple(sorted(seed_entries.draw(
+        st.sets(st.integers(0, r - 1), min_size=k, max_size=k)
+    )))
+    entries = seed_entries.draw(
+        st.lists(st.integers(0, 2**31), min_size=r, max_size=r)
+    )
+    vector = np.asarray(entries, dtype=np.int64)
+    vector.flags.writeable = False
+    message = Message(
+        sender="s", seq=seq,
+        timestamp=Timestamp(vector=vector, sender_keys=keys, seq=seq),
+        payload=None,
+    )
+    codec = MessageCodec()
+    decoded = codec.decode(codec.encode(message))
+    assert decoded.timestamp.as_tuple() == message.timestamp.as_tuple()
+    assert decoded.timestamp.sender_keys == keys
+    assert decoded.seq == seq

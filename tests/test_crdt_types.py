@@ -1,0 +1,455 @@
+"""Unit and property tests for the CRDT substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.crdt import LWWRegister, ORSet, PNCounter, RGA, ROOT
+from repro.util.rng import RandomSource
+
+
+class TestPNCounter:
+    def test_local_increment_decrement(self):
+        counter = PNCounter("a")
+        counter.increment(5)
+        counter.decrement(2)
+        assert counter.value() == 3
+
+    def test_remote_merge(self):
+        a, b = PNCounter("a"), PNCounter("b")
+        op = a.increment(4)
+        b.apply_remote(op)
+        assert b.value() == 4
+        decrement_op = b.decrement(1)
+        a.apply_remote(decrement_op)
+        assert a.value() == b.value() == 3
+
+    def test_convergence_any_order(self):
+        a, b = PNCounter("a"), PNCounter("b")
+        ops = [a.increment(1), a.decrement(2), a.increment(7)]
+        for op in reversed(ops):
+            b.apply_remote(op)
+        assert b.value() == a.value() == 6
+        assert b.state_signature() == a.state_signature()
+
+    def test_validation(self):
+        counter = PNCounter("a")
+        with pytest.raises(ConfigurationError):
+            counter.increment(0)
+        with pytest.raises(ConfigurationError):
+            counter.decrement(-3)
+        with pytest.raises(ConfigurationError):
+            counter.apply_remote(("reset", "a", 1))
+
+    def test_no_anomalies_ever(self):
+        a, b = PNCounter("a"), PNCounter("b")
+        for op in [a.increment(1), a.decrement(1), a.increment(2)]:
+            b.apply_remote(op)
+        assert b.anomalies == 0
+
+
+class TestORSet:
+    def test_add_then_remove(self):
+        s = ORSet("a")
+        s.add("x")
+        assert "x" in s
+        s.remove("x")
+        assert s.value() == set()
+
+    def test_add_wins_over_concurrent_remove(self):
+        a, b = ORSet("a"), ORSet("b")
+        add_1 = a.add("x")
+        b.apply_remote(add_1)
+        # Concurrently: a removes (observing add_1), b re-adds.
+        remove_op = a.remove("x")
+        add_2 = b.add("x")
+        a.apply_remote(add_2)
+        b.apply_remote(remove_op)
+        # Both converge on {x}: the unobserved add survives.
+        assert a.value() == b.value() == {"x"}
+        assert a.state_signature() == b.state_signature()
+
+    def test_remove_of_absent_element_is_noop(self):
+        s = ORSet("a")
+        op = s.remove("ghost")
+        other = ORSet("b")
+        other.apply_remote(op)
+        assert other.value() == set()
+        assert other.anomalies == 0
+
+    def test_causal_violation_detected_and_repaired(self):
+        a = ORSet("a")
+        add_op = a.add("x")
+        remove_op = a.remove("x")
+        late = ORSet("b")
+        late.apply_remote(remove_op)  # remove before its observed add
+        assert late.anomalies == 1
+        assert late.value() == set()
+        late.apply_remote(add_op)  # the late add must NOT resurrect x
+        assert late.value() == set()
+        # Converged with a replica that saw the causal order.
+        good = ORSet("c")
+        good.apply_remote(add_op)
+        good.apply_remote(remove_op)
+        assert late.state_signature() == good.state_signature()
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ORSet("a").apply_remote(("clear",))
+
+    def test_multiple_adds_same_element(self):
+        a = ORSet("a")
+        a.add("x")
+        a.add("x")
+        a.remove("x")  # removes both observed tags
+        assert a.value() == set()
+
+
+class TestRGA:
+    def test_sequential_editing(self):
+        doc = RGA("a")
+        op_h = doc.insert_after(ROOT, "H")
+        doc.insert_after(op_h[2], "i")
+        assert doc.as_text() == "Hi"
+
+    def test_front_insertion_order(self):
+        doc = RGA("a")
+        doc.insert_after(ROOT, "b")
+        doc.insert_after(ROOT, "a")
+        # Later insert at the same position comes first (RGA tie-break).
+        assert doc.as_text() == "ab"
+
+    def test_delete(self):
+        doc = RGA("a")
+        op = doc.insert_after(ROOT, "x")
+        doc.insert_after(op[2], "y")
+        doc.delete(op[2])
+        assert doc.as_text() == "y"
+
+    def test_delete_invisible_rejected_locally(self):
+        doc = RGA("a")
+        op = doc.insert_after(ROOT, "x")
+        doc.delete(op[2])
+        with pytest.raises(ConfigurationError):
+            doc.delete(op[2])
+        with pytest.raises(ConfigurationError):
+            doc.insert_after((99, "ghost"), "y")
+
+    def test_remote_convergence_in_causal_order(self):
+        a, b = RGA("a"), RGA("b")
+        ops = []
+        op = a.insert_after(ROOT, "H")
+        ops.append(op)
+        op2 = a.insert_after(op[2], "e")
+        ops.append(op2)
+        ops.append(a.insert_after(op2[2], "y"))
+        for op in ops:
+            b.apply_remote(op)
+        assert b.as_text() == a.as_text() == "Hey"
+
+    def test_orphan_buffering_on_violation(self):
+        a = RGA("a")
+        op1 = a.insert_after(ROOT, "x")
+        op2 = a.insert_after(op1[2], "y")
+        late = RGA("b")
+        late.apply_remote(op2)  # parent missing
+        assert late.anomalies == 1
+        assert late.orphan_count == 1
+        assert late.as_text() == ""
+        late.apply_remote(op1)  # parent arrives, orphan integrates
+        assert late.orphan_count == 0
+        assert late.as_text() == "xy"
+
+    def test_chained_orphans(self):
+        a = RGA("a")
+        op1 = a.insert_after(ROOT, "1")
+        op2 = a.insert_after(op1[2], "2")
+        op3 = a.insert_after(op2[2], "3")
+        late = RGA("b")
+        late.apply_remote(op3)
+        late.apply_remote(op2)
+        assert late.orphan_count == 2
+        late.apply_remote(op1)
+        assert late.as_text() == "123"
+        assert late.orphan_count == 0
+
+    def test_early_delete_pre_tombstone(self):
+        a = RGA("a")
+        op = a.insert_after(ROOT, "x")
+        delete_op = a.delete(op[2])
+        late = RGA("b")
+        late.apply_remote(delete_op)
+        assert late.anomalies == 1
+        late.apply_remote(op)
+        assert late.as_text() == ""  # never becomes visible
+
+    def test_concurrent_inserts_converge(self):
+        a, b = RGA("a"), RGA("b")
+        op_a = a.insert_after(ROOT, "A")
+        op_b = b.insert_after(ROOT, "B")
+        a.apply_remote(op_b)
+        b.apply_remote(op_a)
+        assert a.as_text() == b.as_text()
+        assert a.state_signature() == b.state_signature()
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RGA("a").apply_remote(("swap", None, None, None))
+
+
+class TestLWWRegister:
+    def test_last_write_wins(self):
+        a, b = LWWRegister("a"), LWWRegister("b")
+        op1 = a.write("first")
+        b.apply_remote(op1)
+        op2 = b.write("second")
+        a.apply_remote(op2)
+        assert a.value() == b.value() == "second"
+
+    def test_stale_write_counted(self):
+        a, b = LWWRegister("a"), LWWRegister("b")
+        op1 = a.write("old")
+        b.apply_remote(op1)
+        op2 = b.write("new")
+        late = LWWRegister("c")
+        late.apply_remote(op2)
+        late.apply_remote(op1)  # arrives after its overwriter
+        assert late.value() == "new"
+        assert late.stale_applications == 1
+
+    def test_concurrent_ties_break_by_replica(self):
+        a, b = LWWRegister("a"), LWWRegister("b")
+        op_a = a.write("A")
+        op_b = b.write("B")
+        a.apply_remote(op_b)
+        b.apply_remote(op_a)
+        assert a.value() == b.value()
+        assert a.state_signature() == b.state_signature()
+
+    def test_initial_value(self):
+        register = LWWRegister("a", initial="empty")
+        assert register.value() == "empty"
+        assert register.stamp is None
+
+
+# ---------------------------------------------------------------------------
+# property tests: convergence under arbitrary permutations
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000), n_ops=st.integers(1, 20))
+def test_pncounter_converges_under_any_permutation(seed, n_ops):
+    rng = RandomSource(seed=seed)
+    source = PNCounter("src")
+    ops = []
+    for _ in range(n_ops):
+        if rng.random() < 0.5:
+            ops.append(source.increment(rng.integer(1, 10)))
+        else:
+            ops.append(source.decrement(rng.integer(1, 10)))
+    replica = PNCounter("dst")
+    shuffled = list(ops)
+    rng.shuffle(shuffled)
+    for op in shuffled:
+        replica.apply_remote(op)
+    assert replica.value() == source.value()
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000), n_ops=st.integers(1, 15))
+def test_orset_converges_under_any_permutation(seed, n_ops):
+    """Adds/removes applied in any order converge to the same signature
+    (the pre-removed tombstones absorb causal inversions)."""
+    rng = RandomSource(seed=seed)
+    source = ORSet("src")
+    elements = ["x", "y", "z"]
+    ops = []
+    for _ in range(n_ops):
+        element = rng.choice(elements)
+        if rng.random() < 0.6 or element not in source:
+            ops.append(source.add(element))
+        else:
+            ops.append(source.remove(element))
+    in_order = ORSet("ordered")
+    for op in ops:
+        in_order.apply_remote(op)
+    scrambled = ORSet("scrambled")
+    shuffled = list(ops)
+    rng.shuffle(shuffled)
+    for op in shuffled:
+        scrambled.apply_remote(op)
+    assert scrambled.state_signature() == in_order.state_signature()
+    assert scrambled.value() == source.value()
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000), n_ops=st.integers(1, 15))
+def test_rga_converges_under_any_permutation(seed, n_ops):
+    rng = RandomSource(seed=seed)
+    source = RGA("src")
+    ops = []
+    for i in range(n_ops):
+        visible = source.visible_ids()
+        if visible and rng.random() < 0.25:
+            ops.append(source.delete(rng.choice(visible)))
+        else:
+            parent = ROOT if not visible or rng.random() < 0.3 else rng.choice(visible)
+            ops.append(source.insert_after(parent, f"c{i}"))
+    scrambled = RGA("scrambled")
+    shuffled = list(ops)
+    rng.shuffle(shuffled)
+    for op in shuffled:
+        scrambled.apply_remote(op)
+    assert scrambled.orphan_count == 0
+    assert scrambled.value() == source.value()
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000), n_writers=st.integers(1, 4), n_ops=st.integers(1, 12))
+def test_lww_converges_under_any_permutation(seed, n_writers, n_ops):
+    rng = RandomSource(seed=seed)
+    writers = [LWWRegister(f"w{i}") for i in range(n_writers)]
+    ops = []
+    for step in range(n_ops):
+        writer = rng.choice(writers)
+        op = writer.write(f"v{step}")
+        ops.append(op)
+        for other in writers:
+            if other is not writer:
+                other.apply_remote(op)
+    replica_a, replica_b = LWWRegister("ra"), LWWRegister("rb")
+    order_a, order_b = list(ops), list(ops)
+    rng.shuffle(order_a)
+    rng.shuffle(order_b)
+    for op in order_a:
+        replica_a.apply_remote(op)
+    for op in order_b:
+        replica_b.apply_remote(op)
+    assert replica_a.state_signature() == replica_b.state_signature()
+
+
+class TestORSetConcurrentRemoves:
+    def test_concurrent_removes_of_same_tag_are_not_anomalies(self):
+        """Two replicas concurrently remove the same observed add: the
+        second remove finds the tag gone, which is legitimate (not a
+        causal violation)."""
+        a, b, c = ORSet("a"), ORSet("b"), ORSet("c")
+        add_op = a.add("x")
+        b.apply_remote(add_op)
+        c.apply_remote(add_op)
+        remove_b = b.remove("x")
+        remove_c = c.remove("x")
+        a.apply_remote(remove_b)
+        a.apply_remote(remove_c)
+        assert a.anomalies == 0
+        assert a.value() == set()
+
+    def test_remove_after_cancelled_add_is_not_an_anomaly(self):
+        """A pre-removed (cancelled) add still counts as 'seen': a second
+        remove observing it is fine."""
+        a = ORSet("a")
+        add_op = a.add("x")
+        remove_1 = a.remove("x")
+        late = ORSet("late")
+        late.apply_remote(remove_1)  # anomaly: remove before add
+        assert late.anomalies == 1
+        late.apply_remote(add_op)  # cancelled by pre-tombstone
+        late.apply_remote(("remove", "x", remove_1[2]))  # replayed tags
+        assert late.anomalies == 1  # no new anomaly
+
+
+class TestMVRegister:
+    def test_single_writer_single_value(self):
+        from repro.crdt import MVRegister
+
+        register = MVRegister("a")
+        register.write("v1")
+        register.write("v2")
+        assert register.values() == ["v2"]
+        assert register.sibling_count == 1
+
+    def test_concurrent_writes_both_visible(self):
+        from repro.crdt import MVRegister
+
+        a, b = MVRegister("a"), MVRegister("b")
+        op_a = a.write("from-a")
+        op_b = b.write("from-b")
+        a.apply_remote(op_b)
+        b.apply_remote(op_a)
+        assert sorted(a.values()) == sorted(b.values()) == ["from-a", "from-b"]
+        assert a.state_signature() == b.state_signature()
+
+    def test_causal_overwrite_prunes(self):
+        from repro.crdt import MVRegister
+
+        a, b = MVRegister("a"), MVRegister("b")
+        op_1 = a.write("old")
+        b.apply_remote(op_1)
+        op_2 = b.write("new")  # causally after op_1
+        a.apply_remote(op_2)
+        assert a.values() == ["new"]
+        assert b.values() == ["new"]
+
+    def test_out_of_order_arrival_converges(self):
+        from repro.crdt import MVRegister
+
+        a, b = MVRegister("a"), MVRegister("b")
+        op_1 = a.write("old")
+        b.apply_remote(op_1)
+        op_2 = b.write("new")
+        late = MVRegister("c")
+        late.apply_remote(op_2)  # dominating write first
+        assert late.values() == ["new"]
+        late.apply_remote(op_1)  # dominated write arrives late
+        assert late.values() == ["new"]  # correctly pruned on arrival
+
+    def test_merge_after_observation_collapses_siblings(self):
+        from repro.crdt import MVRegister
+
+        a, b = MVRegister("a"), MVRegister("b")
+        op_a = a.write("A")
+        op_b = b.write("B")
+        a.apply_remote(op_b)
+        assert a.sibling_count == 2
+        resolve = a.write("merged")  # observes both -> dominates both
+        assert a.values() == ["merged"]
+        b.apply_remote(op_a)
+        b.apply_remote(resolve)
+        assert b.values() == ["merged"]
+
+    def test_unknown_operation_rejected(self):
+        from repro.crdt import MVRegister
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MVRegister("a").apply_remote(("reset", 1, (), "a"))
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000), n_ops=st.integers(1, 12))
+def test_mvregister_converges_under_any_permutation(seed, n_ops):
+    from repro.crdt import MVRegister
+
+    rng = RandomSource(seed=seed)
+    writers = [MVRegister(f"w{i}") for i in range(3)]
+    ops = []
+    for step in range(n_ops):
+        writer = rng.choice(writers)
+        op = writer.write(f"v{step}")
+        ops.append(op)
+        # Sometimes propagate immediately (causal chains), sometimes not
+        # (concurrency).
+        for other in writers:
+            if other is not writer and rng.random() < 0.5:
+                other.apply_remote(op)
+    replica_a, replica_b = MVRegister("ra"), MVRegister("rb")
+    order_a, order_b = list(ops), list(ops)
+    rng.shuffle(order_a)
+    rng.shuffle(order_b)
+    for op in order_a:
+        replica_a.apply_remote(op)
+    for op in order_b:
+        replica_b.apply_remote(op)
+    assert replica_a.state_signature() == replica_b.state_signature()

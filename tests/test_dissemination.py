@@ -1,0 +1,137 @@
+"""Tests for dissemination strategies (direct broadcast and gossip)."""
+
+import pytest
+
+from repro.core.clocks import ProbabilisticCausalClock
+from repro.core.errors import ConfigurationError
+from repro.core.protocol import CausalBroadcastEndpoint
+from repro.sim.dissemination import DirectBroadcast, DisseminationContext, PushGossip
+from repro.sim.network import ConstantDelayModel, GaussianDelayModel
+from repro.util.rng import RandomSource
+
+
+class RecordingContext(DisseminationContext):
+    """Captures schedule_receive calls for assertions."""
+
+    def __init__(self, member_ids, seed=0):
+        self._members = tuple(member_ids)
+        self._rng = RandomSource(seed=seed)
+        self.scheduled = []  # (node_id, message, delay)
+
+    def members(self):
+        return self._members
+
+    def schedule_receive(self, node_id, message, delay_ms):
+        self.scheduled.append((node_id, message, delay_ms))
+
+    @property
+    def rng(self):
+        return self._rng
+
+
+def make_message(sender="s"):
+    clock = ProbabilisticCausalClock(4, (0,))
+    endpoint = CausalBroadcastEndpoint(process_id=sender, clock=clock)
+    return endpoint.broadcast("payload")
+
+
+class TestDirectBroadcast:
+    def test_reaches_all_other_members(self):
+        context = RecordingContext(["s", "a", "b", "c"])
+        strategy = DirectBroadcast(ConstantDelayModel(100))
+        message = make_message()
+        fanout = strategy.disseminate(context, message, "s")
+        assert fanout == 3
+        targets = {node for node, _, _ in context.scheduled}
+        assert targets == {"a", "b", "c"}
+        assert all(delay == 100 for _, _, delay in context.scheduled)
+
+    def test_single_member_system(self):
+        context = RecordingContext(["s"])
+        strategy = DirectBroadcast(ConstantDelayModel(100))
+        assert strategy.disseminate(context, make_message(), "s") == 0
+        assert context.scheduled == []
+
+    def test_loss_reduces_fanout(self):
+        context = RecordingContext(list(range(200)), seed=1)
+        strategy = DirectBroadcast(GaussianDelayModel(), loss_rate=0.5)
+        fanout = strategy.disseminate(context, make_message(), 0)
+        assert fanout == len(context.scheduled)
+        assert 60 < fanout < 140  # ~100 of 199 expected
+
+    def test_duplicates_scheduled_but_not_counted(self):
+        context = RecordingContext(list(range(100)), seed=2)
+        strategy = DirectBroadcast(GaussianDelayModel(), duplicate_rate=0.5)
+        fanout = strategy.disseminate(context, make_message(), 0)
+        assert fanout == 99
+        assert len(context.scheduled) > 99  # extra duplicate receptions
+
+    def test_on_first_reception_is_noop(self):
+        context = RecordingContext(["a", "b"])
+        strategy = DirectBroadcast(ConstantDelayModel(10))
+        strategy.on_first_reception(context, make_message(), "a")
+        assert context.scheduled == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DirectBroadcast(ConstantDelayModel(10), loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            DirectBroadcast(ConstantDelayModel(10), duplicate_rate=-0.1)
+
+
+class TestPushGossip:
+    def test_initial_push_respects_fanout(self):
+        context = RecordingContext(list(range(50)), seed=3)
+        strategy = PushGossip(ConstantDelayModel(10), fanout=4)
+        budget = strategy.disseminate(context, make_message(), 0)
+        assert budget == 49
+        assert len(context.scheduled) == 4
+        assert all(node != 0 for node, _, _ in context.scheduled)
+
+    def test_relay_on_first_reception(self):
+        context = RecordingContext(list(range(50)), seed=4)
+        strategy = PushGossip(ConstantDelayModel(10), fanout=3)
+        strategy.on_first_reception(context, make_message(), 7)
+        assert len(context.scheduled) == 3
+        assert all(node != 7 for node, _, _ in context.scheduled)
+
+    def test_fanout_capped_by_membership(self):
+        context = RecordingContext(["s", "a"], seed=5)
+        strategy = PushGossip(ConstantDelayModel(10), fanout=8)
+        strategy.disseminate(context, make_message(), "s")
+        assert len(context.scheduled) == 1
+
+    def test_distinct_targets_per_push(self):
+        context = RecordingContext(list(range(30)), seed=6)
+        strategy = PushGossip(ConstantDelayModel(10), fanout=5)
+        strategy.disseminate(context, make_message(), 0)
+        targets = [node for node, _, _ in context.scheduled]
+        assert len(set(targets)) == len(targets)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PushGossip(ConstantDelayModel(10), fanout=0)
+
+
+class TestGossipCoverage:
+    def test_infect_and_die_covers_everyone_whp(self):
+        """Simulate the relay process end to end on a simple round-based
+        schedule: with fanout ~ log N + c, coverage is complete."""
+        members = list(range(40))
+        context = RecordingContext(members, seed=7)
+        strategy = PushGossip(ConstantDelayModel(10), fanout=6)
+        message = make_message()
+        infected = {0}
+        strategy.disseminate(context, message, 0)
+        frontier = list(context.scheduled)
+        context.scheduled = []
+        rounds = 0
+        while frontier and rounds < 20:
+            rounds += 1
+            for node, msg, _ in frontier:
+                if node not in infected:
+                    infected.add(node)
+                    strategy.on_first_reception(context, msg, node)
+            frontier = list(context.scheduled)
+            context.scheduled = []
+        assert infected == set(members)

@@ -1,0 +1,120 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30.0, order.append, "c")
+        sim.schedule(10.0, order.append, "a")
+        sim.schedule(20.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 30.0
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(5.0, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_handlers_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 5:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4, 5]
+        assert sim.now == 5.0
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda _: None)
+        sim.schedule(10.0, lambda _: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda _: None)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(0.0, hits.append, 1)
+        sim.run()
+        assert hits == [1]
+
+
+class TestRunControl:
+    def test_until_stops_the_clock(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(10.0, hits.append, "early")
+        sim.schedule(50.0, hits.append, "late")
+        executed = sim.run(until=20.0)
+        assert executed == 1
+        assert hits == ["early"]
+        assert sim.now == 20.0
+        assert sim.pending_events == 1
+        sim.run()
+        assert hits == ["early", "late"]
+
+    def test_event_exactly_at_until_runs(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(20.0, hits.append, "边")
+        sim.run(until=20.0)
+        assert hits == ["边"]
+
+    def test_until_beyond_agenda_advances_clock(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda _: None)
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        hits = []
+        for i in range(10):
+            sim.schedule(float(i), hits.append, i)
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert hits == [0, 1, 2]
+        sim.run()
+        assert len(hits) == 10
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda _: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def recurse(_):
+            sim.run()
+
+        sim.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_clear_drops_agenda(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda _: None)
+        sim.schedule(2.0, lambda _: None)
+        sim.clear()
+        assert sim.pending_events == 0
+        assert sim.run() == 0

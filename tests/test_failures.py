@@ -1,0 +1,132 @@
+"""Tests for fault injection: partitions and crash-stop failures."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim import (
+    CrashSchedule,
+    DirectBroadcast,
+    GaussianDelayModel,
+    PartitionWindow,
+    PartitionedDissemination,
+    PoissonWorkload,
+    SimulationConfig,
+    run_simulation,
+)
+from repro.sim.membership import ChurnAction
+from repro.util.rng import RandomSource
+
+
+class TestPartitionWindow:
+    def test_activity_interval(self):
+        window = PartitionWindow.split_even_odd(100.0, 200.0)
+        assert not window.active_at(99.9)
+        assert window.active_at(100.0)
+        assert window.active_at(199.9)
+        assert not window.active_at(200.0)
+
+    def test_even_odd_separation(self):
+        window = PartitionWindow.split_even_odd(0.0, 1.0)
+        assert window.separates(0, 1)
+        assert not window.separates(0, 2)
+        assert not window.separates(1, 3)
+
+    def test_unaffected_nodes_hear_everyone(self):
+        window = PartitionWindow(
+            start_ms=0.0,
+            end_ms=1.0,
+            group_of=lambda node: 0 if node == "a" else (1 if node == "b" else None),
+        )
+        assert window.separates("a", "b")
+        assert not window.separates("a", "observer")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionWindow.split_even_odd(5.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            PartitionWindow.split_even_odd(-1.0, 5.0)
+
+
+def partitioned_config(recovery="none", seed=2, **overrides):
+    delay = GaussianDelayModel()
+    dissemination = PartitionedDissemination(
+        DirectBroadcast(delay), [PartitionWindow.split_even_odd(5_000.0, 12_000.0)]
+    )
+    base = dict(
+        n_nodes=20,
+        r=30,
+        k=3,
+        key_assigner="random-colliding",
+        duration_ms=20_000.0,
+        seed=seed,
+        workload=PoissonWorkload(500.0),
+        delay_model=delay,
+        dissemination=dissemination,
+        recovery=recovery,
+        recovery_period_ms=1_000.0,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base), dissemination
+
+
+class TestPartitionedRuns:
+    def test_partition_drops_cross_group_traffic(self):
+        config, dissemination = partitioned_config()
+        run_simulation(config)
+        assert dissemination.dropped_by_partition > 0
+
+    def test_partition_without_recovery_strands_messages(self):
+        config, _ = partitioned_config()
+        result = run_simulation(config)
+        assert result.stuck_pending > 0
+        assert result.undelivered_messages > 0
+
+    def test_anti_entropy_heals_the_partition(self):
+        config, _ = partitioned_config(recovery="periodic")
+        result = run_simulation(config)
+        assert result.stuck_pending == 0
+        assert result.undelivered_messages == 0
+        assert result.recovery_repaired > 0
+
+    def test_intra_group_traffic_flows_during_the_split(self):
+        # Even without recovery, nodes on the same side keep delivering
+        # each other's messages: more than half of expected volume lands.
+        config, _ = partitioned_config()
+        result = run_simulation(config)
+        expected = result.sent * (config.n_nodes - 1)
+        assert result.delivered_remote > expected * 0.5
+
+    def test_healed_system_is_causally_consistent(self):
+        config, _ = partitioned_config(recovery="periodic")
+        result = run_simulation(config)
+        counters = result.counters
+        assert counters.deliveries == (
+            counters.correct + counters.violations + counters.ambiguous
+        )
+
+
+class TestCrashSchedule:
+    def test_events_generated_as_leaves(self):
+        schedule = CrashSchedule([1_000.0, 2_000.0, 99_999.0])
+        events = schedule.events(RandomSource(seed=0), 10_000.0)
+        assert [event.time for event in events] == [1_000.0, 2_000.0]
+        assert all(event.action is ChurnAction.LEAVE for event in events)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CrashSchedule([-5.0])
+
+    def test_crashes_leave_system_live(self):
+        result = run_simulation(
+            SimulationConfig(
+                n_nodes=12,
+                r=24,
+                k=2,
+                duration_ms=12_000.0,
+                seed=4,
+                workload=PoissonWorkload(600.0),
+                churn=CrashSchedule([3_000.0, 6_000.0]),
+            )
+        )
+        assert result.leaves == 2
+        assert result.stuck_pending == 0

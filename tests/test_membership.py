@@ -1,0 +1,110 @@
+"""Tests for membership tracking and churn models."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, MembershipError
+from repro.sim.membership import (
+    ChurnAction,
+    ChurnEvent,
+    MembershipView,
+    NoChurn,
+    PoissonChurn,
+    ScriptedChurn,
+)
+from repro.util.rng import RandomSource
+
+
+class TestMembershipView:
+    def test_add_remove_contains(self):
+        view = MembershipView(["a", "b"])
+        assert "a" in view and len(view) == 2
+        view.add("c")
+        view.remove("b")
+        assert set(view.members()) == {"a", "c"}
+        assert view.joined_total == 3
+        assert view.left_total == 1
+
+    def test_duplicate_add_rejected(self):
+        view = MembershipView(["a"])
+        with pytest.raises(MembershipError):
+            view.add("a")
+
+    def test_remove_non_member_rejected(self):
+        view = MembershipView()
+        with pytest.raises(MembershipError):
+            view.remove("ghost")
+
+    def test_swap_remove_keeps_sampling_valid(self):
+        view = MembershipView(list(range(10)))
+        view.remove(0)  # head removal exercises the swap path
+        view.remove(5)
+        rng = RandomSource(seed=1)
+        for _ in range(100):
+            assert view.sample(rng) in view.members()
+
+    def test_sample_empty_rejected(self):
+        with pytest.raises(MembershipError):
+            MembershipView().sample(RandomSource(seed=0))
+
+    def test_sample_uniformity(self):
+        view = MembershipView(["a", "b", "c", "d"])
+        rng = RandomSource(seed=2)
+        counts = {}
+        for _ in range(4000):
+            counts[view.sample(rng)] = counts.get(view.sample(rng), 0) + 1
+        assert min(counts.values()) > 500  # roughly uniform
+
+    def test_iteration_snapshot(self):
+        view = MembershipView(["a", "b"])
+        iterated = list(view)
+        assert set(iterated) == {"a", "b"}
+
+
+class TestNoChurn:
+    def test_no_events(self):
+        assert NoChurn().events(RandomSource(seed=0), 1e6) == []
+
+
+class TestPoissonChurn:
+    def test_event_counts_scale_with_rate(self):
+        churn = PoissonChurn(join_interval_ms=100, leave_interval_ms=200)
+        events = churn.events(RandomSource(seed=1), 10_000)
+        joins = [e for e in events if e.action is ChurnAction.JOIN]
+        leaves = [e for e in events if e.action is ChurnAction.LEAVE]
+        assert 60 <= len(joins) <= 140  # ~100 expected
+        assert 25 <= len(leaves) <= 80  # ~50 expected
+
+    def test_events_sorted_and_in_horizon(self):
+        churn = PoissonChurn(join_interval_ms=50, leave_interval_ms=50)
+        events = churn.events(RandomSource(seed=2), 5000)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0 <= t < 5000 for t in times)
+
+    def test_disabled_processes(self):
+        churn = PoissonChurn(join_interval_ms=None, leave_interval_ms=None)
+        assert churn.events(RandomSource(seed=3), 10_000) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonChurn(join_interval_ms=0)
+        with pytest.raises(ConfigurationError):
+            PoissonChurn(min_population=1)
+        with pytest.raises(ConfigurationError):
+            PoissonChurn(min_population=5, max_population=3)
+
+
+class TestScriptedChurn:
+    def test_replays_in_order_and_filters_horizon(self):
+        script = [
+            ChurnEvent(time=500, action=ChurnAction.LEAVE),
+            ChurnEvent(time=100, action=ChurnAction.JOIN),
+            ChurnEvent(time=9999, action=ChurnAction.JOIN),
+        ]
+        churn = ScriptedChurn(script)
+        events = churn.events(RandomSource(seed=0), 1000)
+        assert [e.time for e in events] == [100, 500]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScriptedChurn([ChurnEvent(time=-1, action=ChurnAction.JOIN)])

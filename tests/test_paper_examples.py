@@ -1,0 +1,173 @@
+"""The paper's worked examples (Figures 1 and 2) replayed exactly.
+
+Figure 1: the mechanism working — m' from p_j is delayed at p_k until m
+from p_i arrives.  Figure 2: the possible delivery error — two concurrent
+messages from p_1 and p_2 jointly cover f(p_i), so p_k wrongly believes
+m' is causally ready and delivers it before m.
+
+Note: the paper's text says ``R = 4`` with ``f(p_k) = {3, 4}``; entry 4
+does not exist in a 4-entry vector, an obvious typo.  p_k's own keys play
+no role in either scenario (it only receives), so we use ``{2, 3}``.
+"""
+
+import pytest
+
+from repro.core.clocks import ProbabilisticCausalClock
+from repro.core.detector import BasicAlertDetector, RefinedAlertDetector
+from repro.core.protocol import CausalBroadcastEndpoint
+
+R = 4
+KEYS = {
+    "p_i": (0, 1),
+    "p_j": (1, 2),
+    "p_k": (2, 3),
+    "p_1": (0, 3),
+    "p_2": (1, 3),
+}
+
+
+def make_endpoint(name, detector=None):
+    return CausalBroadcastEndpoint(
+        process_id=name,
+        clock=ProbabilisticCausalClock(R, KEYS[name]),
+        detector=detector,
+    )
+
+
+class TestFigure1:
+    """The normal path: m -> m' delivered in causal order at p_k."""
+
+    def test_send_vectors_match_the_paper(self):
+        p_i = make_endpoint("p_i")
+        p_j = make_endpoint("p_j")
+        m = p_i.broadcast("m")
+        assert m.timestamp.as_tuple() == (1, 1, 0, 0)
+        assert p_j.on_receive(m)  # delivered immediately
+        assert p_j.clock.snapshot() == (1, 1, 0, 0)
+        m_prime = p_j.broadcast("m'")
+        assert m_prime.timestamp.as_tuple() == (1, 2, 1, 0)
+
+    def test_m_prime_delayed_until_m_arrives(self):
+        p_i = make_endpoint("p_i")
+        p_j = make_endpoint("p_j")
+        p_k = make_endpoint("p_k")
+        m = p_i.broadcast("m")
+        p_j.on_receive(m)
+        m_prime = p_j.broadcast("m'")
+
+        # p_k receives m' first: the delivery condition fails.
+        assert p_k.on_receive(m_prime) == []
+        assert p_k.pending_count == 1
+
+        # The arrival of m unblocks m' in the same step.
+        delivered = p_k.on_receive(m)
+        assert [record.message.payload for record in delivered] == ["m", "m'"]
+        assert p_k.pending_count == 0
+
+    def test_no_alert_in_the_normal_path(self):
+        p_i = make_endpoint("p_i", BasicAlertDetector())
+        p_j = make_endpoint("p_j", BasicAlertDetector())
+        p_k = make_endpoint("p_k", BasicAlertDetector())
+        m = p_i.broadcast("m")
+        p_j.on_receive(m)
+        m_prime = p_j.broadcast("m'")
+        p_k.on_receive(m_prime)
+        delivered = p_k.on_receive(m)
+        assert all(not record.alert for record in delivered)
+
+
+class TestFigure2:
+    """The delivery error: f(p_i) ⊆ f(p_1) ∪ f(p_2) lets m' bypass m."""
+
+    def build_scenario(self, detector_factory=lambda: None):
+        endpoints = {
+            name: make_endpoint(name, detector_factory()) for name in KEYS
+        }
+        p_i, p_j, p_k = endpoints["p_i"], endpoints["p_j"], endpoints["p_k"]
+        p_1, p_2 = endpoints["p_1"], endpoints["p_2"]
+
+        m = p_i.broadcast("m")
+        p_j.on_receive(m)
+        m_prime = p_j.broadcast("m'")
+        m_1 = p_1.broadcast("m1")
+        m_2 = p_2.broadcast("m2")
+        return endpoints, m, m_prime, m_1, m_2
+
+    def test_concurrent_messages_cover_f_pi(self):
+        _, m, m_prime, m_1, m_2 = self.build_scenario()
+        covered = set(m_1.timestamp.sender_keys) | set(m_2.timestamp.sender_keys)
+        assert set(m.timestamp.sender_keys) <= covered
+
+    def test_wrong_delivery_happens_exactly_as_in_the_paper(self):
+        endpoints, m, m_prime, m_1, m_2 = self.build_scenario()
+        p_k = endpoints["p_k"]
+        p_k.on_receive(m_2)
+        p_k.on_receive(m_1)
+        assert p_k.clock.snapshot() == (1, 1, 0, 2)
+
+        # m' is (wrongly) considered causally ready and delivered,
+        # although m has not been received.
+        delivered = p_k.on_receive(m_prime)
+        assert [record.message.payload for record in delivered] == ["m'"]
+
+    def test_single_concurrent_message_is_not_enough(self):
+        # The paper: "the error occurs only if we have at least two
+        # concurrent messages".  With only m_1 delivered, entry 1 of
+        # f(p_i) stays uncovered and m' keeps waiting.
+        endpoints, m, m_prime, m_1, m_2 = self.build_scenario()
+        p_k = endpoints["p_k"]
+        p_k.on_receive(m_1)
+        assert p_k.on_receive(m_prime) == []
+        assert p_k.pending_count == 1
+
+    def test_algorithm4_is_silent_on_the_early_message(self):
+        # Alg. 4 checks the delivered message itself: m' still has its own
+        # sender increment uncovered (V_k[1] = m'.V[1] - 1), so no alert
+        # fires at m's bypass moment...
+        endpoints, m, m_prime, m_1, m_2 = self.build_scenario(BasicAlertDetector)
+        p_k = endpoints["p_k"]
+        p_k.on_receive(m_2)
+        p_k.on_receive(m_1)
+        (record,) = p_k.on_receive(m_prime)
+        assert record.message.payload == "m'"
+        assert not record.alert
+
+    def test_algorithm4_alerts_on_the_late_message(self):
+        # ...but when the bypassed m finally arrives, all of f(p_i) is
+        # already covered and the alert fires — "within the propagation
+        # time of the message", as the paper puts it.
+        endpoints, m, m_prime, m_1, m_2 = self.build_scenario(BasicAlertDetector)
+        p_k = endpoints["p_k"]
+        p_k.on_receive(m_2)
+        p_k.on_receive(m_1)
+        p_k.on_receive(m_prime)
+        (record,) = p_k.on_receive(m)
+        assert record.message.payload == "m"
+        assert record.alert
+
+    def test_algorithm5_also_alerts_with_a_witness_in_L(self):
+        endpoints, m, m_prime, m_1, m_2 = self.build_scenario(
+            lambda: RefinedAlertDetector(max_entries=16)
+        )
+        p_k = endpoints["p_k"]
+        p_k.on_receive(m_2)
+        p_k.on_receive(m_1)
+        p_k.on_receive(m_prime)
+        (record,) = p_k.on_receive(m)
+        # m' ∈ L dominates m on f(p_i): the refined alert keeps firing.
+        assert record.alert
+
+    def test_causal_order_restored_for_later_messages(self):
+        # After the glitch, the system keeps working: a new message from
+        # p_j (which has seen everything) is delivered normally at p_k.
+        endpoints, m, m_prime, m_1, m_2 = self.build_scenario()
+        p_j, p_k = endpoints["p_j"], endpoints["p_k"]
+        p_k.on_receive(m_2)
+        p_k.on_receive(m_1)
+        p_k.on_receive(m_prime)
+        p_k.on_receive(m)
+        p_j.on_receive(m_1)
+        p_j.on_receive(m_2)
+        m_next = p_j.broadcast("next")
+        delivered = p_k.on_receive(m_next)
+        assert [record.message.payload for record in delivered] == ["next"]

@@ -1,0 +1,92 @@
+"""Tests for the markdown report builder."""
+
+import pytest
+
+from repro.analysis.report import ClaimCheck, ExperimentSection, ReportBuilder
+from repro.analysis.stats import proportion_estimate
+from repro.core.errors import ConfigurationError
+
+
+class TestExperimentSection:
+    def test_render_contains_table_and_config(self):
+        section = ExperimentSection(
+            title="Figure X",
+            description="What it shows.",
+            configuration={"R": 100, "K": 4},
+            headers=["k", "eps"],
+        )
+        section.add_row(1, 0.01)
+        section.add_row(2, 0.002)
+        text = section.render()
+        assert "## Figure X" in text
+        assert "R=100" in text
+        assert "| k | eps |" in text
+        assert "0.002" in text
+
+    def test_row_width_validated(self):
+        section = ExperimentSection(title="t", headers=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            section.add_row(1)
+
+    def test_claims_render_with_markers(self):
+        section = ExperimentSection(title="t")
+        section.check("optimum is interior", True, "K=3 beats K=1 and K=8")
+        section.check("something else", False)
+        text = section.render()
+        assert "✅ optimum is interior" in text
+        assert "❌ something else" in text
+        assert not section.all_claims_pass
+
+    def test_estimate_formatting(self):
+        section = ExperimentSection(title="t", headers=["x", "eps"])
+        section.add_row(1, proportion_estimate(5, 1000))
+        assert "[" in section.render()
+
+
+class TestReportBuilder:
+    def test_document_structure(self):
+        report = ReportBuilder("My repro", preamble="Intro text.")
+        section = report.section("Exp 1", headers=["a"])
+        section.add_row(1)
+        section.check("claim", True)
+        text = report.render()
+        assert text.startswith("# My repro")
+        assert "Intro text." in text
+        assert "## Exp 1" in text
+        assert report.all_claims_pass
+
+    def test_failing_sections_flagged_up_top(self):
+        report = ReportBuilder("r")
+        bad = report.section("Bad Exp")
+        bad.check("broken claim", False)
+        text = report.render()
+        assert "Attention" in text
+        assert "Bad Exp" in text
+
+    def test_write_to_file(self, tmp_path):
+        report = ReportBuilder("r")
+        report.section("s").check("c", True)
+        target = tmp_path / "report.md"
+        report.write(str(target))
+        assert "# r" in target.read_text()
+
+    def test_add_sweep_default_columns(self):
+        import dataclasses
+
+        from repro.analysis.sweep import sweep_parameter
+        from repro.sim import PoissonWorkload, SimulationConfig
+
+        base = SimulationConfig(
+            n_nodes=8, r=16, k=2, duration_ms=3000.0,
+            workload=PoissonWorkload(700.0),
+        )
+        points = sweep_parameter(
+            base, [2, 3],
+            lambda cfg, k: dataclasses.replace(cfg, k=k),
+            repeats=1,
+        )
+        section = ExperimentSection(title="sweep")
+        section.add_sweep(points)
+        text = section.render()
+        assert "| value | eps_min |" in text
+        assert len(section.rows) == 2

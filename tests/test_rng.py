@@ -1,0 +1,126 @@
+"""Tests for the deterministic random source."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.util.rng import RandomSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(seed=11)
+        b = RandomSource(seed=11)
+        assert [a.integer(0, 100) for _ in range(20)] == [
+            b.integer(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(seed=1)
+        b = RandomSource(seed=2)
+        assert [a.integer(0, 10**9) for _ in range(5)] != [
+            b.integer(0, 10**9) for _ in range(5)
+        ]
+
+    def test_spawn_is_independent_of_parent_consumption(self):
+        parent_a = RandomSource(seed=5)
+        parent_b = RandomSource(seed=5)
+        parent_b.integer(0, 100)  # consume some draws
+        child_a = parent_a.spawn("network")
+        child_b = parent_b.spawn("network")
+        assert [child_a.random() for _ in range(10)] == [
+            child_b.random() for _ in range(10)
+        ]
+
+    def test_spawn_names_give_distinct_streams(self):
+        root = RandomSource(seed=5)
+        one = root.spawn("alpha")
+        two = root.spawn("beta")
+        assert [one.random() for _ in range(5)] != [two.random() for _ in range(5)]
+
+
+class TestInteger:
+    def test_range_respected(self):
+        rng = RandomSource(seed=0)
+        draws = [rng.integer(3, 9) for _ in range(500)]
+        assert min(draws) >= 3 and max(draws) < 9
+        assert set(draws) == {3, 4, 5, 6, 7, 8}
+
+    def test_empty_range_rejected(self):
+        rng = RandomSource(seed=0)
+        with pytest.raises(ConfigurationError):
+            rng.integer(5, 5)
+
+    def test_huge_range_beyond_64_bits(self):
+        # set_id spaces like C(100, 8) ≈ 1.9e11 fit in 64 bits, but very
+        # large (R, K) do not; the sampler must still be uniform-ish and
+        # in-range.
+        rng = RandomSource(seed=0)
+        high = 1 << 130
+        draws = [rng.integer(0, high) for _ in range(50)]
+        assert all(0 <= d < high for d in draws)
+        assert any(d > (1 << 64) for d in draws)  # actually uses the space
+
+    def test_huge_range_deterministic(self):
+        high = (1 << 100) + 7
+        a = [RandomSource(seed=3).integer(0, high) for _ in range(1)]
+        b = [RandomSource(seed=3).integer(0, high) for _ in range(1)]
+        assert a == b
+
+
+class TestDistributions:
+    def test_uniform_bounds(self):
+        rng = RandomSource(seed=1)
+        draws = [rng.uniform(2.0, 3.0) for _ in range(200)]
+        assert all(2.0 <= d < 3.0 for d in draws)
+
+    def test_gauss_moments(self):
+        rng = RandomSource(seed=1)
+        draws = [rng.gauss(100, 20) for _ in range(20_000)]
+        mean = sum(draws) / len(draws)
+        std = math.sqrt(sum((d - mean) ** 2 for d in draws) / len(draws))
+        assert mean == pytest.approx(100, abs=1.0)
+        assert std == pytest.approx(20, abs=1.0)
+
+    def test_gauss_positive_floor(self):
+        rng = RandomSource(seed=1)
+        # Mean far below the floor: resampling fails, fallback kicks in.
+        draws = [rng.gauss_positive(-100, 1, floor=0.0) for _ in range(10)]
+        assert all(d > 0 for d in draws)
+        # Regular case: all positive, distribution barely affected.
+        draws = [rng.gauss_positive(100, 20) for _ in range(1000)]
+        assert all(d > 0 for d in draws)
+
+    def test_exponential_mean(self):
+        rng = RandomSource(seed=2)
+        draws = [rng.exponential(50.0) for _ in range(20_000)]
+        assert sum(draws) / len(draws) == pytest.approx(50.0, rel=0.05)
+
+    def test_exponential_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(seed=0).exponential(0.0)
+
+
+class TestCollections:
+    def test_choice(self):
+        rng = RandomSource(seed=3)
+        items = ["a", "b", "c"]
+        assert all(rng.choice(items) in items for _ in range(50))
+        with pytest.raises(ConfigurationError):
+            rng.choice([])
+
+    def test_sample_distinct(self):
+        rng = RandomSource(seed=3)
+        picked = rng.sample(list(range(10)), 4)
+        assert len(picked) == 4
+        assert len(set(picked)) == 4
+        with pytest.raises(ConfigurationError):
+            rng.sample([1, 2], 3)
+
+    def test_shuffle_is_permutation(self):
+        rng = RandomSource(seed=3)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items

@@ -1,0 +1,283 @@
+"""Integration tests: full simulated runs across configurations.
+
+These are the end-to-end checks that the evaluation environment of §5.4
+behaves: liveness (everything sent is delivered everywhere), determinism,
+the zero-error baselines, and the existence of violations exactly where
+the paper predicts them.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim import (
+    ChurnAction,
+    ChurnEvent,
+    ConstantDelayModel,
+    GaussianDelayModel,
+    PoissonChurn,
+    PoissonWorkload,
+    PushGossip,
+    ScriptedChurn,
+    SimulationConfig,
+    run_simulation,
+)
+from repro.sim.runner import NodeApplication
+
+
+def quick_config(**overrides):
+    base = dict(
+        n_nodes=15,
+        r=30,
+        k=3,
+        duration_ms=15_000.0,
+        seed=42,
+        workload=PoissonWorkload(1000.0),
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestLiveness:
+    def test_everything_sent_is_delivered_everywhere(self):
+        result = run_simulation(quick_config())
+        assert result.sent > 0
+        assert result.undelivered_messages == 0
+        assert result.stuck_pending == 0
+        assert result.delivered_remote == result.sent * (result.config.n_nodes - 1)
+
+    def test_liveness_for_every_clock_mode(self):
+        for clock in ("probabilistic", "plausible", "lamport", "vector"):
+            result = run_simulation(quick_config(clock=clock, duration_ms=8000.0))
+            assert result.undelivered_messages == 0, clock
+            assert result.stuck_pending == 0, clock
+
+    def test_counters_are_consistent(self):
+        result = run_simulation(quick_config())
+        counters = result.counters
+        assert counters.deliveries == (
+            counters.correct + counters.violations + counters.ambiguous
+        )
+        assert 0.0 <= counters.eps_min <= counters.eps_max <= 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        first = run_simulation(quick_config())
+        second = run_simulation(quick_config())
+        assert first.sent == second.sent
+        assert first.counters.deliveries == second.counters.deliveries
+        assert first.counters.violations == second.counters.violations
+        assert first.latency["mean"] == second.latency["mean"]
+
+    def test_different_seed_different_run(self):
+        first = run_simulation(quick_config(seed=1))
+        second = run_simulation(quick_config(seed=2))
+        assert first.sent != second.sent or first.latency["mean"] != second.latency["mean"]
+
+
+class TestZeroErrorBaselines:
+    def test_vector_clock_never_violates(self):
+        result = run_simulation(
+            quick_config(clock="vector", workload=PoissonWorkload(200.0))
+        )
+        assert result.counters.violations == 0
+        assert result.counters.ambiguous == 0
+
+    def test_constant_delay_never_violates(self):
+        # No network reordering -> P_nc = 0 -> no errors even with tiny R.
+        result = run_simulation(
+            quick_config(
+                r=8,
+                k=2,
+                delay_model=ConstantDelayModel(100.0),
+                workload=PoissonWorkload(200.0),
+            )
+        )
+        assert result.counters.violations == 0
+        assert result.counters.ambiguous == 0
+
+    def test_low_load_rarely_violates(self):
+        # The paper's observation: when inter-send time >> transit time,
+        # causal order comes (nearly) free.
+        result = run_simulation(quick_config(workload=PoissonWorkload(10_000.0)))
+        assert result.counters.eps_max <= 0.01
+
+
+class TestViolationsUnderPressure:
+    def test_small_r_high_load_produces_violations(self):
+        result = run_simulation(
+            SimulationConfig(
+                n_nodes=30,
+                r=12,
+                k=2,
+                duration_ms=60_000.0,
+                seed=7,
+                workload=PoissonWorkload(250.0),
+            )
+        )
+        assert result.counters.violations > 0
+        assert result.counters.eps_min > 0
+
+    def test_algorithm4_catches_every_bypassed_delivery(self):
+        result = run_simulation(
+            SimulationConfig(
+                n_nodes=30,
+                r=12,
+                k=2,
+                duration_ms=60_000.0,
+                seed=7,
+                detector="basic",
+                workload=PoissonWorkload(250.0),
+            )
+        )
+        assert result.alerts.late_caught > 0
+        assert result.alerts.late_missed == 0
+        assert result.alerts.recall_late == 1.0
+
+    def test_vector_clock_beats_probabilistic_on_errors(self):
+        shared = dict(
+            n_nodes=25, duration_ms=40_000.0, seed=11, workload=PoissonWorkload(250.0)
+        )
+        probabilistic = run_simulation(SimulationConfig(r=12, k=2, **shared))
+        exact = run_simulation(SimulationConfig(clock="vector", **shared))
+        assert exact.counters.violations == 0
+        assert probabilistic.counters.violations > exact.counters.violations
+
+
+class TestDissemination:
+    def test_gossip_run_completes_and_dedups(self):
+        config = quick_config(
+            dissemination=PushGossip(GaussianDelayModel(), fanout=6),
+            duration_ms=8000.0,
+        )
+        result = run_simulation(config)
+        assert result.duplicates > 0  # gossip redundancy absorbed
+        assert result.counters.deliveries > 0
+
+    def test_latency_reflects_delay_model(self):
+        result = run_simulation(
+            quick_config(delay_model=ConstantDelayModel(250.0), duration_ms=8000.0)
+        )
+        assert result.latency["mean"] == pytest.approx(250.0, abs=5.0)
+
+
+class TestChurn:
+    def test_scripted_joins_and_leaves(self):
+        script = ScriptedChurn(
+            [
+                ChurnEvent(time=2000.0, action=ChurnAction.JOIN),
+                ChurnEvent(time=4000.0, action=ChurnAction.JOIN),
+                ChurnEvent(time=6000.0, action=ChurnAction.LEAVE),
+            ]
+        )
+        result = run_simulation(quick_config(churn=script, duration_ms=12_000.0))
+        assert result.joins == 2
+        assert result.leaves == 1
+        assert result.stuck_pending == 0
+
+    def test_poisson_churn_stays_live(self):
+        churn = PoissonChurn(
+            join_interval_ms=3000.0, leave_interval_ms=3000.0, min_population=5
+        )
+        result = run_simulation(quick_config(churn=churn, duration_ms=20_000.0))
+        assert result.stuck_pending == 0
+        assert result.joins >= 0 and result.leaves >= 0
+
+    def test_joined_node_participates(self):
+        script = ScriptedChurn([ChurnEvent(time=1000.0, action=ChurnAction.JOIN)])
+        result = run_simulation(
+            quick_config(churn=script, workload=PoissonWorkload(500.0))
+        )
+        # The newcomer both sends and receives: mean membership above N.
+        assert result.mean_membership > result.config.n_nodes
+
+
+class TestApplications:
+    def test_application_sees_every_remote_delivery(self):
+        deliveries = []
+
+        class Probe(NodeApplication):
+            def make_payload(self, node_id, now):
+                return ("op", node_id)
+
+            def on_deliver(self, node_id, record, verdict, now):
+                deliveries.append((node_id, record.message.payload))
+
+        result = run_simulation(
+            quick_config(application_factory=lambda node_id: Probe())
+        )
+        assert len(deliveries) == result.delivered_remote
+        assert all(payload[0] == "op" for _, payload in deliveries)
+
+
+class TestValidation:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_simulation(SimulationConfig(n_nodes=0))
+        with pytest.raises(ConfigurationError):
+            run_simulation(SimulationConfig(n_nodes=5, clock="quantum"))
+        with pytest.raises(ConfigurationError):
+            run_simulation(SimulationConfig(n_nodes=5, k=200, r=100))
+        with pytest.raises(ConfigurationError):
+            run_simulation(SimulationConfig(n_nodes=5, duration_ms=0))
+        with pytest.raises(ConfigurationError):
+            run_simulation(SimulationConfig(n_nodes=5, detector="psychic"))
+        with pytest.raises(ConfigurationError):
+            run_simulation(SimulationConfig(n_nodes=5, key_assigner="florp"))
+
+    def test_max_messages_caps_sending(self):
+        result = run_simulation(quick_config(max_messages=10))
+        assert result.sent <= 10
+
+    def test_key_assigner_variants_run(self):
+        for assigner in ("random", "random-colliding", "perfect", "sequential", "hash"):
+            result = run_simulation(
+                quick_config(key_assigner=assigner, duration_ms=5000.0)
+            )
+            assert result.undelivered_messages == 0, assigner
+
+    def test_detector_variants_run(self):
+        for detector in ("none", "basic", "refined"):
+            result = run_simulation(quick_config(detector=detector, duration_ms=5000.0))
+            assert result.counters.deliveries > 0, detector
+
+
+class TestAdaptiveK:
+    def test_adaptive_converges_toward_optimum(self):
+        from collections import Counter
+
+        from repro.core.theory import optimal_k_int
+
+        result = run_simulation(
+            SimulationConfig(
+                n_nodes=30,
+                r=50,
+                k=10,  # mis-dimensioned: actual X will be ~10 -> optimum ~3
+                key_assigner="random-colliding",
+                workload=PoissonWorkload(300.0),
+                duration_ms=20_000.0,
+                seed=6,
+                adaptive_k_interval_ms=2_000.0,
+                detector="none",
+            )
+        )
+        assert result.adaptive_rekeys >= 25
+        optimum = optimal_k_int(50, result.measured_concurrency)
+        common_k = Counter(result.final_k_values).most_common(1)[0][0]
+        assert abs(common_k - optimum) <= 2
+        assert result.stuck_pending == 0
+
+    def test_static_runs_report_zero_rekeys(self):
+        result = run_simulation(quick_config())
+        assert result.adaptive_rekeys == 0
+        assert set(result.final_k_values) == {result.config.k}
+
+    def test_adaptive_requires_probabilistic_clock(self):
+        with pytest.raises(ConfigurationError):
+            run_simulation(
+                quick_config(clock="vector", adaptive_k_interval_ms=1000.0)
+            )
+        with pytest.raises(ConfigurationError):
+            run_simulation(quick_config(adaptive_k_interval_ms=0.0))

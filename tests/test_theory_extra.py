@@ -1,0 +1,114 @@
+"""Additional closed-form checks: cross-validation of the theory module
+against brute-force/exhaustive computations (no simulator involved)."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combinatorics import binomial, num_key_sets, unrank_lex
+from repro.core.theory import (
+    expected_concurrency,
+    optimal_k_int,
+    p_entry_covered,
+    p_error,
+    timestamp_overhead_bits,
+)
+from repro.util.rng import RandomSource
+
+
+class TestPErrorAgainstMonteCarlo:
+    def test_covering_probability_matches_direct_simulation(self):
+        """P_err(R, K, X) approximates the probability that X random
+        K-subsets jointly cover a fixed K-subset.  Monte-Carlo the exact
+        combinatorial event and compare."""
+        r, k, x = 12, 3, 6
+        rng = RandomSource(seed=31)
+        total = num_key_sets(r, k)
+        target = set(unrank_lex(0, r, k))
+        trials = 30_000
+        hits = 0
+        for _ in range(trials):
+            covered = set()
+            for _ in range(x):
+                covered.update(unrank_lex(rng.integer(0, total), r, k))
+            if target <= covered:
+                hits += 1
+        measured = hits / trials
+        predicted = p_error(r, k, x)
+        # The closed form treats entry hits as independent (Bloom-filter
+        # style); the true draw is without replacement within one subset,
+        # so a modest tolerance is expected.
+        assert measured == pytest.approx(predicted, rel=0.25)
+
+    def test_entry_covered_matches_direct_simulation(self):
+        r, k, x = 10, 2, 5
+        rng = RandomSource(seed=32)
+        total = num_key_sets(r, k)
+        trials = 30_000
+        hits = 0
+        for _ in range(trials):
+            covered = False
+            for _ in range(x):
+                if 0 in unrank_lex(rng.integer(0, total), r, k):
+                    covered = True
+                    break
+            if covered:
+                hits += 1
+        assert hits / trials == pytest.approx(p_entry_covered(r, k, x), rel=0.1)
+
+
+class TestOptimalKExhaustive:
+    @pytest.mark.parametrize("r,x", [(20, 4), (50, 10), (100, 20), (100, 5)])
+    def test_integer_optimum_is_argmin(self, r, x):
+        values = {k: p_error(r, k, x) for k in range(1, r + 1)}
+        best = min(values, key=values.get)
+        assert optimal_k_int(r, x) == best
+
+
+class TestDimensioningIdentities:
+    def test_concurrency_is_rate_times_delay(self):
+        assert expected_concurrency(150, 200) == pytest.approx(30.0)
+
+    @given(
+        r=st.integers(1, 512),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_overhead_monotone_in_r_and_k(self, r, data):
+        k = data.draw(st.integers(1, r))
+        base = timestamp_overhead_bits(r, k)
+        if r < 512:
+            assert timestamp_overhead_bits(r + 1, k) > base
+        if k < r:
+            assert timestamp_overhead_bits(r, k + 1) >= base
+
+
+class TestCombinatoricsCrossChecks:
+    def test_unrank_enumerates_uniformly(self):
+        """Random set_ids hit every subset with near-equal frequency —
+        the uniformity assumption behind the Bloom analysis."""
+        r, k = 6, 2
+        total = num_key_sets(r, k)
+        rng = RandomSource(seed=33)
+        counts = {}
+        draws = 15_000
+        for _ in range(draws):
+            keys = unrank_lex(rng.integer(0, total), r, k)
+            counts[keys] = counts.get(keys, 0) + 1
+        assert len(counts) == total
+        expected = draws / total
+        for subset, count in counts.items():
+            assert abs(count - expected) < expected * 0.3, subset
+
+    def test_every_entry_equally_loaded_across_the_space(self):
+        """Across the whole subset space, every entry appears in exactly
+        C(r-1, k-1) subsets — the symmetry p_entry_covered relies on."""
+        r, k = 7, 3
+        loads = [0] * r
+        for rank in range(num_key_sets(r, k)):
+            for entry in unrank_lex(rank, r, k):
+                loads[entry] += 1
+        assert all(load == binomial(r - 1, k - 1) for load in loads)

@@ -1,0 +1,111 @@
+"""Tests for the tracing module."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim import PoissonWorkload, SimulationConfig, run_simulation
+from repro.sim.trace import TraceKind, TraceRecorder, TracingApplication
+
+
+class TestTraceRecorder:
+    def test_record_and_query(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, TraceKind.SEND, "a", ("a", 1))
+        recorder.record(2.0, TraceKind.DELIVER, "b", ("a", 1))
+        recorder.record(3.0, TraceKind.DELIVER, "c", ("a", 1))
+        recorder.record(4.0, TraceKind.SEND, "b", ("b", 1))
+        assert len(recorder) == 4
+        assert len(recorder.select(kind=TraceKind.DELIVER)) == 2
+        assert len(recorder.select(node="b")) == 2
+        assert len(recorder.message_timeline(("a", 1))) == 3
+
+    def test_none_is_a_legal_node_id(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, TraceKind.SEND, None)
+        recorder.record(2.0, TraceKind.SEND, "x")
+        assert len(recorder.select(node=None)) == 1
+        assert len(recorder.select()) == 2
+
+    def test_since_and_predicate_filters(self):
+        recorder = TraceRecorder()
+        for t in range(10):
+            recorder.record(float(t), TraceKind.SEND, t % 2)
+        assert len(recorder.select(since=5.0)) == 5
+        assert len(recorder.select(predicate=lambda e: e.node == 0)) == 5
+
+    def test_ring_buffer_drops_oldest(self):
+        recorder = TraceRecorder(capacity=3)
+        for t in range(5):
+            recorder.record(float(t), TraceKind.SEND, "a")
+        assert len(recorder) == 3
+        assert recorder.dropped == 2
+        assert recorder.events()[0].time == 2.0
+        assert "earlier events dropped" in recorder.format()
+
+    def test_counts_by_kind(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, TraceKind.SEND, "a")
+        recorder.record(2.0, TraceKind.ALERT, "a")
+        recorder.record(3.0, TraceKind.ALERT, "b")
+        counts = recorder.counts_by_kind()
+        assert counts[TraceKind.SEND] == 1
+        assert counts[TraceKind.ALERT] == 2
+
+    def test_format_limit(self):
+        recorder = TraceRecorder()
+        for t in range(10):
+            recorder.record(float(t), TraceKind.SEND, "a")
+        assert len(recorder.format(limit=3).splitlines()) == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(capacity=0)
+
+    def test_event_format_includes_detail(self):
+        recorder = TraceRecorder()
+        recorder.record(1.5, TraceKind.CUSTOM, "n", detail="hello")
+        assert "hello" in recorder.format()
+
+
+class TestTracingApplication:
+    def test_traces_a_whole_run(self):
+        recorder = TraceRecorder()
+        result = run_simulation(
+            SimulationConfig(
+                n_nodes=10,
+                r=20,
+                k=2,
+                duration_ms=8_000.0,
+                seed=2,
+                workload=PoissonWorkload(800.0),
+                application_factory=TracingApplication(recorder),
+            )
+        )
+        counts = recorder.counts_by_kind()
+        assert counts[TraceKind.SEND] == result.sent
+        assert counts[TraceKind.DELIVER] == result.delivered_remote
+        assert counts.get(TraceKind.VIOLATION, 0) == result.counters.violations
+        assert counts.get(TraceKind.AMBIGUOUS, 0) == result.counters.ambiguous
+
+    def test_message_timeline_is_send_then_deliveries(self):
+        recorder = TraceRecorder()
+        run_simulation(
+            SimulationConfig(
+                n_nodes=6,
+                r=12,
+                k=2,
+                duration_ms=5_000.0,
+                seed=3,
+                workload=PoissonWorkload(1_000.0),
+                application_factory=TracingApplication(recorder),
+            )
+        )
+        sends = recorder.select(kind=TraceKind.SEND)
+        assert sends, "the run should have sent something"
+        # Note: the tracing app numbers messages per node, matching the
+        # protocol's (sender, seq) ids.
+        timeline = recorder.message_timeline(sends[0].message_id)
+        assert timeline[0].kind is TraceKind.SEND
+        deliveries = [e for e in timeline if e.kind is TraceKind.DELIVER]
+        assert len(deliveries) == 5  # everyone else delivered it
+        assert all(e.time >= timeline[0].time for e in timeline)
