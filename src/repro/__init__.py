@@ -15,14 +15,28 @@ broadcast mechanism, with:
 * :mod:`repro.analysis` — statistics, parameter sweeps, and table/series
   rendering for the experiment harness.
 
-Quickstart::
+Quickstart (simulation)::
 
     from repro import SimulationConfig, run_simulation
     result = run_simulation(SimulationConfig(n_nodes=50, r=100, k=4,
                                              duration_ms=30_000, seed=1))
     print(result.summary())
+
+Quickstart (networked node, the :mod:`repro.api` factory)::
+
+    from repro import NodeConfig, create_node
+    node = await create_node("alice", NodeConfig(r=128, k=3))
+    node.add_peer(("127.0.0.1", 9001))
+    await node.broadcast("hello")
 """
 
+from repro.api import (
+    NodeConfig,
+    create_clock,
+    create_detector,
+    create_endpoint,
+    create_node,
+)
 from repro.core import (
     BasicAlertDetector,
     CausalBroadcastEndpoint,
@@ -46,6 +60,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # the assembly API — the documented way to build a participant
+    "NodeConfig",
+    "create_clock",
+    "create_detector",
+    "create_endpoint",
+    "create_node",
     # most-used core names, re-exported for convenience
     "Timestamp",
     "EntryVectorClock",

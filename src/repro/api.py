@@ -1,0 +1,299 @@
+"""The one-call assembly API: configure a node, get a running endpoint.
+
+Hand-wiring a deployable participant used to take five constructors
+(keyspace → clock → detector → endpoint → transport).  This module
+collapses that into a declarative :class:`NodeConfig` plus two factories:
+
+* :func:`create_endpoint` — a transport-less protocol endpoint (any
+  member of the (n, r, k) clock family), for embedding in your own I/O;
+* :func:`create_node` — a fully wired networked node: UDP transport (or
+  any transport you pass), reliable session (acks, retransmission,
+  anti-entropy) and the protocol endpoint.
+
+Every point of the paper's design space is one config away::
+
+    from repro.api import NodeConfig, create_node
+
+    config = NodeConfig(r=128, k=3, scheme="probabilistic")
+    node = await create_node("alice", config)          # binds loopback UDP
+    node.add_peer(("127.0.0.1", 9001))
+    await node.start()
+    await node.broadcast({"op": "add", "item": "milk"})
+
+The old constructors keep working — this is a facade, not a rewrite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, Sequence, Tuple
+
+from repro.core.clocks import (
+    EntryVectorClock,
+    LamportCausalClock,
+    PlausibleCausalClock,
+    ProbabilisticCausalClock,
+    VectorCausalClock,
+)
+from repro.core.codec import JsonPayloadCodec, MessageCodec, RawBytesPayloadCodec
+from repro.core.detector import (
+    BasicAlertDetector,
+    DeliveryErrorDetector,
+    NullDetector,
+    RefinedAlertDetector,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.keyspace import HashKeyAssigner, KeyAssigner
+from repro.core.protocol import CausalBroadcastEndpoint, DeliveryRecord
+from repro.net.node import ReliableCausalNode
+from repro.net.peer import Transport
+from repro.net.session import RetransmitPolicy
+from repro.net.udp import UdpTransport
+
+__all__ = [
+    "NodeConfig",
+    "create_clock",
+    "create_detector",
+    "create_endpoint",
+    "create_node",
+]
+
+SCHEMES = ("probabilistic", "plausible", "lamport", "vector")
+DETECTORS = ("none", "basic", "refined")
+PAYLOAD_CODECS = ("json", "raw")
+
+DeliveryHandler = Callable[[DeliveryRecord], None]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Everything needed to assemble one causal broadcast participant.
+
+    Clock family (the paper's (a, b, c) design space):
+
+    Attributes:
+        r: vector size R (ignored by ``lamport``; equals N for ``vector``).
+        k: entries per process K (``probabilistic`` only; the others fix it).
+        scheme: ``probabilistic`` (n, r, k) | ``plausible`` (n, r, 1) |
+            ``lamport`` (n, 1, 1) | ``vector`` (n, n, 1).
+        n: system size; required by ``scheme="vector"`` (it sizes the vector).
+        detector: pre-delivery alert check — ``none`` | ``basic``
+            (Algorithm 4) | ``refined`` (Algorithm 5).
+        keys: explicit key set (overrides the hash-derived assignment).
+        keyspace_seed: salts the coordination-free hash key assignment,
+            so disjoint deployments draw independent key sets.
+
+    Transport and reliability (used by :func:`create_node`):
+
+    Attributes:
+        host: bind address for the default UDP transport.
+        port: bind port (0 picks an ephemeral port).
+        payload_codec: application payload wire format: ``json`` | ``raw``.
+        ack_timeout: initial retransmit timeout in seconds.
+        backoff_factor: exponential backoff multiplier per retransmission.
+        max_retry_timeout: ceiling on the per-frame timeout.
+        max_retries: retransmissions before a frame is left to anti-entropy.
+        send_buffer: per-peer unacked-frame bound (backpressure beyond it).
+        anti_entropy_interval: seconds between digest rounds (0 disables).
+        store_limit: bound on the recent-messages store serving anti-entropy.
+        max_pending: optional safety bound on the endpoint's pending queue.
+    """
+
+    r: int = 128
+    k: int = 3
+    scheme: str = "probabilistic"
+    n: Optional[int] = None
+    detector: str = "basic"
+    keys: Optional[Tuple[int, ...]] = None
+    keyspace_seed: int = 0
+    host: str = "127.0.0.1"
+    port: int = 0
+    payload_codec: str = "json"
+    ack_timeout: float = 0.05
+    backoff_factor: float = 2.0
+    max_retry_timeout: float = 2.0
+    max_retries: int = 10
+    send_buffer: int = 1024
+    anti_entropy_interval: float = 0.5
+    store_limit: int = 8192
+    max_pending: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ConfigurationError(
+                f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}"
+            )
+        if self.detector not in DETECTORS:
+            raise ConfigurationError(
+                f"unknown detector {self.detector!r}; expected one of {DETECTORS}"
+            )
+        if self.payload_codec not in PAYLOAD_CODECS:
+            raise ConfigurationError(
+                f"unknown payload codec {self.payload_codec!r}; "
+                f"expected one of {PAYLOAD_CODECS}"
+            )
+        if self.scheme == "vector" and self.n is None:
+            raise ConfigurationError('scheme="vector" needs n (the system size)')
+        if self.r <= 0:
+            raise ConfigurationError(f"vector size R must be positive, got {self.r}")
+        if self.k <= 0:
+            raise ConfigurationError(f"key count K must be positive, got {self.k}")
+        if self.scheme == "probabilistic" and self.k > self.r:
+            raise ConfigurationError(f"need K <= R, got K={self.k}, R={self.r}")
+        if self.anti_entropy_interval < 0:
+            raise ConfigurationError(
+                f"anti_entropy_interval must be >= 0, got {self.anti_entropy_interval}"
+            )
+
+    def replace(self, **changes: Any) -> "NodeConfig":
+        """A copy with the given fields changed (frozen-dataclass helper)."""
+        return dataclasses.replace(self, **changes)
+
+    def retransmit_policy(self) -> RetransmitPolicy:
+        """The reliability knobs as a session policy."""
+        return RetransmitPolicy(
+            initial_timeout=self.ack_timeout,
+            backoff_factor=self.backoff_factor,
+            max_timeout=self.max_retry_timeout,
+            max_retries=self.max_retries,
+            send_buffer=self.send_buffer,
+        )
+
+
+def _hash_keys(node_id: Hashable, config: NodeConfig, k: int) -> Tuple[int, ...]:
+    """Coordination-free key assignment: stable per (seed, node id).
+
+    Uses :class:`HashKeyAssigner` so a node leaving and rejoining gets
+    the same keys without any shared assigner state — the right default
+    for networked nodes that cannot consult a central allocator.
+    """
+    assigner = HashKeyAssigner(config.r, k)
+    return assigner.assign((config.keyspace_seed, node_id)).keys
+
+
+def create_clock(
+    node_id: Hashable,
+    config: NodeConfig,
+    *,
+    index: Optional[int] = None,
+    assigner: Optional[KeyAssigner] = None,
+) -> EntryVectorClock:
+    """Build the configured clock-family member for ``node_id``.
+
+    Args:
+        node_id: the process identity (drives hash key assignment).
+        config: the node configuration.
+        index: dense process index, required by ``scheme="vector"``.
+        assigner: optional coordinated :class:`KeyAssigner`; when given,
+            ``assigner.assign(node_id)`` replaces the hash assignment
+            (``probabilistic``/``plausible`` schemes only).
+    """
+    if config.keys is not None:
+        keys: Sequence[int] = config.keys
+    elif assigner is not None:
+        keys = assigner.assign(node_id).keys
+    else:
+        keys = ()
+
+    if config.scheme == "probabilistic":
+        if not keys:
+            keys = _hash_keys(node_id, config, config.k)
+        return ProbabilisticCausalClock(config.r, keys)
+    if config.scheme == "plausible":
+        if not keys:
+            keys = _hash_keys(node_id, config, 1)
+        if len(keys) != 1:
+            raise ConfigurationError(
+                f'scheme="plausible" owns exactly one entry, got {tuple(keys)}'
+            )
+        return PlausibleCausalClock(config.r, keys[0])
+    if config.scheme == "lamport":
+        return LamportCausalClock()
+    # scheme == "vector": needs a dense index, not a key set.
+    if index is None:
+        raise ConfigurationError(
+            'scheme="vector" needs index= (this node\'s dense process index)'
+        )
+    return VectorCausalClock(config.n, index)
+
+
+def create_detector(config: NodeConfig) -> DeliveryErrorDetector:
+    """Build the configured delivery-error detector."""
+    if config.detector == "none":
+        return NullDetector()
+    if config.detector == "basic":
+        return BasicAlertDetector()
+    return RefinedAlertDetector()
+
+
+def create_endpoint(
+    node_id: Hashable,
+    config: Optional[NodeConfig] = None,
+    *,
+    on_delivery: Optional[DeliveryHandler] = None,
+    index: Optional[int] = None,
+    assigner: Optional[KeyAssigner] = None,
+) -> CausalBroadcastEndpoint:
+    """Build a transport-less protocol endpoint from a config.
+
+    The endpoint is the pure protocol machine (Algorithms 1–2 plus the
+    configured detector); feed it yourself, or use :func:`create_node`
+    for the batteries-included networked version.
+    """
+    config = config if config is not None else NodeConfig()
+    return CausalBroadcastEndpoint(
+        process_id=str(node_id),
+        clock=create_clock(node_id, config, index=index, assigner=assigner),
+        detector=create_detector(config),
+        deliver_callback=on_delivery,
+        max_pending=config.max_pending,
+    )
+
+
+def _message_codec(config: NodeConfig) -> MessageCodec:
+    payload = JsonPayloadCodec() if config.payload_codec == "json" else RawBytesPayloadCodec()
+    return MessageCodec(payload_codec=payload)
+
+
+async def create_node(
+    node_id: Hashable,
+    config: Optional[NodeConfig] = None,
+    *,
+    transport: Optional[Transport] = None,
+    on_delivery: Optional[DeliveryHandler] = None,
+    index: Optional[int] = None,
+    assigner: Optional[KeyAssigner] = None,
+    start: bool = True,
+) -> ReliableCausalNode:
+    """Build (and by default start) a fully wired networked node.
+
+    Args:
+        node_id: this node's identity.
+        config: the node configuration (defaults to :class:`NodeConfig()`).
+        transport: datagram substrate; ``None`` binds a fresh UDP socket
+            on ``(config.host, config.port)``.
+        on_delivery: synchronous callback per delivery.
+        index: dense process index (``scheme="vector"`` only).
+        assigner: optional coordinated key assigner (see :func:`create_clock`).
+        start: start the retransmit timer and anti-entropy loop before
+            returning (pass False to start manually later).
+    """
+    config = config if config is not None else NodeConfig()
+    if transport is None:
+        transport = await UdpTransport.create(host=config.host, port=config.port)
+    node = ReliableCausalNode(
+        node_id=node_id,
+        clock=create_clock(node_id, config, index=index, assigner=assigner),
+        transport=transport,
+        detector=create_detector(config),
+        codec=_message_codec(config),
+        on_delivery=on_delivery,
+        policy=config.retransmit_policy(),
+        anti_entropy_interval=config.anti_entropy_interval,
+        store_limit=config.store_limit,
+        max_pending=config.max_pending,
+    )
+    if start:
+        await node.start()
+    return node

@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common workflows without writing code:
+Five subcommands cover the common workflows without writing code:
 
 * ``simulate``  — run one experiment and print the measurements;
 * ``sweep``     — sweep K, λ, or N and print the resulting series;
 * ``dimension`` — the §5.3 recipe: given your rates, delay, and a
   timestamp byte budget, pick R and K and predict the error;
-* ``theory``    — print the closed-form P_err(K) curve for an (R, X).
+* ``theory``    — print the closed-form P_err(K) curve for an (R, X);
+* ``node``      — run a real networked node (reliable UDP runtime),
+  assembled by the :mod:`repro.api` factory.
 
 Every command prints plain text; ``simulate --json`` emits a
 machine-readable result instead.
@@ -15,6 +17,7 @@ machine-readable result instead.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import dataclasses
 import json
 import sys
@@ -84,7 +87,45 @@ def build_parser() -> argparse.ArgumentParser:
     theory.add_argument("--x", type=float, default=20.0, help="concurrency X")
     theory.add_argument("--k-max", type=int, default=12)
 
+    node = commands.add_parser(
+        "node", help="run one networked node over the reliable UDP runtime"
+    )
+    node.add_argument("--id", default="node", help="this node's identity")
+    node.add_argument("--listen", default="127.0.0.1:0", help="bind host:port")
+    node.add_argument(
+        "--peer", action="append", default=[], metavar="HOST:PORT",
+        help="peer address to broadcast to (repeatable)",
+    )
+    node.add_argument("--r", type=int, default=128)
+    node.add_argument("--k", type=int, default=3)
+    node.add_argument(
+        "--clock",
+        choices=("probabilistic", "plausible", "lamport", "vector"),
+        default="probabilistic",
+    )
+    node.add_argument(
+        "--detector", choices=("none", "basic", "refined"), default="basic"
+    )
+    node.add_argument(
+        "--send", default="hello", help="payload prefix for the broadcasts"
+    )
+    node.add_argument("--count", type=int, default=5, help="broadcasts to send")
+    node.add_argument(
+        "--interval", type=float, default=0.2, help="seconds between broadcasts"
+    )
+    node.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds to keep listening after the last broadcast",
+    )
+
     return parser
+
+
+def _parse_host_port(value: str) -> tuple:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {value!r}")
+    return (host, int(port))
 
 
 def _add_simulation_arguments(parser: argparse.ArgumentParser) -> None:
@@ -235,11 +276,65 @@ def _command_theory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_node(args: argparse.Namespace) -> int:
+    # Imported here so the simulation-only commands stay import-light.
+    from repro.api import NodeConfig, create_node
+
+    host, port = _parse_host_port(args.listen)
+    peer_addresses = [_parse_host_port(peer) for peer in args.peer]
+    config = NodeConfig(
+        r=args.r,
+        k=args.k,
+        scheme=args.clock,
+        n=args.r if args.clock == "vector" else None,
+        detector=args.detector,
+        host=host,
+        port=port,
+    )
+
+    async def run() -> int:
+        try:
+            node = await create_node(
+                args.id,
+                config,
+                on_delivery=lambda record: print(
+                    f"<- {record.message.sender}: {record.message.payload!r}"
+                    + ("  [ALERT]" if record.alert else "")
+                ),
+                index=0 if args.clock == "vector" else None,
+            )
+        except OSError as exc:
+            print(f"cannot bind {host}:{port}: {exc}", file=sys.stderr)
+            return 1
+        print(f"listening on {node.local_address[0]}:{node.local_address[1]} "
+              f"as {args.id!r} (R={config.r}, K={config.k}, {config.scheme})")
+        for peer in peer_addresses:
+            node.add_peer(peer)
+        try:
+            for i in range(args.count):
+                await node.broadcast(f"{args.send}-{i}")
+                await asyncio.sleep(args.interval)
+            await asyncio.sleep(args.duration)
+        finally:
+            stats = node.transport_stats()
+            print(
+                f"sent={stats.data_sent} received={stats.data_received} "
+                f"retransmits={stats.retransmits} nacks={stats.nacks_sent} "
+                f"drops={stats.drops} digests={stats.digests_sent} "
+                f"rtt={'%.4fs' % stats.rtt if stats.rtt is not None else 'n/a'}"
+            )
+            await node.close()
+        return 0
+
+    return asyncio.run(run())
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "sweep": _command_sweep,
     "dimension": _command_dimension,
     "theory": _command_theory,
+    "node": _command_node,
 }
 
 

@@ -21,13 +21,22 @@ steady state, realising the paper's "few integer timestamps" on the wire.
 Payload bytes are produced by a pluggable :class:`PayloadCodec`; the
 default encodes JSON, which covers the CRDT operation payloads used in
 the examples (tuples become lists and are normalised back).
+
+Alongside the message encoding, this module defines the **reliability
+frames** spoken by :class:`repro.net.session.ReliableSession`: a DATA
+frame carrying an opaque payload under a per-link sequence number, ACK
+(cumulative + selective), NACK (explicit missing sequence numbers) and
+DIGEST (per-sender ``(sender, seq)`` frontiers for anti-entropy).  Frames
+use a distinct magic (``b"PF"``) so a receiver can dispatch between raw
+messages and session frames on the first two bytes.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple, Union
 
 import numpy as np
 
@@ -43,6 +52,12 @@ __all__ = [
     "MessageCodec",
     "encode_varint",
     "decode_varint",
+    "DataFrame",
+    "AckFrame",
+    "NackFrame",
+    "DigestFrame",
+    "Frame",
+    "FrameCodec",
 ]
 
 _MAGIC = b"PC"
@@ -237,3 +252,202 @@ class MessageCodec:
     def encoded_size(self, message: Message) -> int:
         """Wire size in bytes (for overhead accounting)."""
         return len(self.encode(message))
+
+
+# ----------------------------------------------------------------------
+# Reliability frames (ReliableSession wire format)
+# ----------------------------------------------------------------------
+
+_FRAME_MAGIC = b"PF"
+_FRAME_VERSION = 1
+_TYPE_DATA = 1
+_TYPE_ACK = 2
+_TYPE_NACK = 3
+_TYPE_DIGEST = 4
+
+_MAX_SACK = 64
+_MAX_NACK = 64
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """A payload under a per-link sequence number (1-based, per peer)."""
+
+    seq: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Cumulative + selective acknowledgement.
+
+    Attributes:
+        cumulative: every link seq ``<= cumulative`` has been received.
+        sacks: ascending tuple of seqs ``> cumulative`` received out of
+            order (capped at 64 on the wire).
+    """
+
+    cumulative: int
+    sacks: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class NackFrame:
+    """Explicit request to retransmit the listed link seqs (ascending)."""
+
+    missing: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DigestFrame:
+    """Anti-entropy digest: per-sender ``(sender, seq)`` frontiers.
+
+    ``frontiers`` maps a sender id to ``(contiguous, extras)``: every seq
+    ``<= contiguous`` of that sender is known, plus the ascending
+    ``extras`` beyond it.  A peer receiving the digest re-sends whatever
+    it holds that the digest does not cover.
+    """
+
+    frontiers: Dict[str, Tuple[int, Tuple[int, ...]]] = field(default_factory=dict)
+
+
+Frame = Union[DataFrame, AckFrame, NackFrame, DigestFrame]
+
+
+def _encode_ascending(values: Tuple[int, ...], base: int) -> bytes:
+    """Delta-encode an ascending sequence as varints (first delta from base)."""
+    parts = [struct.pack("<H", len(values))]
+    previous = base
+    for value in values:
+        if value <= previous:
+            raise CodecError(f"sequence not strictly ascending above {base}: {values}")
+        parts.append(encode_varint(value - previous))
+        previous = value
+    return b"".join(parts)
+
+
+def _decode_ascending(data: bytes, offset: int, base: int) -> Tuple[Tuple[int, ...], int]:
+    (count,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    values = []
+    previous = base
+    for _ in range(count):
+        delta, offset = decode_varint(data, offset)
+        if delta == 0:
+            raise CodecError("zero delta in ascending sequence")
+        previous += delta
+        values.append(previous)
+    return tuple(values), offset
+
+
+class FrameCodec:
+    """Encodes/decodes the session frames (DATA/ACK/NACK/DIGEST).
+
+    Stateless and symmetric; all frames start with ``b"PF"`` + version +
+    type byte, which keeps them distinguishable from message datagrams
+    (``b"PC"``) at the first two bytes — see :func:`FrameCodec.is_frame`.
+    """
+
+    @staticmethod
+    def is_frame(data: bytes) -> bool:
+        """True when ``data`` looks like a session frame (magic check)."""
+        return len(data) >= 4 and data[:2] == _FRAME_MAGIC
+
+    def encode(self, frame: Frame) -> bytes:
+        header = _FRAME_MAGIC + struct.pack("<B", _FRAME_VERSION)
+        if isinstance(frame, DataFrame):
+            if frame.seq < 0:
+                raise CodecError(f"negative link seq {frame.seq}")
+            return b"".join(
+                [
+                    header,
+                    struct.pack("<B", _TYPE_DATA),
+                    struct.pack("<Q", frame.seq),
+                    struct.pack("<I", len(frame.payload)),
+                    frame.payload,
+                ]
+            )
+        if isinstance(frame, AckFrame):
+            sacks = tuple(frame.sacks)[:_MAX_SACK]
+            return b"".join(
+                [
+                    header,
+                    struct.pack("<B", _TYPE_ACK),
+                    struct.pack("<Q", frame.cumulative),
+                    _encode_ascending(sacks, frame.cumulative),
+                ]
+            )
+        if isinstance(frame, NackFrame):
+            missing = tuple(frame.missing)[:_MAX_NACK]
+            if not missing:
+                raise CodecError("a NACK must list at least one seq")
+            return b"".join(
+                [
+                    header,
+                    struct.pack("<B", _TYPE_NACK),
+                    struct.pack("<Q", missing[0]),
+                    _encode_ascending(missing[1:], missing[0]),
+                ]
+            )
+        if isinstance(frame, DigestFrame):
+            if len(frame.frontiers) > 0xFFFF:
+                raise CodecError("digest covers more than 65535 senders")
+            parts = [header, struct.pack("<B", _TYPE_DIGEST)]
+            parts.append(struct.pack("<H", len(frame.frontiers)))
+            for sender in sorted(frame.frontiers):
+                contiguous, extras = frame.frontiers[sender]
+                sender_bytes = str(sender).encode("utf-8")
+                if len(sender_bytes) > 0xFFFF:
+                    raise CodecError("sender id longer than 65535 bytes")
+                parts.append(struct.pack("<H", len(sender_bytes)))
+                parts.append(sender_bytes)
+                parts.append(struct.pack("<Q", contiguous))
+                parts.append(_encode_ascending(tuple(extras), contiguous))
+            return b"".join(parts)
+        raise CodecError(f"not a frame: {type(frame).__name__}")
+
+    def decode(self, data: bytes) -> Frame:
+        if not self.is_frame(data):
+            raise CodecError("bad frame magic")
+        version, frame_type = struct.unpack_from("<BB", data, 2)
+        if version != _FRAME_VERSION:
+            raise CodecError(f"unsupported frame version {version}")
+        offset = 4
+        try:
+            if frame_type == _TYPE_DATA:
+                (seq,) = struct.unpack_from("<Q", data, offset)
+                offset += 8
+                (length,) = struct.unpack_from("<I", data, offset)
+                offset += 4
+                if len(data) < offset + length:
+                    raise CodecError("truncated DATA payload")
+                return DataFrame(seq=seq, payload=data[offset : offset + length])
+            if frame_type == _TYPE_ACK:
+                (cumulative,) = struct.unpack_from("<Q", data, offset)
+                offset += 8
+                sacks, offset = _decode_ascending(data, offset, cumulative)
+                return AckFrame(cumulative=cumulative, sacks=sacks)
+            if frame_type == _TYPE_NACK:
+                (first,) = struct.unpack_from("<Q", data, offset)
+                offset += 8
+                rest, offset = _decode_ascending(data, offset, first)
+                return NackFrame(missing=(first,) + rest)
+            if frame_type == _TYPE_DIGEST:
+                (count,) = struct.unpack_from("<H", data, offset)
+                offset += 2
+                frontiers: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
+                for _ in range(count):
+                    (sender_len,) = struct.unpack_from("<H", data, offset)
+                    offset += 2
+                    if len(data) < offset + sender_len:
+                        raise CodecError("truncated digest sender")
+                    sender = data[offset : offset + sender_len].decode("utf-8")
+                    offset += sender_len
+                    (contiguous,) = struct.unpack_from("<Q", data, offset)
+                    offset += 8
+                    extras, offset = _decode_ascending(data, offset, contiguous)
+                    frontiers[sender] = (contiguous, extras)
+                return DigestFrame(frontiers=frontiers)
+        except struct.error as exc:
+            raise CodecError(f"truncated frame: {exc}") from exc
+        raise CodecError(f"unknown frame type {frame_type}")

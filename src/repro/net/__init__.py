@@ -1,13 +1,22 @@
 """Asyncio deployment layer: run the protocol over real transports.
 
 :mod:`repro.sim` answers "how does the mechanism behave"; this package
-answers "how do I ship it": the same protocol endpoint behind an asyncio
-peer, a binary wire codec, an in-process bus with realistic delays, and
-a UDP transport.
+answers "how do I ship it": the protocol endpoint behind an asyncio
+peer, a binary wire codec, an in-process bus with realistic delays, a
+UDP transport, and — because UDP is fire-and-forget while the paper's
+Algorithm 5 only tolerates *late* messages — a reliability runtime:
+:class:`ReliableSession` (per-peer acks, NACK-driven retransmission
+with backoff, backpressure) and :class:`ReliableCausalNode` (endpoint +
+session + anti-entropy message store).
+
+Assemble nodes with :func:`repro.api.create_node` rather than by hand.
 """
 
 from repro.net.bus import BusTransport, LocalAsyncBus
+from repro.net.faults import FaultyTransport
+from repro.net.node import MessageStore, ReliableCausalNode
 from repro.net.peer import AsyncCausalPeer, Transport
+from repro.net.session import ReliableSession, RetransmitPolicy, TransportStats
 from repro.net.udp import UdpTransport
 
 __all__ = [
@@ -16,4 +25,10 @@ __all__ = [
     "LocalAsyncBus",
     "BusTransport",
     "UdpTransport",
+    "FaultyTransport",
+    "ReliableSession",
+    "RetransmitPolicy",
+    "TransportStats",
+    "MessageStore",
+    "ReliableCausalNode",
 ]

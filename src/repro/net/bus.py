@@ -51,7 +51,7 @@ class LocalAsyncBus:
         self._time_scale = time_scale
         self._loss_rate = loss_rate
         self._duplicate_rate = duplicate_rate
-        self._receivers: Dict[Address, Callable[[bytes], None]] = {}
+        self._receivers: Dict[Address, Callable[[bytes, Address], None]] = {}
         self._in_flight = 0
         self._idle = asyncio.Event()
         self._idle.set()
@@ -69,13 +69,13 @@ class LocalAsyncBus:
     # internal routing
     # ------------------------------------------------------------------
 
-    def _set_receiver(self, address: Address, callback: Callable[[bytes], None]) -> None:
+    def _set_receiver(self, address: Address, callback: Callable[[bytes, Address], None]) -> None:
         self._receivers[address] = callback
 
     def _detach(self, address: Address) -> None:
         self._receivers.pop(address, None)
 
-    async def _send(self, destination: Address, data: bytes) -> None:
+    async def _send(self, source: Address, destination: Address, data: bytes) -> None:
         self.sent += 1
         if self._loss_rate and self._rng.random() < self._loss_rate:
             self.dropped += 1
@@ -89,14 +89,14 @@ class LocalAsyncBus:
             self._in_flight += 1
             self._idle.clear()
             asyncio.get_running_loop().call_later(
-                delay, self._arrive, destination, data
+                delay, self._arrive, destination, data, source
             )
 
-    def _arrive(self, destination: Address, data: bytes) -> None:
+    def _arrive(self, destination: Address, data: bytes, source: Address) -> None:
         try:
             receiver = self._receivers.get(destination)
             if receiver is not None and receiver is not _unset_receiver:
-                receiver(data)
+                receiver(data, source)
             else:
                 self.dropped += 1
         finally:
@@ -129,7 +129,7 @@ class LocalAsyncBus:
         return self._in_flight
 
 
-def _unset_receiver(data: bytes) -> None:
+def _unset_receiver(data: bytes, addr: Address) -> None:
     raise ConfigurationError("transport receiver was never installed")
 
 
@@ -146,9 +146,9 @@ class BusTransport(Transport):
         return self._address
 
     async def send(self, destination: Address, data: bytes) -> None:
-        await self._bus._send(destination, data)
+        await self._bus._send(self._address, destination, data)
 
-    def set_receiver(self, callback: Callable[[bytes], None]) -> None:
+    def set_receiver(self, callback: Callable[[bytes, Address], None]) -> None:
         self._bus._set_receiver(self._address, callback)
 
     async def close(self) -> None:

@@ -1,0 +1,110 @@
+"""Fault injection for real transports: drop, duplicate, reorder.
+
+:class:`~repro.net.bus.LocalAsyncBus` injects loss on its own; this
+module wraps *any* transport — notably real UDP sockets — so soak tests
+can subject the reliability layer to an adversarial substrate while the
+datagrams still cross the loopback interface for real.
+
+All faults are applied on the **send** side, deterministically from a
+seeded :class:`~repro.util.rng.RandomSource`, so a failing soak run can
+be replayed exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Hashable, Optional, Set, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.net.peer import Transport
+from repro.util.rng import RandomSource
+
+__all__ = ["FaultyTransport"]
+
+Address = Hashable
+
+
+class FaultyTransport(Transport):
+    """Decorator around a transport that mangles outgoing datagrams.
+
+    Args:
+        inner: the wrapped transport (it keeps handling receives).
+        drop_rate: probability a datagram vanishes.
+        duplicate_rate: probability a datagram is sent twice.
+        reorder_rate: probability a datagram is delayed by a random
+            interval drawn from ``reorder_delay`` (letting later sends
+            overtake it).
+        reorder_delay: (min, max) seconds for the reorder hold-back.
+        rng: fault randomness; seeded default for reproducibility.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        reorder_delay: Tuple[float, float] = (0.002, 0.02),
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        for name, value in (
+            ("drop_rate", drop_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("reorder_rate", reorder_rate),
+        ):
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1), got {value}")
+        if reorder_delay[0] < 0 or reorder_delay[1] < reorder_delay[0]:
+            raise ConfigurationError(f"invalid reorder_delay window {reorder_delay}")
+        self._inner = inner
+        self._drop_rate = drop_rate
+        self._duplicate_rate = duplicate_rate
+        self._reorder_rate = reorder_rate
+        self._reorder_delay = reorder_delay
+        self._rng = rng if rng is not None else RandomSource(seed=0).spawn("faults")
+        self._tasks: Set[asyncio.Task] = set()
+        self._closed = False
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+
+    def __getattr__(self, name):
+        # Everything not overridden (e.g. UdpTransport.local_address)
+        # passes through to the wrapped transport.
+        return getattr(self._inner, name)
+
+    async def send(self, destination: Address, data: bytes) -> None:
+        if self._drop_rate and self._rng.random() < self._drop_rate:
+            self.dropped += 1
+            return
+        copies = 1
+        if self._duplicate_rate and self._rng.random() < self._duplicate_rate:
+            copies = 2
+            self.duplicated += 1
+        for _ in range(copies):
+            if self._reorder_rate and self._rng.random() < self._reorder_rate:
+                self.reordered += 1
+                delay = self._rng.uniform(*self._reorder_delay)
+                self._hold_back(destination, data, delay)
+            else:
+                await self._inner.send(destination, data)
+
+    def _hold_back(self, destination: Address, data: bytes, delay: float) -> None:
+        async def later() -> None:
+            await asyncio.sleep(delay)
+            if not self._closed:
+                await self._inner.send(destination, data)
+
+        task = asyncio.get_running_loop().create_task(later())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def set_receiver(self, callback: Callable[[bytes, Address], None]) -> None:
+        self._inner.set_receiver(callback)
+
+    async def close(self) -> None:
+        self._closed = True
+        for task in list(self._tasks):
+            task.cancel()
+        self._tasks.clear()
+        await self._inner.close()

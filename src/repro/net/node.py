@@ -1,0 +1,324 @@
+"""A deployable causal broadcast node: endpoint + codec + reliable session.
+
+This is the networked counterpart of the simulator's node — the piece the
+ROADMAP's "runnable networked system" needs.  It stacks, bottom-up:
+
+* any :class:`~repro.net.peer.Transport` (UDP, the in-process bus, or a
+  fault-injecting wrapper),
+* a :class:`~repro.net.session.ReliableSession` (acks, NACK-driven
+  retransmission, backoff, backpressure),
+* a :class:`MessageStore` keeping recently seen messages by their causal
+  ``(sender, seq)`` id and answering anti-entropy digests,
+* the :class:`~repro.core.protocol.CausalBroadcastEndpoint` (Algorithms
+  1–2 + detector) and the binary :class:`~repro.core.codec.MessageCodec`.
+
+Retransmission handles the common case (a datagram lost on one link);
+the periodic anti-entropy exchange handles the rest: each node digests
+its per-sender frontiers to every peer, and a peer that holds messages
+outside that digest pushes them back over the reliable session.  Because
+every stored message is relayed on request, anti-entropy also heals
+*transitive* gaps — a message from A can reach C via B even if the A→C
+link dropped every copy.
+
+Construct nodes with :func:`repro.api.create_node` rather than by hand.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.clocks import EntryVectorClock
+from repro.core.codec import MessageCodec
+from repro.core.detector import DeliveryErrorDetector
+from repro.core.errors import ConfigurationError
+from repro.core.protocol import CausalBroadcastEndpoint, DeliveryRecord, Message
+from repro.net.peer import Transport
+from repro.net.session import ReliableSession, RetransmitPolicy, TransportStats
+
+__all__ = ["MessageStore", "ReliableCausalNode"]
+
+Address = Hashable
+DeliveryHandler = Callable[[DeliveryRecord], None]
+Frontiers = Dict[str, Tuple[int, Tuple[int, ...]]]
+
+
+class MessageStore:
+    """Bounded store of encoded messages keyed by causal ``(sender, seq)``.
+
+    Tracks, per sender, the *contiguous frontier* (every seq up to it is
+    known) plus any out-of-order extras — exactly the shape of the
+    anti-entropy digest.  Old message *bytes* are evicted FIFO beyond
+    ``limit`` (the frontier bookkeeping stays, so digests remain
+    truthful; evicted messages simply can no longer be served).
+    """
+
+    def __init__(self, limit: int = 8192) -> None:
+        if limit <= 0:
+            raise ConfigurationError(f"store limit must be positive, got {limit}")
+        self._limit = limit
+        self._data: Dict[Tuple[str, int], bytes] = {}
+        self._order: Deque[Tuple[str, int]] = deque()
+        self._contiguous: Dict[str, int] = {}
+        self._extras: Dict[str, set] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def add(self, sender: str, seq: int, data: bytes) -> bool:
+        """Record one encoded message; returns True when it was new."""
+        if self.knows(sender, seq):
+            return False
+        self._data[(sender, seq)] = data
+        self._order.append((sender, seq))
+        extras = self._extras.setdefault(sender, set())
+        extras.add(seq)
+        frontier = self._contiguous.get(sender, 0)
+        while frontier + 1 in extras:
+            frontier += 1
+            extras.discard(frontier)
+        self._contiguous[sender] = frontier
+        while len(self._data) > self._limit:
+            evicted = self._order.popleft()
+            self._data.pop(evicted, None)
+        return True
+
+    def knows(self, sender: str, seq: int) -> bool:
+        """Whether this id was ever recorded (bytes may be evicted)."""
+        if seq <= self._contiguous.get(sender, 0):
+            return True
+        return seq in self._extras.get(sender, ())
+
+    def get(self, sender: str, seq: int) -> Optional[bytes]:
+        """The stored encoding, or None if unknown or evicted."""
+        return self._data.get((sender, seq))
+
+    def frontiers(self) -> Frontiers:
+        """Per-sender ``(contiguous, extras)`` — the anti-entropy digest."""
+        return {
+            sender: (
+                self._contiguous.get(sender, 0),
+                tuple(sorted(self._extras.get(sender, ()))),
+            )
+            for sender in set(self._contiguous) | set(self._extras)
+        }
+
+    def missing_for(self, remote: Frontiers, limit: int = 256) -> Iterator[bytes]:
+        """Stored encodings the remote digest does not cover (oldest first)."""
+        served = 0
+        for sender, seq in self._order:
+            if served >= limit:
+                return
+            contiguous, extras = remote.get(sender, (0, ()))
+            if seq <= contiguous or seq in extras:
+                continue
+            data = self._data.get((sender, seq))
+            if data is not None:
+                served += 1
+                yield data
+
+
+class ReliableCausalNode:
+    """One networked participant with reliable dissemination.
+
+    The public surface mirrors :class:`~repro.net.peer.AsyncCausalPeer`
+    (broadcast / add_peer / deliveries) plus lifecycle (:meth:`start`,
+    :meth:`close`) and wire observability (:meth:`transport_stats`).
+
+    Args:
+        node_id: this node's identity (the message sender id).
+        clock: its logical clock (any member of the (n, r, k) family).
+        transport: datagram substrate; the node's session owns it.
+        detector: optional Algorithm 4/5 alert check.
+        codec: message wire format (binary + JSON payloads by default).
+        on_delivery: synchronous callback per delivery.
+        policy: retransmission tuning (see :class:`RetransmitPolicy`).
+        anti_entropy_interval: seconds between digest rounds; 0 disables
+            the periodic exchange (retransmission-only mode).
+        store_limit: bound on the recent-messages store.
+        max_pending: optional safety bound on the endpoint's pending queue.
+    """
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        clock: EntryVectorClock,
+        transport: Transport,
+        detector: Optional[DeliveryErrorDetector] = None,
+        codec: Optional[MessageCodec] = None,
+        on_delivery: Optional[DeliveryHandler] = None,
+        policy: Optional[RetransmitPolicy] = None,
+        anti_entropy_interval: float = 0.5,
+        store_limit: int = 8192,
+        max_pending: Optional[int] = None,
+    ) -> None:
+        if anti_entropy_interval < 0:
+            raise ConfigurationError(
+                f"anti_entropy_interval must be >= 0, got {anti_entropy_interval}"
+            )
+        self._node_id = node_id
+        self._codec = codec if codec is not None else MessageCodec()
+        self._on_delivery = on_delivery
+        self._peers: List[Address] = []
+        self._deliveries: List[DeliveryRecord] = []
+        self._decode_errors = 0
+        self._anti_entropy_interval = anti_entropy_interval
+        self._anti_entropy_task: Optional[asyncio.Task] = None
+        self.store = MessageStore(limit=store_limit)
+        self.endpoint = CausalBroadcastEndpoint(
+            process_id=str(node_id),
+            clock=clock,
+            detector=detector,
+            deliver_callback=self._handle_delivery,
+            max_pending=max_pending,
+        )
+        self.session = ReliableSession(
+            transport,
+            on_message=self._handle_wire_message,
+            on_digest=self._handle_digest,
+            policy=policy,
+        )
+        self._transport = transport
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "ReliableCausalNode":
+        """Start the retransmit timer and the anti-entropy loop."""
+        self.session.start()
+        if self._anti_entropy_interval > 0 and self._anti_entropy_task is None:
+            self._anti_entropy_task = asyncio.get_running_loop().create_task(
+                self._anti_entropy_loop()
+            )
+        return self
+
+    async def close(self) -> None:
+        """Stop background tasks and release the transport."""
+        if self._anti_entropy_task is not None:
+            self._anti_entropy_task.cancel()
+            self._anti_entropy_task = None
+        await self.session.close()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def add_peer(self, address: Address) -> None:
+        """Start broadcasting to ``address`` (idempotent)."""
+        if address not in self._peers:
+            self._peers.append(address)
+
+    def remove_peer(self, address: Address) -> None:
+        """Stop broadcasting to ``address`` (missing is fine)."""
+        if address in self._peers:
+            self._peers.remove(address)
+
+    @property
+    def peers(self) -> Sequence[Address]:
+        """Addresses this node currently broadcasts to."""
+        return tuple(self._peers)
+
+    @property
+    def node_id(self) -> Hashable:
+        """This node's identity."""
+        return self._node_id
+
+    @property
+    def transport(self) -> Transport:
+        """The underlying datagram transport."""
+        return self._transport
+
+    @property
+    def local_address(self) -> Address:
+        """The transport's bound address (where peers should send).
+
+        Raises :class:`ConfigurationError` for transports that have no
+        notion of a bound address.
+        """
+        address = getattr(self._transport, "local_address", None)
+        if address is None:
+            address = getattr(self._transport, "address", None)
+        if address is None:
+            raise ConfigurationError(
+                f"{type(self._transport).__name__} exposes no local address"
+            )
+        return address
+
+    # ------------------------------------------------------------------
+    # sending / receiving
+    # ------------------------------------------------------------------
+
+    async def broadcast(self, payload: Any = None) -> Message:
+        """Timestamp, self-deliver, store, and reliably send to all peers."""
+        message = self.endpoint.broadcast(payload)
+        data = self._codec.encode(message)
+        self.store.add(str(message.sender), message.seq, data)
+        await asyncio.gather(
+            *(self.session.send(address, data) for address in self._peers)
+        )
+        return message
+
+    def _handle_wire_message(self, data: bytes, addr: Address) -> None:
+        try:
+            message = self._codec.decode(data)
+        except Exception:
+            # A malformed datagram must never take the node down.
+            self._decode_errors += 1
+            return
+        self.store.add(str(message.sender), message.seq, data)
+        self.endpoint.on_receive(message)
+
+    def _handle_digest(self, frontiers: Frontiers, addr: Address) -> None:
+        for data in self.store.missing_for(frontiers):
+            # Reliable push: goes through the normal ack/retransmit path.
+            self.session.push(addr, data)
+
+    async def _anti_entropy_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._anti_entropy_interval)
+            frontiers = self.store.frontiers()
+            for address in list(self._peers):
+                try:
+                    await self.session.send_digest(address, frontiers)
+                except Exception:
+                    # A digest that fails to send is retried next round.
+                    continue
+
+    def _handle_delivery(self, record: DeliveryRecord) -> None:
+        self._deliveries.append(record)
+        if self._on_delivery is not None:
+            self._on_delivery(record)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def deliveries(self) -> List[DeliveryRecord]:
+        """All deliveries so far, in order (local self-deliveries included)."""
+        return list(self._deliveries)
+
+    def delivered_payloads(self, include_local: bool = True) -> List[Any]:
+        """Payloads in delivery order."""
+        return [
+            record.message.payload
+            for record in self._deliveries
+            if include_local or not record.local
+        ]
+
+    @property
+    def decode_errors(self) -> int:
+        """Datagrams dropped because they failed to decode."""
+        return self._decode_errors
+
+    def transport_stats(self, address: Optional[Address] = None) -> TransportStats:
+        """Wire counters: one peer's, or all peers merged when ``None``."""
+        if address is not None:
+            return self.session.stats_for(address)
+        return self.session.total_stats()
+
+    def transport_stats_by_peer(self) -> Dict[Address, TransportStats]:
+        """Per-peer wire counters."""
+        return self.session.all_stats()

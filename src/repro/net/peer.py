@@ -38,13 +38,18 @@ DeliveryHandler = Callable[[DeliveryRecord], None]
 
 
 class Transport:
-    """Minimal async datagram transport interface."""
+    """Minimal async datagram transport interface.
+
+    The receiver callback is invoked as ``callback(data, addr)`` where
+    ``addr`` is the sender's transport address — sessions need it to
+    attribute datagrams to peers (per-peer acks, retransmit state).
+    """
 
     async def send(self, destination: Address, data: bytes) -> None:
         """Best-effort delivery of one datagram."""
         raise NotImplementedError
 
-    def set_receiver(self, callback: Callable[[bytes], None]) -> None:
+    def set_receiver(self, callback: Callable[[bytes, Address], None]) -> None:
         """Install the upcall invoked for every received datagram."""
         raise NotImplementedError
 
@@ -126,7 +131,7 @@ class AsyncCausalPeer:
         )
         return message
 
-    def _handle_datagram(self, data: bytes) -> None:
+    def _handle_datagram(self, data: bytes, addr: Address = None) -> None:
         try:
             message = self._codec.decode(data)
         except Exception:

@@ -1,0 +1,506 @@
+"""Reliable delivery over an unreliable datagram transport.
+
+The paper assumes the dissemination substrate eventually gets every
+message to every process (its Algorithm 5 explicitly tolerates *late*
+messages, not permanently lost ones).  Plain UDP does not provide that,
+so this module adds the classic reliability machinery between a
+:class:`~repro.net.peer.Transport` and the causal layer:
+
+* **per-peer sequence tracking** — every datagram sent to a peer carries
+  a per-link sequence number (independent of the causal ``(sender, seq)``
+  ids, which identify *messages*, not transmissions);
+* **positive acks** — receivers acknowledge cumulatively plus a bounded
+  selective-ack list, so one ACK datagram confirms many frames;
+* **NACK-driven retransmission** — a receiver that observes a sequence
+  gap immediately requests the missing frames instead of waiting for the
+  sender's timer;
+* **timer-driven retransmission** with exponential backoff and jitter,
+  bounded by ``max_retries`` (after which the frame is *dropped* and
+  counted — anti-entropy, one layer up, recovers the message);
+* **a bounded send buffer with backpressure** — ``send`` suspends when a
+  peer has too many unacknowledged frames in flight, so a dead peer
+  cannot make the sender accumulate unbounded state;
+* **anti-entropy plumbing** — digest frames (per-sender ``(sender, seq)``
+  frontiers) are encoded/dispatched here; deciding *what* is missing is
+  the message-store's job (see :mod:`repro.net.node`).
+
+Everything observable is surfaced through per-peer
+:class:`TransportStats` (sends, retransmits, nacks, drops, a smoothed
+RTT estimate) so benchmarks and soak tests can watch the wire.
+
+The session is transport-agnostic: it runs over real UDP
+(:class:`~repro.net.udp.UdpTransport`), the in-process bus
+(:class:`~repro.net.bus.LocalAsyncBus`) or a fault-injecting wrapper
+(:class:`~repro.net.faults.FaultyTransport`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.codec import (
+    AckFrame,
+    CodecError,
+    DataFrame,
+    DigestFrame,
+    Frame,
+    FrameCodec,
+    NackFrame,
+)
+from repro.core.errors import ConfigurationError
+from repro.net.peer import Transport
+
+__all__ = ["RetransmitPolicy", "TransportStats", "ReliableSession"]
+
+Address = Hashable
+MessageHandler = Callable[[bytes, Address], None]
+DigestHandler = Callable[[Dict[str, Tuple[int, Tuple[int, ...]]], Address], None]
+
+# Acked-at-first-send RTT smoothing (Jacobson/Karels constants).
+_RTT_ALPHA = 0.125
+_RTT_BETA = 0.25
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Tuning knobs of the retransmission state machine.
+
+    Attributes:
+        initial_timeout: first retransmit timeout (seconds) before any
+            RTT estimate exists; also the floor of the adaptive RTO.
+        backoff_factor: multiplier applied to a frame's timeout after
+            every retransmission (exponential backoff).
+        max_timeout: ceiling on the per-frame timeout.
+        jitter: retransmit times are spread by up to this fraction of the
+            timeout, so synchronized peers do not burst together.
+        max_retries: retransmissions per frame before it is dropped and
+            left to anti-entropy (0 disables retransmission entirely).
+        send_buffer: maximum unacknowledged frames per peer; ``send``
+            applies backpressure (suspends) beyond it.
+        tick_interval: period of the retransmit scan (seconds).
+        nack_interval: minimum delay between two NACKs for the same
+            missing frame (seconds).
+    """
+
+    initial_timeout: float = 0.05
+    backoff_factor: float = 2.0
+    max_timeout: float = 2.0
+    jitter: float = 0.25
+    max_retries: int = 10
+    send_buffer: int = 1024
+    tick_interval: float = 0.01
+    nack_interval: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.initial_timeout <= 0:
+            raise ConfigurationError(f"initial_timeout must be > 0, got {self.initial_timeout}")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.max_timeout < self.initial_timeout:
+            raise ConfigurationError("max_timeout must be >= initial_timeout")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(f"jitter must lie in [0, 1], got {self.jitter}")
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.send_buffer <= 0:
+            raise ConfigurationError(f"send_buffer must be positive, got {self.send_buffer}")
+        if self.tick_interval <= 0:
+            raise ConfigurationError(f"tick_interval must be > 0, got {self.tick_interval}")
+        if self.nack_interval < 0:
+            raise ConfigurationError(f"nack_interval must be >= 0, got {self.nack_interval}")
+
+
+@dataclass
+class TransportStats:
+    """Per-peer wire counters (one instance per remote address).
+
+    Attributes:
+        data_sent: first transmissions of DATA frames.
+        retransmits: re-transmissions (timer- or NACK-driven).
+        drops: frames abandoned after ``max_retries`` (anti-entropy's job).
+        data_received: new DATA frames received (duplicates excluded).
+        duplicates: DATA frames received more than once.
+        acks_sent / acks_received: ACK frame counts.
+        nacks_sent / nacks_received: NACK frame counts.
+        digests_sent / digests_received: anti-entropy digest counts.
+        rtt: smoothed round-trip estimate in seconds (None until the
+            first clean ack of a never-retransmitted frame).
+    """
+
+    data_sent: int = 0
+    retransmits: int = 0
+    drops: int = 0
+    data_received: int = 0
+    duplicates: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    nacks_sent: int = 0
+    nacks_received: int = 0
+    digests_sent: int = 0
+    digests_received: int = 0
+    rtt: Optional[float] = None
+
+    def merge(self, other: "TransportStats") -> "TransportStats":
+        """Elementwise sum (RTT: average of known estimates), for totals."""
+        rtts = [r for r in (self.rtt, other.rtt) if r is not None]
+        return TransportStats(
+            data_sent=self.data_sent + other.data_sent,
+            retransmits=self.retransmits + other.retransmits,
+            drops=self.drops + other.drops,
+            data_received=self.data_received + other.data_received,
+            duplicates=self.duplicates + other.duplicates,
+            acks_sent=self.acks_sent + other.acks_sent,
+            acks_received=self.acks_received + other.acks_received,
+            nacks_sent=self.nacks_sent + other.nacks_sent,
+            nacks_received=self.nacks_received + other.nacks_received,
+            digests_sent=self.digests_sent + other.digests_sent,
+            digests_received=self.digests_received + other.digests_received,
+            rtt=sum(rtts) / len(rtts) if rtts else None,
+        )
+
+
+@dataclass
+class _Pending:
+    """One unacknowledged frame awaiting ack or retransmission."""
+
+    data: bytes
+    first_sent: float
+    next_due: float
+    timeout: float
+    sends: int = 1
+
+
+class _PeerState:
+    """Everything the session tracks about one remote address."""
+
+    def __init__(self, policy: RetransmitPolicy) -> None:
+        self.next_seq = 1
+        self.unacked: "OrderedDict[int, _Pending]" = OrderedDict()
+        self.space = asyncio.Event()
+        self.space.set()
+        self.recv_cumulative = 0
+        self.recv_out_of_order: Set[int] = set()
+        self.nack_last: Dict[int, float] = {}
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.stats = TransportStats()
+        self._policy = policy
+
+    def rto(self) -> float:
+        """Current retransmission timeout (adaptive once RTT is known)."""
+        if self.srtt is None:
+            return self._policy.initial_timeout
+        rto = self.srtt + 4.0 * (self.rttvar or 0.0)
+        return min(max(rto, self._policy.initial_timeout), self._policy.max_timeout)
+
+    def observe_rtt(self, sample: float) -> None:
+        """Fold one clean (never-retransmitted) RTT sample in."""
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = (1 - _RTT_BETA) * self.rttvar + _RTT_BETA * abs(self.srtt - sample)
+            self.srtt = (1 - _RTT_ALPHA) * self.srtt + _RTT_ALPHA * sample
+        self.stats.rtt = self.srtt
+
+    def note_received(self, seq: int) -> bool:
+        """Record an incoming DATA seq; True when it was new."""
+        if seq <= self.recv_cumulative or seq in self.recv_out_of_order:
+            return False
+        self.recv_out_of_order.add(seq)
+        while self.recv_cumulative + 1 in self.recv_out_of_order:
+            self.recv_cumulative += 1
+            self.recv_out_of_order.discard(self.recv_cumulative)
+            self.nack_last.pop(self.recv_cumulative, None)
+        return True
+
+    def missing_seqs(self, limit: int = 64) -> List[int]:
+        """Gaps below the highest out-of-order seq received."""
+        if not self.recv_out_of_order:
+            return []
+        highest = max(self.recv_out_of_order)
+        gaps = []
+        for seq in range(self.recv_cumulative + 1, highest):
+            if seq not in self.recv_out_of_order:
+                gaps.append(seq)
+                if len(gaps) >= limit:
+                    break
+        return gaps
+
+
+class ReliableSession:
+    """Ack/retransmit/anti-entropy machinery over one transport.
+
+    Args:
+        transport: the datagram substrate; the session installs itself as
+            its receiver.
+        on_message: upcall ``(payload, addr)`` invoked exactly once per
+            *new* DATA frame (duplicates are absorbed here).  Datagrams
+            that are not session frames are passed through unchanged, so
+            a session interoperates with frame-less senders.
+        on_digest: upcall ``(frontiers, addr)`` for anti-entropy digests;
+            the owner answers by re-sending whatever the digest lacks.
+        policy: retransmission tuning; defaults to :class:`RetransmitPolicy`.
+        seed: seeds the jitter generator (jitter needs no determinism,
+            but a fixed seed keeps tests reproducible).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        on_message: MessageHandler,
+        on_digest: Optional[DigestHandler] = None,
+        policy: Optional[RetransmitPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        self._transport = transport
+        self._on_message = on_message
+        self._on_digest = on_digest
+        self._policy = policy if policy is not None else RetransmitPolicy()
+        self._codec = FrameCodec()
+        self._random = random.Random(seed)
+        self._peers: Dict[Address, _PeerState] = {}
+        self._tick_task: Optional[asyncio.Task] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._closed = False
+        self.frame_errors = 0
+        transport.set_receiver(self._handle_datagram)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the retransmit timer (requires a running event loop)."""
+        if self._tick_task is None:
+            self._tick_task = asyncio.get_running_loop().create_task(self._tick_loop())
+
+    async def close(self) -> None:
+        """Stop timers, cancel in-flight sends, close the transport."""
+        self._closed = True
+        if self._tick_task is not None:
+            self._tick_task.cancel()
+            self._tick_task = None
+        for task in list(self._tasks):
+            task.cancel()
+        self._tasks.clear()
+        await self._transport.close()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats_for(self, address: Address) -> TransportStats:
+        """Per-peer wire counters (zeros for a never-seen address)."""
+        state = self._peers.get(address)
+        return state.stats if state is not None else TransportStats()
+
+    def all_stats(self) -> Dict[Address, TransportStats]:
+        """Snapshot of every peer's counters."""
+        return {address: state.stats for address, state in self._peers.items()}
+
+    def total_stats(self) -> TransportStats:
+        """All peers' counters merged into one."""
+        total = TransportStats()
+        for state in self._peers.values():
+            total = total.merge(state.stats)
+        return total
+
+    def unacked_count(self, address: Address) -> int:
+        """Frames awaiting acknowledgement from ``address``."""
+        state = self._peers.get(address)
+        return len(state.unacked) if state is not None else 0
+
+    @property
+    def policy(self) -> RetransmitPolicy:
+        """The active retransmission policy."""
+        return self._policy
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    async def send(self, destination: Address, payload: bytes) -> int:
+        """Reliably send ``payload``; returns the link sequence number.
+
+        Suspends (backpressure) while ``destination`` already has
+        ``policy.send_buffer`` unacknowledged frames in flight.
+        """
+        state = self._peer(destination)
+        while len(state.unacked) >= self._policy.send_buffer:
+            state.space.clear()
+            await state.space.wait()
+        seq = state.next_seq
+        state.next_seq += 1
+        frame = self._codec.encode(DataFrame(seq=seq, payload=payload))
+        now = asyncio.get_running_loop().time()
+        timeout = state.rto()
+        state.unacked[seq] = _Pending(
+            data=frame, first_sent=now, next_due=now + self._jittered(timeout), timeout=timeout
+        )
+        state.stats.data_sent += 1
+        await self._transport.send(destination, frame)
+        return seq
+
+    def push(self, destination: Address, payload: bytes) -> None:
+        """Schedule a reliable :meth:`send` from synchronous context
+        (e.g. inside a receive upcall answering an anti-entropy digest)."""
+        self._post(self.send(destination, payload))
+
+    async def send_digest(
+        self, destination: Address, frontiers: Dict[str, Tuple[int, Tuple[int, ...]]]
+    ) -> None:
+        """Fire-and-forget an anti-entropy digest (loss is harmless —
+        the next periodic round repeats it)."""
+        state = self._peer(destination)
+        state.stats.digests_sent += 1
+        await self._transport.send(destination, self._codec.encode(DigestFrame(frontiers)))
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def _handle_datagram(self, data: bytes, addr: Address) -> None:
+        if not FrameCodec.is_frame(data):
+            # Frame-less sender (e.g. a bare AsyncCausalPeer): pass through.
+            self._on_message(data, addr)
+            return
+        try:
+            frame = self._codec.decode(data)
+        except CodecError:
+            self.frame_errors += 1
+            return
+        self._dispatch(frame, addr)
+
+    def _dispatch(self, frame: Frame, addr: Address) -> None:
+        state = self._peer(addr)
+        now = asyncio.get_running_loop().time()
+        if isinstance(frame, DataFrame):
+            self._on_data(state, frame, addr, now)
+        elif isinstance(frame, AckFrame):
+            self._on_ack(state, frame, now)
+        elif isinstance(frame, NackFrame):
+            self._on_nack(state, frame, addr, now)
+        elif isinstance(frame, DigestFrame):
+            state.stats.digests_received += 1
+            if self._on_digest is not None:
+                self._on_digest(frame.frontiers, addr)
+
+    def _on_data(self, state: _PeerState, frame: DataFrame, addr: Address, now: float) -> None:
+        if state.note_received(frame.seq):
+            state.stats.data_received += 1
+            self._on_message(frame.payload, addr)
+        else:
+            state.stats.duplicates += 1
+        # Always acknowledge — the duplicate may be a retransmission whose
+        # previous ack was lost, and only an ack stops the sender's timer.
+        ack = AckFrame(
+            cumulative=state.recv_cumulative,
+            sacks=tuple(sorted(state.recv_out_of_order)[:64]),
+        )
+        state.stats.acks_sent += 1
+        self._post(self._transport.send(addr, self._codec.encode(ack)))
+        self._maybe_nack(state, addr, now)
+
+    def _maybe_nack(self, state: _PeerState, addr: Address, now: float) -> None:
+        gaps = [
+            seq
+            for seq in state.missing_seqs()
+            if now - state.nack_last.get(seq, -1e18) >= self._policy.nack_interval
+        ]
+        if not gaps:
+            return
+        for seq in gaps:
+            state.nack_last[seq] = now
+        state.stats.nacks_sent += 1
+        self._post(self._transport.send(addr, self._codec.encode(NackFrame(tuple(gaps)))))
+
+    def _on_ack(self, state: _PeerState, frame: AckFrame, now: float) -> None:
+        state.stats.acks_received += 1
+        sacked = set(frame.sacks)
+        for seq in [
+            s for s in state.unacked if s <= frame.cumulative or s in sacked
+        ]:
+            pending = state.unacked.pop(seq)
+            if pending.sends == 1:
+                # Karn's rule: only never-retransmitted frames give a
+                # trustworthy RTT sample.
+                state.observe_rtt(now - pending.first_sent)
+        if len(state.unacked) < self._policy.send_buffer:
+            state.space.set()
+
+    def _on_nack(self, state: _PeerState, frame: NackFrame, addr: Address, now: float) -> None:
+        state.stats.nacks_received += 1
+        for seq in frame.missing:
+            pending = state.unacked.get(seq)
+            if pending is not None and pending.sends <= self._policy.max_retries:
+                self._retransmit(state, addr, seq, pending, now)
+
+    # ------------------------------------------------------------------
+    # retransmission
+    # ------------------------------------------------------------------
+
+    async def _tick_loop(self) -> None:
+        while not self._closed:
+            await asyncio.sleep(self._policy.tick_interval)
+            now = asyncio.get_running_loop().time()
+            for address, state in self._peers.items():
+                due = [
+                    (seq, pending)
+                    for seq, pending in state.unacked.items()
+                    if pending.next_due <= now
+                ]
+                for seq, pending in due:
+                    if pending.sends > self._policy.max_retries:
+                        state.unacked.pop(seq, None)
+                        state.stats.drops += 1
+                        if len(state.unacked) < self._policy.send_buffer:
+                            state.space.set()
+                    else:
+                        self._retransmit(state, address, seq, pending, now)
+
+    def _retransmit(
+        self, state: _PeerState, addr: Address, seq: int, pending: _Pending, now: float
+    ) -> None:
+        pending.sends += 1
+        pending.timeout = min(
+            pending.timeout * self._policy.backoff_factor, self._policy.max_timeout
+        )
+        pending.next_due = now + self._jittered(pending.timeout)
+        state.stats.retransmits += 1
+        self._post(self._transport.send(addr, pending.data))
+
+    def _jittered(self, timeout: float) -> float:
+        return timeout * (1.0 + self._policy.jitter * self._random.random())
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _peer(self, address: Address) -> _PeerState:
+        state = self._peers.get(address)
+        if state is None:
+            state = _PeerState(self._policy)
+            self._peers[address] = state
+        return state
+
+    def _post(self, coroutine) -> None:
+        """Run an async send from sync context, tracking the task."""
+        if self._closed:
+            coroutine.close()
+            return
+        task = asyncio.get_running_loop().create_task(coroutine)
+        self._tasks.add(task)
+        task.add_done_callback(self._reap)
+
+    def _reap(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        if not task.cancelled():
+            # Retrieve (and swallow) any exception: a failed background
+            # send is a transport hiccup that retransmission or
+            # anti-entropy covers, and must not spam the event loop.
+            task.exception()

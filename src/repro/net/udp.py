@@ -4,8 +4,9 @@ Binds an asyncio datagram endpoint (loopback by default) and ships
 encoded messages to explicit ``(host, port)`` peer addresses.  UDP is
 fire-and-forget — exactly the unreliable substrate the paper mentions
 when motivating the recent-messages list of Algorithm 5 — so deployments
-pair it with either a gossip layer or anti-entropy for completeness; the
-protocol endpoint's duplicate suppression absorbs retransmissions.
+layer :class:`repro.net.session.ReliableSession` (acks, NACK-driven
+retransmission, anti-entropy) on top; the protocol endpoint's duplicate
+suppression absorbs any retransmissions that slip through anyway.
 """
 
 from __future__ import annotations
@@ -26,11 +27,13 @@ _MAX_DATAGRAM = 60_000
 
 class _Protocol(asyncio.DatagramProtocol):
     def __init__(self) -> None:
-        self.receiver: Optional[Callable[[bytes], None]] = None
+        self.receiver: Optional[Callable[[bytes, HostPort], None]] = None
 
     def datagram_received(self, data: bytes, addr) -> None:
+        # Thread the sender address through: sessions attribute datagrams
+        # to peers (per-peer acks and retransmit state) by this value.
         if self.receiver is not None:
-            self.receiver(data)
+            self.receiver(data, (addr[0], addr[1]))
 
 
 class UdpTransport(Transport):
@@ -69,7 +72,7 @@ class UdpTransport(Transport):
             )
         self._transport.sendto(data, destination)
 
-    def set_receiver(self, callback: Callable[[bytes], None]) -> None:
+    def set_receiver(self, callback: Callable[[bytes, HostPort], None]) -> None:
         self._protocol.receiver = callback
 
     async def close(self) -> None:

@@ -126,3 +126,55 @@ class TestParser:
     def test_invalid_clock_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--clock", "quantum"])
+
+
+class TestNodeCommand:
+    def test_solo_node_runs_and_reports_stats(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "node", "--id", "solo", "--count", "2",
+            "--interval", "0.01", "--duration", "0.05",
+        )
+        assert code == 0
+        assert "listening on 127.0.0.1:" in out
+        assert "solo" in out
+        assert "hello-0" in out and "hello-1" in out
+        assert "retransmits=" in out
+
+    def test_two_nodes_exchange_over_udp(self, capsys):
+        # The CLI runs its own event loop, so host the receiving node on
+        # a background-thread loop and point the CLI sender at it.
+        import asyncio
+        import threading
+        import time
+
+        from repro.api import NodeConfig, create_node
+
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        try:
+            receiver = asyncio.run_coroutine_threadsafe(
+                create_node("rx", NodeConfig(r=128, k=3)), loop
+            ).result(timeout=10)
+            host, port = receiver.local_address
+            code = main([
+                "node", "--id", "tx", "--peer", f"{host}:{port}",
+                "--count", "2", "--interval", "0.01", "--duration", "0.3",
+            ])
+            assert code == 0
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if len(receiver.delivered_payloads()) == 2:
+                    break
+                time.sleep(0.01)
+            assert receiver.delivered_payloads() == ["hello-0", "hello-1"]
+            asyncio.run_coroutine_threadsafe(receiver.close(), loop).result(timeout=10)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+            loop.close()
+
+    def test_bad_listen_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["node", "--listen", "no-port", "--count", "0"])

@@ -177,6 +177,64 @@ class TestUdpTransport:
 
         asyncio.run(scenario())
 
+    def test_datagram_bound_is_exact(self):
+        """Exactly _MAX_DATAGRAM bytes passes; one more raises clearly."""
+
+        async def scenario():
+            from repro.net.udp import _MAX_DATAGRAM
+
+            sender = await UdpTransport.create()
+            receiver = await UdpTransport.create()
+            received = []
+            receiver.set_receiver(lambda data, addr: received.append(len(data)))
+            await sender.send(receiver.local_address, b"x" * _MAX_DATAGRAM)
+            with pytest.raises(ConfigurationError, match="exceeds"):
+                await sender.send(receiver.local_address, b"x" * (_MAX_DATAGRAM + 1))
+            for _ in range(100):
+                if received:
+                    break
+                await asyncio.sleep(0.01)
+            assert received == [_MAX_DATAGRAM]
+            await sender.close()
+            await receiver.close()
+
+        asyncio.run(scenario())
+
+    def test_receiver_gets_sender_address(self):
+        """The satellite fix: datagrams arrive attributed to their source."""
+
+        async def scenario():
+            sender = await UdpTransport.create()
+            receiver = await UdpTransport.create()
+            arrivals = []
+            receiver.set_receiver(lambda data, addr: arrivals.append((data, addr)))
+            await sender.send(receiver.local_address, b"who sent this?")
+            for _ in range(100):
+                if arrivals:
+                    break
+                await asyncio.sleep(0.01)
+            assert arrivals == [(b"who sent this?", sender.local_address)]
+            await sender.close()
+            await receiver.close()
+
+        asyncio.run(scenario())
+
+
+class TestBusAddressing:
+    def test_bus_receiver_gets_sender_address(self):
+        async def scenario():
+            bus = LocalAsyncBus(delay_model=ConstantDelayModel(1.0))
+            alpha = bus.attach("alpha")
+            beta = bus.attach("beta")
+            arrivals = []
+            beta.set_receiver(lambda data, addr: arrivals.append((data, addr)))
+            alpha.set_receiver(lambda data, addr: None)
+            await alpha.send("beta", b"hi")
+            await bus.drain()
+            assert arrivals == [(b"hi", "alpha")]
+
+        asyncio.run(scenario())
+
     def test_causal_chain_over_udp(self):
         async def scenario():
             assigner = RandomKeyAssigner(R, K, rng=RandomSource(seed=12))

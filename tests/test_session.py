@@ -1,0 +1,294 @@
+"""Tests for the reliable session layer (acks, retransmit, backpressure)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.net import LocalAsyncBus, ReliableSession, RetransmitPolicy
+from repro.net.peer import Transport
+from repro.sim.network import ConstantDelayModel
+from repro.util.rng import RandomSource
+
+
+def fast_policy(**overrides):
+    defaults = dict(
+        initial_timeout=0.02,
+        max_timeout=0.2,
+        max_retries=20,
+        tick_interval=0.005,
+        nack_interval=0.01,
+    )
+    defaults.update(overrides)
+    return RetransmitPolicy(**defaults)
+
+
+def make_pair(bus, policy=None):
+    """Two sessions on one bus; returns (sessions, inboxes) keyed a/b."""
+    sessions, inboxes = {}, {}
+    for name in ("a", "b"):
+        inbox = []
+        sessions[name] = ReliableSession(
+            bus.attach(name),
+            on_message=lambda data, addr, inbox=inbox: inbox.append((data, addr)),
+            policy=policy or fast_policy(),
+        )
+        inboxes[name] = inbox
+    return sessions, inboxes
+
+
+async def wait_for(predicate, timeout=5.0, interval=0.005):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while asyncio.get_running_loop().time() < deadline:
+        if predicate():
+            return
+        await asyncio.sleep(interval)
+    raise AssertionError("condition not reached in time")
+
+
+class BlackholeTransport(Transport):
+    """Swallows every datagram; nothing is ever received."""
+
+    def __init__(self):
+        self.sent = 0
+
+    async def send(self, destination, data):
+        self.sent += 1
+
+    def set_receiver(self, callback):
+        pass
+
+    async def close(self):
+        pass
+
+
+class TestDelivery:
+    def test_payload_delivered_with_sender_address(self):
+        async def scenario():
+            bus = LocalAsyncBus(delay_model=ConstantDelayModel(1.0))
+            sessions, inboxes = make_pair(bus)
+            for session in sessions.values():
+                session.start()
+            await sessions["a"].send("b", b"ping")
+            await wait_for(lambda: inboxes["b"])
+            assert inboxes["b"] == [(b"ping", "a")]
+            for session in sessions.values():
+                await session.close()
+
+        asyncio.run(scenario())
+
+    def test_ack_clears_send_buffer_and_sets_rtt(self):
+        async def scenario():
+            bus = LocalAsyncBus(delay_model=ConstantDelayModel(1.0))
+            sessions, _ = make_pair(bus)
+            for session in sessions.values():
+                session.start()
+            await sessions["a"].send("b", b"one")
+            await sessions["a"].send("b", b"two")
+            await wait_for(lambda: sessions["a"].unacked_count("b") == 0)
+            stats = sessions["a"].stats_for("b")
+            assert stats.acks_received >= 1
+            assert stats.retransmits == 0
+            assert stats.rtt is not None and stats.rtt > 0
+            for session in sessions.values():
+                await session.close()
+
+        asyncio.run(scenario())
+
+    def test_duplicate_datagrams_delivered_once(self):
+        async def scenario():
+            bus = LocalAsyncBus(
+                delay_model=ConstantDelayModel(1.0),
+                rng=RandomSource(seed=4).spawn("net"),
+                duplicate_rate=0.9,
+            )
+            sessions, inboxes = make_pair(bus)
+            for session in sessions.values():
+                session.start()
+            for i in range(10):
+                await sessions["a"].send("b", bytes([i]))
+            await wait_for(lambda: len(inboxes["b"]) == 10)
+            await bus.drain()
+            assert len(inboxes["b"]) == 10
+            assert sessions["b"].stats_for("a").duplicates > 0
+            for session in sessions.values():
+                await session.close()
+
+        asyncio.run(scenario())
+
+    def test_raw_datagrams_pass_through_unframed(self):
+        async def scenario():
+            bus = LocalAsyncBus(delay_model=ConstantDelayModel(1.0))
+            sessions, inboxes = make_pair(bus)
+            raw = bus.attach("legacy")
+            await raw.send("b", b"bare bytes")
+            await bus.drain()
+            assert inboxes["b"] == [(b"bare bytes", "legacy")]
+            for session in sessions.values():
+                await session.close()
+
+        asyncio.run(scenario())
+
+    def test_garbage_frame_counted_not_fatal(self):
+        async def scenario():
+            bus = LocalAsyncBus(delay_model=ConstantDelayModel(1.0))
+            sessions, inboxes = make_pair(bus)
+            raw = bus.attach("evil")
+            await raw.send("b", b"PF\x01\x01trunc")
+            await bus.drain()
+            assert sessions["b"].frame_errors == 1
+            assert inboxes["b"] == []
+            for session in sessions.values():
+                await session.close()
+
+        asyncio.run(scenario())
+
+
+class TestRetransmission:
+    def test_lost_datagrams_recovered_by_retransmit(self):
+        async def scenario():
+            bus = LocalAsyncBus(
+                delay_model=ConstantDelayModel(1.0),
+                rng=RandomSource(seed=8).spawn("net"),
+                loss_rate=0.4,
+            )
+            sessions, inboxes = make_pair(bus)
+            for session in sessions.values():
+                session.start()
+            for i in range(25):
+                await sessions["a"].send("b", bytes([i]))
+            await wait_for(lambda: len(inboxes["b"]) == 25, timeout=10.0)
+            payloads = sorted(data for data, _ in inboxes["b"])
+            assert payloads == [bytes([i]) for i in range(25)]
+            assert sessions["a"].stats_for("b").retransmits > 0
+            for session in sessions.values():
+                await session.close()
+
+        asyncio.run(scenario())
+
+    def test_gap_triggers_nack(self):
+        async def scenario():
+            # Drop-once bus: lose exactly the second datagram's first copy.
+            bus = LocalAsyncBus(delay_model=ConstantDelayModel(1.0))
+            sessions, inboxes = make_pair(bus)
+            for session in sessions.values():
+                session.start()
+            await sessions["a"].send("b", b"first")
+            await wait_for(lambda: len(inboxes["b"]) == 1)
+            # Simulate the loss: bump a's seq by crafting a gap — send
+            # seq 2 into the void, then seq 3 for real.
+            state = sessions["a"]._peer("b")
+            state.next_seq += 1  # b will see 1 then 3: a gap at 2
+            await sessions["a"].send("b", b"third")
+            await wait_for(lambda: sessions["b"].stats_for("a").nacks_sent >= 1)
+            assert 2 in [s for s in sessions["b"]._peer("a").missing_seqs()] or (
+                sessions["b"]._peer("a").recv_cumulative >= 3
+            )
+            for session in sessions.values():
+                await session.close()
+
+        asyncio.run(scenario())
+
+    def test_frames_dropped_after_max_retries(self):
+        async def scenario():
+            transport = BlackholeTransport()
+            session = ReliableSession(
+                transport,
+                on_message=lambda data, addr: None,
+                policy=fast_policy(max_retries=3),
+            )
+            session.start()
+            await session.send("nowhere", b"doomed")
+            await wait_for(lambda: session.stats_for("nowhere").drops == 1)
+            stats = session.stats_for("nowhere")
+            assert stats.retransmits == 3
+            assert session.unacked_count("nowhere") == 0
+            await session.close()
+
+        asyncio.run(scenario())
+
+    def test_backoff_grows_between_retransmissions(self):
+        async def scenario():
+            transport = BlackholeTransport()
+            session = ReliableSession(
+                transport,
+                on_message=lambda data, addr: None,
+                policy=fast_policy(max_retries=4, jitter=0.0),
+            )
+            session.start()
+            await session.send("void", b"x")
+            state = session._peer("void")
+            pending = next(iter(state.unacked.values()))
+            first_timeout = pending.timeout
+            await wait_for(lambda: pending.sends >= 3)
+            assert pending.timeout > first_timeout
+            await session.close()
+
+        asyncio.run(scenario())
+
+
+class TestBackpressure:
+    def test_send_suspends_when_buffer_full(self):
+        async def scenario():
+            transport = BlackholeTransport()
+            session = ReliableSession(
+                transport,
+                on_message=lambda data, addr: None,
+                policy=fast_policy(send_buffer=2, max_retries=1000),
+            )
+            session.start()
+            await session.send("void", b"1")
+            await session.send("void", b"2")
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(session.send("void", b"3"), timeout=0.2)
+            await session.close()
+
+        asyncio.run(scenario())
+
+    def test_send_resumes_after_drop_frees_space(self):
+        async def scenario():
+            transport = BlackholeTransport()
+            session = ReliableSession(
+                transport,
+                on_message=lambda data, addr: None,
+                policy=fast_policy(send_buffer=1, max_retries=1),
+            )
+            session.start()
+            await session.send("void", b"1")
+            # The frame is dropped after max_retries, freeing the buffer,
+            # so the second send completes instead of hanging forever.
+            await asyncio.wait_for(session.send("void", b"2"), timeout=5.0)
+            assert session.stats_for("void").drops >= 1
+            await session.close()
+
+        asyncio.run(scenario())
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(initial_timeout=0),
+            dict(backoff_factor=0.5),
+            dict(max_timeout=0.01, initial_timeout=0.05),
+            dict(jitter=1.5),
+            dict(max_retries=-1),
+            dict(send_buffer=0),
+            dict(tick_interval=0),
+            dict(nack_interval=-0.1),
+        ],
+    )
+    def test_bad_policy_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetransmitPolicy(**kwargs)
+
+    def test_stats_merge_sums_counters(self):
+        from repro.net import TransportStats
+
+        first = TransportStats(data_sent=2, retransmits=1, rtt=0.1)
+        second = TransportStats(data_sent=3, drops=1, rtt=0.3)
+        total = first.merge(second)
+        assert total.data_sent == 5
+        assert total.retransmits == 1
+        assert total.drops == 1
+        assert total.rtt == pytest.approx(0.2)
