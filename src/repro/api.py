@@ -46,6 +46,8 @@ from repro.core.detector import (
 from repro.core.errors import ConfigurationError
 from repro.core.keyspace import HashKeyAssigner, KeyAssigner
 from repro.core.protocol import CausalBroadcastEndpoint, DeliveryRecord
+from repro.net.journal import NodeJournal
+from repro.net.liveness import LivenessPolicy
 from repro.net.node import ReliableCausalNode
 from repro.net.peer import Transport
 from repro.net.session import RetransmitPolicy
@@ -98,6 +100,22 @@ class NodeConfig:
         anti_entropy_interval: seconds between digest rounds (0 disables).
         store_limit: bound on the recent-messages store serving anti-entropy.
         max_pending: optional safety bound on the endpoint's pending queue.
+
+    Durability and liveness (used by :func:`create_node`):
+
+    Attributes:
+        data_dir: directory for the node's crash journal (WAL +
+            snapshots); ``None`` (the default) runs without durability.
+            A restart pointed at the same directory resumes with its
+            pre-crash vector clock, sequence numbers, and frontiers.
+        journal_snapshot_interval: WAL records between snapshots.
+        journal_fsync: fsync the WAL per append (survives machine
+            crashes, not just process crashes; costly).
+        heartbeat_interval: seconds between HEARTBEAT frames to every
+            peer; 0 (the default) disables the failure detector.
+        quarantine_after: silence after which a peer is quarantined
+            (retransmissions pause, broadcasts skip it) until it is
+            heard from again.
     """
 
     r: int = 128
@@ -118,6 +136,11 @@ class NodeConfig:
     anti_entropy_interval: float = 0.5
     store_limit: int = 8192
     max_pending: Optional[int] = None
+    data_dir: Optional[str] = None
+    journal_snapshot_interval: int = 256
+    journal_fsync: bool = False
+    heartbeat_interval: float = 0.0
+    quarantine_after: float = 2.0
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -144,6 +167,21 @@ class NodeConfig:
         if self.anti_entropy_interval < 0:
             raise ConfigurationError(
                 f"anti_entropy_interval must be >= 0, got {self.anti_entropy_interval}"
+            )
+        if self.journal_snapshot_interval <= 0:
+            raise ConfigurationError(
+                f"journal_snapshot_interval must be positive, "
+                f"got {self.journal_snapshot_interval}"
+            )
+        if self.heartbeat_interval < 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be >= 0, got {self.heartbeat_interval}"
+            )
+        if self.heartbeat_interval > 0:
+            # Fails fast on an inconsistent pair (the policy re-checks).
+            LivenessPolicy(
+                heartbeat_interval=self.heartbeat_interval,
+                quarantine_after=self.quarantine_after,
             )
 
     def replace(self, **changes: Any) -> "NodeConfig":
@@ -282,9 +320,26 @@ async def create_node(
     config = config if config is not None else NodeConfig()
     if transport is None:
         transport = await UdpTransport.create(host=config.host, port=config.port)
+    clock = create_clock(node_id, config, index=index, assigner=assigner)
+    journal = None
+    if config.data_dir is not None:
+        journal = NodeJournal(
+            data_dir=config.data_dir,
+            node_id=node_id,
+            r=clock.r,
+            own_keys=clock.own_keys,
+            snapshot_interval=config.journal_snapshot_interval,
+            fsync=config.journal_fsync,
+        )
+    liveness = None
+    if config.heartbeat_interval > 0:
+        liveness = LivenessPolicy(
+            heartbeat_interval=config.heartbeat_interval,
+            quarantine_after=config.quarantine_after,
+        )
     node = ReliableCausalNode(
         node_id=node_id,
-        clock=create_clock(node_id, config, index=index, assigner=assigner),
+        clock=clock,
         transport=transport,
         detector=create_detector(config),
         codec=_message_codec(config),
@@ -293,6 +348,8 @@ async def create_node(
         anti_entropy_interval=config.anti_entropy_interval,
         store_limit=config.store_limit,
         max_pending=config.max_pending,
+        journal=journal,
+        liveness=liveness,
     )
     if start:
         await node.start()

@@ -117,6 +117,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=2.0,
         help="seconds to keep listening after the last broadcast",
     )
+    node.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="crash-journal directory; restarting with the same DIR "
+             "resumes the pre-crash causal state",
+    )
+    node.add_argument(
+        "--heartbeat-interval", type=float, default=0.0, metavar="SECONDS",
+        help="seconds between liveness heartbeats (0 disables the "
+             "failure detector)",
+    )
+    node.add_argument(
+        "--quarantine-after", type=float, default=2.0, metavar="SECONDS",
+        help="peer silence after which it is quarantined",
+    )
 
     return parser
 
@@ -290,6 +304,9 @@ def _command_node(args: argparse.Namespace) -> int:
         detector=args.detector,
         host=host,
         port=port,
+        data_dir=args.data_dir,
+        heartbeat_interval=args.heartbeat_interval,
+        quarantine_after=args.quarantine_after,
     )
 
     async def run() -> int:
@@ -308,6 +325,9 @@ def _command_node(args: argparse.Namespace) -> int:
             return 1
         print(f"listening on {node.local_address[0]}:{node.local_address[1]} "
               f"as {args.id!r} (R={config.r}, K={config.k}, {config.scheme})")
+        if node.recovered is not None:
+            print(f"recovered journal: send_seq={node.recovered.send_seq} "
+                  f"({node.recovered.wal_records} WAL records replayed)")
         for peer in peer_addresses:
             node.add_peer(peer)
         try:
@@ -321,6 +341,7 @@ def _command_node(args: argparse.Namespace) -> int:
                 f"sent={stats.data_sent} received={stats.data_received} "
                 f"retransmits={stats.retransmits} nacks={stats.nacks_sent} "
                 f"drops={stats.drops} digests={stats.digests_sent} "
+                f"heartbeats={stats.heartbeats_sent} "
                 f"rtt={'%.4fs' % stats.rtt if stats.rtt is not None else 'n/a'}"
             )
             await node.close()

@@ -192,6 +192,31 @@ class EntryVectorClock:
             raise ConfigurationError("initial vector entries must be >= 0")
         self._vector[:] = values
 
+    def restore_state(self, vector: Sequence[int], send_count: int) -> None:
+        """Restore persisted clock state after a crash (journal replay).
+
+        Unlike :meth:`initialize_from` — which models a *joiner* adopting
+        someone else's knowledge — this restores the process's **own**
+        pre-crash state, including the send counter, so a restarted node
+        never reuses a ``(sender, seq)`` message id and its vector again
+        satisfies every delivery it performed before the crash.  Only
+        valid on a pristine clock (the recovery path runs before any
+        traffic is processed).
+        """
+        values = np.asarray(vector, dtype=np.int64)
+        if values.shape != self._vector.shape:
+            raise ConfigurationError(
+                f"restored vector has shape {values.shape}, expected {self._vector.shape}"
+            )
+        if self._send_seq or self._vector.any():
+            raise ConfigurationError("restore_state() requires a pristine clock")
+        if (values < 0).any():
+            raise ConfigurationError("restored vector entries must be >= 0")
+        if send_count < 0:
+            raise ConfigurationError(f"send_count must be >= 0, got {send_count}")
+        self._vector[:] = values
+        self._send_seq = int(send_count)
+
     def vector_view(self) -> np.ndarray:
         """Read-only view of the local vector (no copy)."""
         view = self._vector.view()

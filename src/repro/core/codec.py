@@ -25,9 +25,10 @@ the examples (tuples become lists and are normalised back).
 Alongside the message encoding, this module defines the **reliability
 frames** spoken by :class:`repro.net.session.ReliableSession`: a DATA
 frame carrying an opaque payload under a per-link sequence number, ACK
-(cumulative + selective), NACK (explicit missing sequence numbers) and
-DIGEST (per-sender ``(sender, seq)`` frontiers for anti-entropy).  Frames
-use a distinct magic (``b"PF"``) so a receiver can dispatch between raw
+(cumulative + selective), NACK (explicit missing sequence numbers),
+DIGEST (per-sender ``(sender, seq)`` frontiers for anti-entropy) and
+HEARTBEAT (a liveness beacon for the failure detector).  Frames use a
+distinct magic (``b"PF"``) so a receiver can dispatch between raw
 messages and session frames on the first two bytes.
 """
 
@@ -56,6 +57,7 @@ __all__ = [
     "AckFrame",
     "NackFrame",
     "DigestFrame",
+    "HeartbeatFrame",
     "Frame",
     "FrameCodec",
 ]
@@ -264,6 +266,7 @@ _TYPE_DATA = 1
 _TYPE_ACK = 2
 _TYPE_NACK = 3
 _TYPE_DIGEST = 4
+_TYPE_HEARTBEAT = 5
 
 _MAX_SACK = 64
 _MAX_NACK = 64
@@ -311,7 +314,20 @@ class DigestFrame:
     frontiers: Dict[str, Tuple[int, Tuple[int, ...]]] = field(default_factory=dict)
 
 
-Frame = Union[DataFrame, AckFrame, NackFrame, DigestFrame]
+@dataclass(frozen=True)
+class HeartbeatFrame:
+    """Liveness beacon: proof the sender is up even when it has no data.
+
+    ``count`` is a per-sender monotone counter; the failure detector only
+    cares that *something* arrived, but the counter makes heartbeat loss
+    observable in packet captures.  Heartbeats are fire-and-forget: never
+    acked, never retransmitted.
+    """
+
+    count: int
+
+
+Frame = Union[DataFrame, AckFrame, NackFrame, DigestFrame, HeartbeatFrame]
 
 
 def _encode_ascending(values: Tuple[int, ...], base: int) -> bytes:
@@ -341,7 +357,7 @@ def _decode_ascending(data: bytes, offset: int, base: int) -> Tuple[Tuple[int, .
 
 
 class FrameCodec:
-    """Encodes/decodes the session frames (DATA/ACK/NACK/DIGEST).
+    """Encodes/decodes the session frames (DATA/ACK/NACK/DIGEST/HEARTBEAT).
 
     Stateless and symmetric; all frames start with ``b"PF"`` + version +
     type byte, which keeps them distinguishable from message datagrams
@@ -404,6 +420,12 @@ class FrameCodec:
                 parts.append(struct.pack("<Q", contiguous))
                 parts.append(_encode_ascending(tuple(extras), contiguous))
             return b"".join(parts)
+        if isinstance(frame, HeartbeatFrame):
+            if frame.count < 0:
+                raise CodecError(f"negative heartbeat count {frame.count}")
+            return b"".join(
+                [header, struct.pack("<B", _TYPE_HEARTBEAT), struct.pack("<Q", frame.count)]
+            )
         raise CodecError(f"not a frame: {type(frame).__name__}")
 
     def decode(self, data: bytes) -> Frame:
@@ -448,6 +470,9 @@ class FrameCodec:
                     extras, offset = _decode_ascending(data, offset, contiguous)
                     frontiers[sender] = (contiguous, extras)
                 return DigestFrame(frontiers=frontiers)
+            if frame_type == _TYPE_HEARTBEAT:
+                (count,) = struct.unpack_from("<Q", data, offset)
+                return HeartbeatFrame(count=count)
         except struct.error as exc:
             raise CodecError(f"truncated frame: {exc}") from exc
         raise CodecError(f"unknown frame type {frame_type}")

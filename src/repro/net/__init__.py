@@ -7,14 +7,20 @@ UDP transport, and — because UDP is fire-and-forget while the paper's
 Algorithm 5 only tolerates *late* messages — a reliability runtime:
 :class:`ReliableSession` (per-peer acks, NACK-driven retransmission
 with backoff, backpressure) and :class:`ReliableCausalNode` (endpoint +
-session + anti-entropy message store).
+session + anti-entropy message store).  Nodes survive more than packet
+loss: :class:`NodeJournal` persists the causal state across crashes
+(WAL + snapshots), :class:`LivenessPolicy` drives a heartbeat failure
+detector that quarantines dead peers, and :class:`FaultWindow` schedules
+partitions and latency spikes for chaos testing.
 
 Assemble nodes with :func:`repro.api.create_node` rather than by hand.
 """
 
 from repro.net.bus import BusTransport, LocalAsyncBus
-from repro.net.faults import FaultyTransport
-from repro.net.node import MessageStore, ReliableCausalNode
+from repro.net.faults import FaultWindow, FaultyTransport
+from repro.net.journal import LinkState, NodeJournal, RecoveredState
+from repro.net.liveness import LivenessPolicy, PeerLivenessMonitor
+from repro.net.node import MessageStore, ReliableCausalNode, StoreStats
 from repro.net.peer import AsyncCausalPeer, Transport
 from repro.net.session import ReliableSession, RetransmitPolicy, TransportStats
 from repro.net.udp import UdpTransport
@@ -25,10 +31,17 @@ __all__ = [
     "LocalAsyncBus",
     "BusTransport",
     "UdpTransport",
+    "FaultWindow",
     "FaultyTransport",
+    "NodeJournal",
+    "RecoveredState",
+    "LinkState",
+    "LivenessPolicy",
+    "PeerLivenessMonitor",
     "ReliableSession",
     "RetransmitPolicy",
     "TransportStats",
     "MessageStore",
+    "StoreStats",
     "ReliableCausalNode",
 ]

@@ -1,27 +1,85 @@
-"""Fault injection for real transports: drop, duplicate, reorder.
+"""Fault injection for real transports: drop, duplicate, reorder, windows.
 
 :class:`~repro.net.bus.LocalAsyncBus` injects loss on its own; this
 module wraps *any* transport — notably real UDP sockets — so soak tests
 can subject the reliability layer to an adversarial substrate while the
 datagrams still cross the loopback interface for real.
 
-All faults are applied on the **send** side, deterministically from a
-seeded :class:`~repro.util.rng.RandomSource`, so a failing soak run can
-be replayed exactly.
+Two fault families compose:
+
+* **probabilistic** faults (drop/duplicate/reorder rates) model a noisy
+  link, drawn deterministically from a seeded
+  :class:`~repro.util.rng.RandomSource` so a failing soak run can be
+  replayed exactly;
+* **scheduled** :class:`FaultWindow` intervals model *correlated*
+  faults — a partition (every datagram to the named peers vanishes for
+  the window) or a latency spike (every datagram is held back) — the
+  live counterpart of the simulator's
+  :class:`~repro.sim.failures.PartitionWindow`.
+
+All faults are applied on the **send** side.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Hashable, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Hashable, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.net.peer import Transport
 from repro.util.rng import RandomSource
 
-__all__ = ["FaultyTransport"]
+__all__ = ["FaultWindow", "FaultyTransport"]
 
 Address = Hashable
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One scheduled fault interval on a transport's outgoing datagrams.
+
+    Times are seconds of *transport elapsed time* — measured from
+    :meth:`FaultyTransport.arm` (or lazily from the first send), so
+    windows line up across every transport armed at the same moment.
+
+    Attributes:
+        start: window opens at this elapsed time (inclusive).
+        end: window closes at this elapsed time (exclusive).
+        drop: True models a partition — matching datagrams vanish.
+        extra_delay: latency spike — matching datagrams are held back
+            this many seconds (ignored when ``drop`` is set).
+        peers: destinations the window applies to; ``None`` means all
+            (a full partition / global spike).
+    """
+
+    start: float
+    end: float
+    drop: bool = False
+    extra_delay: float = 0.0
+    peers: Optional[FrozenSet[Address]] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"window needs 0 <= start < end, got [{self.start}, {self.end})"
+            )
+        if self.extra_delay < 0:
+            raise ConfigurationError(
+                f"extra_delay must be >= 0, got {self.extra_delay}"
+            )
+        if not self.drop and self.extra_delay == 0:
+            raise ConfigurationError("window does nothing: set drop or extra_delay")
+        if self.peers is not None:
+            object.__setattr__(self, "peers", frozenset(self.peers))
+
+    def active_at(self, elapsed: float) -> bool:
+        """Whether the window covers this elapsed time."""
+        return self.start <= elapsed < self.end
+
+    def applies_to(self, destination: Address) -> bool:
+        """Whether the window covers this destination."""
+        return self.peers is None or destination in self.peers
 
 
 class FaultyTransport(Transport):
@@ -36,6 +94,9 @@ class FaultyTransport(Transport):
             overtake it).
         reorder_delay: (min, max) seconds for the reorder hold-back.
         rng: fault randomness; seeded default for reproducibility.
+        windows: scheduled :class:`FaultWindow` intervals (partitions
+            and latency spikes); checked before the probabilistic
+            faults, so a partitioned datagram is never double-counted.
     """
 
     def __init__(
@@ -46,6 +107,7 @@ class FaultyTransport(Transport):
         reorder_rate: float = 0.0,
         reorder_delay: Tuple[float, float] = (0.002, 0.02),
         rng: Optional[RandomSource] = None,
+        windows: Sequence[FaultWindow] = (),
     ) -> None:
         for name, value in (
             ("drop_rate", drop_rate),
@@ -62,11 +124,36 @@ class FaultyTransport(Transport):
         self._reorder_rate = reorder_rate
         self._reorder_delay = reorder_delay
         self._rng = rng if rng is not None else RandomSource(seed=0).spawn("faults")
+        self._windows = tuple(windows)
+        self._epoch: Optional[float] = None
         self._tasks: Set[asyncio.Task] = set()
         self._closed = False
         self.dropped = 0
         self.duplicated = 0
         self.reordered = 0
+        self.window_dropped = 0
+        self.window_delayed = 0
+
+    def arm(self) -> None:
+        """Start the fault-window clock now (otherwise it starts lazily
+        at the first send).  Arm every transport of a scenario together
+        so their windows coincide."""
+        self._epoch = asyncio.get_running_loop().time()
+
+    def set_windows(self, windows: Sequence[FaultWindow]) -> None:
+        """Replace the scheduled fault windows.
+
+        Windows usually reference peer *addresses*, which are only known
+        after every transport of the scenario is bound — so harnesses
+        construct transports first and install the windows afterwards.
+        """
+        self._windows = tuple(windows)
+
+    def _elapsed(self) -> float:
+        now = asyncio.get_running_loop().time()
+        if self._epoch is None:
+            self._epoch = now
+        return now - self._epoch
 
     def __getattr__(self, name):
         # Everything not overridden (e.g. UdpTransport.local_address)
@@ -74,6 +161,20 @@ class FaultyTransport(Transport):
         return getattr(self._inner, name)
 
     async def send(self, destination: Address, data: bytes) -> None:
+        if self._windows:
+            elapsed = self._elapsed()
+            for window in self._windows:
+                if not (window.active_at(elapsed) and window.applies_to(destination)):
+                    continue
+                if window.drop:
+                    self.window_dropped += 1
+                    return
+                # Latency spike: the datagram still arrives, late, and
+                # bypasses the probabilistic faults (a spike models the
+                # path, not extra loss).
+                self.window_delayed += 1
+                self._hold_back(destination, data, window.extra_delay)
+                return
         if self._drop_rate and self._rng.random() < self._drop_rate:
             self.dropped += 1
             return

@@ -1,0 +1,124 @@
+"""Peer liveness: heartbeats, a timeout failure detector, quarantine.
+
+Retransmission assumes the peer is *there*: a crashed or partitioned
+peer turns every unacked frame into ``max_retries`` futile resends, and
+a bounded send buffer full of its frames backpressures the sender's own
+broadcasts.  This module separates "lossy" from "gone":
+
+* every node beats a HEARTBEAT frame to every peer on a fixed interval
+  (pure liveness proof — never acked, never retransmitted);
+* :class:`PeerLivenessMonitor` tracks the last datagram of any kind
+  seen from each peer and **quarantines** one that stays silent past
+  ``quarantine_after`` (timeout failure detection — the classic
+  eventually-perfect detector under partial synchrony; any datagram is
+  evidence, so an idle-but-alive peer survives on heartbeats alone);
+* a quarantined peer costs nothing: its retransmissions pause, its
+  unacked frames are released (freeing the backpressure budget), and
+  new broadcasts skip it — anti-entropy will heal it wholesale later;
+* heartbeats *keep flowing* to quarantined peers — that asymmetry is
+  what un-wedges two peers that quarantined each other across a
+  partition: each keeps proving its liveness to the other, so whichever
+  hears first resumes, and its resumed traffic resumes the other;
+* the first datagram from a quarantined peer **resumes** it and
+  triggers an immediate anti-entropy exchange to close the gap.
+
+The monitor is pure bookkeeping (no tasks, no clocks of its own): the
+node's liveness loop feeds it timestamps from the event loop and acts
+on its verdicts, which keeps it trivially testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["LivenessPolicy", "PeerLivenessMonitor"]
+
+Address = Hashable
+
+
+@dataclass(frozen=True)
+class LivenessPolicy:
+    """Failure-detection tuning.
+
+    Attributes:
+        heartbeat_interval: seconds between HEARTBEAT frames to every
+            peer (quarantined peers included — see module docstring).
+        quarantine_after: silence (no datagram of any kind) after which
+            a peer is quarantined.  Must cover several heartbeat
+            intervals, or ordinary loss masquerades as death.
+    """
+
+    heartbeat_interval: float = 0.5
+    quarantine_after: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be positive, got {self.heartbeat_interval}"
+            )
+        if self.quarantine_after < self.heartbeat_interval:
+            raise ConfigurationError(
+                f"quarantine_after ({self.quarantine_after}) must be >= "
+                f"heartbeat_interval ({self.heartbeat_interval}); a peer must "
+                f"get at least one heartbeat's grace"
+            )
+
+
+class PeerLivenessMonitor:
+    """Last-seen bookkeeping and quarantine verdicts for a peer set."""
+
+    def __init__(self, policy: LivenessPolicy) -> None:
+        self._policy = policy
+        self._last_seen: Dict[Address, float] = {}
+        self._quarantined: Set[Address] = set()
+        self.quarantines = 0
+        self.resumes = 0
+
+    @property
+    def policy(self) -> LivenessPolicy:
+        """The tuning this monitor applies."""
+        return self._policy
+
+    def track(self, address: Address, now: float) -> None:
+        """Start watching a peer (idempotent; grants fresh grace)."""
+        self._last_seen.setdefault(address, now)
+
+    def forget(self, address: Address) -> None:
+        """Stop watching a peer entirely (removed from membership)."""
+        self._last_seen.pop(address, None)
+        self._quarantined.discard(address)
+
+    def touch(self, address: Address, now: float) -> bool:
+        """Record evidence of life; True when this revives a quarantined
+        peer (the caller should resume it and trigger anti-entropy)."""
+        self._last_seen[address] = now
+        if address in self._quarantined:
+            self._quarantined.discard(address)
+            self.resumes += 1
+            return True
+        return False
+
+    def sweep(self, now: float) -> List[Address]:
+        """Quarantine every tracked peer silent past the deadline;
+        returns the newly quarantined addresses."""
+        newly: List[Address] = []
+        deadline = self._policy.quarantine_after
+        for address, last in self._last_seen.items():
+            if address in self._quarantined:
+                continue
+            if now - last > deadline:
+                self._quarantined.add(address)
+                self.quarantines += 1
+                newly.append(address)
+        return newly
+
+    def is_quarantined(self, address: Address) -> bool:
+        """Whether a peer is currently quarantined."""
+        return address in self._quarantined
+
+    def quarantined_peers(self) -> Tuple[Address, ...]:
+        """All currently quarantined addresses."""
+        return tuple(self._quarantined)

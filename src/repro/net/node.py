@@ -26,22 +26,36 @@ Construct nodes with :func:`repro.api.create_node` rather than by hand.
 from __future__ import annotations
 
 import asyncio
+import logging
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.clocks import EntryVectorClock
 from repro.core.codec import MessageCodec
 from repro.core.detector import DeliveryErrorDetector
 from repro.core.errors import ConfigurationError
 from repro.core.protocol import CausalBroadcastEndpoint, DeliveryRecord, Message
+from repro.net.journal import NodeJournal, RecoveredState
+from repro.net.liveness import LivenessPolicy, PeerLivenessMonitor
 from repro.net.peer import Transport
 from repro.net.session import ReliableSession, RetransmitPolicy, TransportStats
 
-__all__ = ["MessageStore", "ReliableCausalNode"]
+__all__ = ["StoreStats", "MessageStore", "ReliableCausalNode"]
+
+logger = logging.getLogger(__name__)
 
 Address = Hashable
 DeliveryHandler = Callable[[DeliveryRecord], None]
 Frontiers = Dict[str, Tuple[int, Tuple[int, ...]]]
+
+
+@dataclass
+class StoreStats:
+    """Operational counters of one :class:`MessageStore`."""
+
+    evictions: int = 0
+    unservable_requests: int = 0
 
 
 class MessageStore:
@@ -52,6 +66,15 @@ class MessageStore:
     anti-entropy digest.  Old message *bytes* are evicted FIFO beyond
     ``limit`` (the frontier bookkeeping stays, so digests remain
     truthful; evicted messages simply can no longer be served).
+
+    **Sizing tradeoff**: ``limit`` bounds memory, but an evicted message
+    is silently unservable to anti-entropy — a peer that missed it and
+    lost every retransmission can then only be healed by a *third* node
+    that still holds the bytes.  Size the store to cover the longest
+    partition you intend to survive (``limit >= peak aggregate send
+    rate x longest partition``); :attr:`stats` counts evictions and
+    digest requests that hit the evicted range, and the first such
+    unservable request is logged as a warning.
     """
 
     def __init__(self, limit: int = 8192) -> None:
@@ -62,6 +85,9 @@ class MessageStore:
         self._order: Deque[Tuple[str, int]] = deque()
         self._contiguous: Dict[str, int] = {}
         self._extras: Dict[str, set] = {}
+        self._evicted_high: Dict[str, int] = {}
+        self._warned_unservable = False
+        self.stats = StoreStats()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -80,8 +106,11 @@ class MessageStore:
             extras.discard(frontier)
         self._contiguous[sender] = frontier
         while len(self._data) > self._limit:
-            evicted = self._order.popleft()
-            self._data.pop(evicted, None)
+            evicted_sender, evicted_seq = self._order.popleft()
+            self._data.pop((evicted_sender, evicted_seq), None)
+            self.stats.evictions += 1
+            if evicted_seq > self._evicted_high.get(evicted_sender, 0):
+                self._evicted_high[evicted_sender] = evicted_seq
         return True
 
     def knows(self, sender: str, seq: int) -> bool:
@@ -105,7 +134,25 @@ class MessageStore:
         }
 
     def missing_for(self, remote: Frontiers, limit: int = 256) -> Iterator[bytes]:
-        """Stored encodings the remote digest does not cover (oldest first)."""
+        """Stored encodings the remote digest does not cover (oldest first).
+
+        Also detects (heuristically, via the per-sender evicted high-water
+        mark) a request reaching into the evicted range: counted in
+        :attr:`stats` and warned about once, because such gaps can only
+        be healed by another node.
+        """
+        for sender, high in self._evicted_high.items():
+            if remote.get(sender, (0, ()))[0] < high:
+                self.stats.unservable_requests += 1
+                if not self._warned_unservable:
+                    self._warned_unservable = True
+                    logger.warning(
+                        "anti-entropy request reaches into evicted messages "
+                        "(sender %r up to seq %d); this node cannot serve them "
+                        "— raise the store limit to cover longer outages",
+                        sender, high,
+                    )
+                break
         served = 0
         for sender, seq in self._order:
             if served >= limit:
@@ -117,6 +164,35 @@ class MessageStore:
             if data is not None:
                 served += 1
                 yield data
+
+    def restore_frontiers(self, frontiers: Frontiers) -> None:
+        """Adopt journal-recovered per-sender coverage (empty store only).
+
+        The restarted node *knows* these ids (duplicate suppression and
+        digests must cover them) but no longer holds their bytes — the
+        whole recovered range is marked evicted; peers keep the copies.
+        """
+        if self._data or self._contiguous or self._extras:
+            raise ConfigurationError("restore_frontiers() requires an empty store")
+        for sender, (contiguous, extras) in frontiers.items():
+            self._contiguous[sender] = int(contiguous)
+            self._extras[sender] = {int(seq) for seq in extras}
+            high = max(int(contiguous), max((int(s) for s in extras), default=0))
+            if high > 0:
+                self._evicted_high[sender] = high
+
+    def restore_message(self, sender: str, seq: int, data: bytes) -> None:
+        """Re-stock the bytes of an id already covered by restored
+        frontiers (own WAL-journalled broadcasts), making it servable."""
+        key = (sender, seq)
+        if key in self._data:
+            return
+        if not self.knows(sender, seq):
+            raise ConfigurationError(
+                f"restore_message() is for recovered ids; {key} is unknown"
+            )
+        self._data[key] = data
+        self._order.append(key)
 
 
 class ReliableCausalNode:
@@ -138,6 +214,14 @@ class ReliableCausalNode:
             the periodic exchange (retransmission-only mode).
         store_limit: bound on the recent-messages store.
         max_pending: optional safety bound on the endpoint's pending queue.
+        journal: optional :class:`~repro.net.journal.NodeJournal`; when
+            given, the constructor replays any prior state (clock,
+            delivered frontiers, link seqs) before a single datagram can
+            arrive, and every send/delivery is logged ahead of the wire.
+            Requires a pristine ``clock``.
+        liveness: optional :class:`~repro.net.liveness.LivenessPolicy`;
+            when given, :meth:`start` runs a heartbeat/failure-detector
+            loop that quarantines silent peers and heals them on return.
     """
 
     def __init__(
@@ -152,6 +236,8 @@ class ReliableCausalNode:
         anti_entropy_interval: float = 0.5,
         store_limit: int = 8192,
         max_pending: Optional[int] = None,
+        journal: Optional[NodeJournal] = None,
+        liveness: Optional[LivenessPolicy] = None,
     ) -> None:
         if anti_entropy_interval < 0:
             raise ConfigurationError(
@@ -165,7 +251,25 @@ class ReliableCausalNode:
         self._decode_errors = 0
         self._anti_entropy_interval = anti_entropy_interval
         self._anti_entropy_task: Optional[asyncio.Task] = None
+        self._liveness_task: Optional[asyncio.Task] = None
+        self._heal_tasks: Set[asyncio.Task] = set()
+        self._heartbeat_count = 0
         self.store = MessageStore(limit=store_limit)
+        self.journal = journal
+        self.liveness = (
+            PeerLivenessMonitor(liveness) if liveness is not None else None
+        )
+        self._liveness_policy = liveness
+
+        # Recovery runs strictly before the session exists: by the time
+        # a datagram can arrive, the clock, duplicate filter, store
+        # frontiers, and link seqs already reflect the pre-crash state.
+        self.recovered: Optional[RecoveredState] = None
+        if journal is not None:
+            self.recovered = journal.open()
+        if self.recovered is not None:
+            clock.restore_state(self.recovered.vector, self.recovered.send_seq)
+
         self.endpoint = CausalBroadcastEndpoint(
             process_id=str(node_id),
             clock=clock,
@@ -173,12 +277,34 @@ class ReliableCausalNode:
             deliver_callback=self._handle_delivery,
             max_pending=max_pending,
         )
+        if self.recovered is not None:
+            for sender, (contiguous, extras) in self.recovered.delivered.items():
+                for seq in range(1, contiguous + 1):
+                    self.endpoint.mark_seen((sender, seq))
+                for seq in extras:
+                    self.endpoint.mark_seen((sender, seq))
+            self.store.restore_frontiers(self.recovered.delivered)
+            for seq, data in self.recovered.own_messages.items():
+                self.store.restore_message(str(node_id), seq, data)
+
         self.session = ReliableSession(
             transport,
             on_message=self._handle_wire_message,
             on_digest=self._handle_digest,
             policy=policy,
+            on_peer_activity=(
+                self._handle_peer_activity if self.liveness is not None else None
+            ),
+            on_link_seq=(journal.ensure_lease if journal is not None else None),
         )
+        if self.recovered is not None:
+            for address, link in self.recovered.links.items():
+                self.session.restore_peer(
+                    address,
+                    next_seq=link.tx_next,
+                    recv_cumulative=link.rx_cumulative,
+                    recv_out_of_order=link.rx_out_of_order,
+                )
         self._transport = transport
 
     # ------------------------------------------------------------------
@@ -186,20 +312,34 @@ class ReliableCausalNode:
     # ------------------------------------------------------------------
 
     async def start(self) -> "ReliableCausalNode":
-        """Start the retransmit timer and the anti-entropy loop."""
+        """Start the retransmit timer, anti-entropy, and liveness loops."""
         self.session.start()
+        loop = asyncio.get_running_loop()
         if self._anti_entropy_interval > 0 and self._anti_entropy_task is None:
-            self._anti_entropy_task = asyncio.get_running_loop().create_task(
-                self._anti_entropy_loop()
-            )
+            self._anti_entropy_task = loop.create_task(self._anti_entropy_loop())
+        if self.liveness is not None and self._liveness_task is None:
+            self._liveness_task = loop.create_task(self._liveness_loop())
         return self
 
     async def close(self) -> None:
-        """Stop background tasks and release the transport."""
-        if self._anti_entropy_task is not None:
-            self._anti_entropy_task.cancel()
-            self._anti_entropy_task = None
+        """Stop background tasks and release the transport.
+
+        Deliberately no journal snapshot: the recovery path must work
+        from whatever the WAL holds (crash-only design), and a graceful
+        close taking a different path would leave the crash path
+        untested in production.
+        """
+        for task in (self._anti_entropy_task, self._liveness_task):
+            if task is not None:
+                task.cancel()
+        self._anti_entropy_task = None
+        self._liveness_task = None
+        for task in list(self._heal_tasks):
+            task.cancel()
+        self._heal_tasks.clear()
         await self.session.close()
+        if self.journal is not None:
+            self.journal.close()
 
     # ------------------------------------------------------------------
     # membership
@@ -211,9 +351,18 @@ class ReliableCausalNode:
             self._peers.append(address)
 
     def remove_peer(self, address: Address) -> None:
-        """Stop broadcasting to ``address`` (missing is fine)."""
+        """Stop broadcasting to ``address`` and purge its session state.
+
+        Without the purge, the peer's unacked retransmission queue and
+        per-peer stats would linger in the session forever (and its
+        pending frames would keep being retransmitted into the void).
+        Missing addresses are fine.
+        """
         if address in self._peers:
             self._peers.remove(address)
+        self.session.forget(address)
+        if self.liveness is not None:
+            self.liveness.forget(address)
 
     @property
     def peers(self) -> Sequence[Address]:
@@ -251,14 +400,30 @@ class ReliableCausalNode:
     # ------------------------------------------------------------------
 
     async def broadcast(self, payload: Any = None) -> Message:
-        """Timestamp, self-deliver, store, and reliably send to all peers."""
+        """Timestamp, self-deliver, store, and reliably send to all peers.
+
+        Quarantined peers are skipped — their copy arrives through the
+        anti-entropy exchange when they resume.
+        """
         message = self.endpoint.broadcast(payload)
         data = self._codec.encode(message)
         self.store.add(str(message.sender), message.seq, data)
         await asyncio.gather(
-            *(self.session.send(address, data) for address in self._peers)
+            *(
+                self.session.send(address, data)
+                for address in self._live_peers()
+            )
         )
         return message
+
+    def _live_peers(self) -> List[Address]:
+        if self.liveness is None:
+            return list(self._peers)
+        return [
+            address
+            for address in self._peers
+            if not self.liveness.is_quarantined(address)
+        ]
 
     def _handle_wire_message(self, data: bytes, addr: Address) -> None:
         try:
@@ -279,14 +444,76 @@ class ReliableCausalNode:
         while True:
             await asyncio.sleep(self._anti_entropy_interval)
             frontiers = self.store.frontiers()
-            for address in list(self._peers):
+            for address in self._live_peers():
                 try:
                     await self.session.send_digest(address, frontiers)
                 except Exception:
                     # A digest that fails to send is retried next round.
                     continue
 
+    async def _liveness_loop(self) -> None:
+        interval = self._liveness_policy.heartbeat_interval
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(interval)
+            now = loop.time()
+            self._heartbeat_count += 1
+            for address in list(self._peers):
+                # Heartbeats flow to quarantined peers too: that is what
+                # resolves a mutual quarantine once the partition lifts.
+                self.liveness.track(address, now)
+                try:
+                    await self.session.send_heartbeat(address, self._heartbeat_count)
+                except Exception:
+                    continue
+            for address in self.liveness.sweep(loop.time()):
+                if address in self._peers:
+                    self.session.quarantine(address)
+                else:
+                    # Activity from a non-member primed the monitor;
+                    # nothing to pause for it.
+                    self.liveness.forget(address)
+
+    def _handle_peer_activity(self, address: Address) -> None:
+        # Called synchronously from the datagram path for *every*
+        # datagram; must stay cheap.
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:
+            return
+        if self.liveness.touch(address, now):
+            self.session.resume(address)
+            # Heal immediately rather than waiting for the next
+            # anti-entropy round: exchange digests both ways.
+            task = asyncio.get_running_loop().create_task(self._heal_peer(address))
+            self._heal_tasks.add(task)
+            task.add_done_callback(self._heal_tasks.discard)
+
+    async def _heal_peer(self, address: Address) -> None:
+        try:
+            await self.session.send_digest(address, self.store.frontiers())
+        except Exception:
+            # The regular anti-entropy loop retries soon anyway.
+            pass
+
     def _handle_delivery(self, record: DeliveryRecord) -> None:
+        if self.journal is not None:
+            message = record.message
+            if record.local:
+                # WAL-before-wire: this runs inside endpoint.broadcast(),
+                # before broadcast() puts the message on any link.
+                self.journal.record_send(message.seq, self._codec.encode(message))
+            else:
+                self.journal.record_delivery(
+                    str(message.sender),
+                    message.seq,
+                    message.timestamp.sender_keys,
+                )
+            if self.journal.snapshot_due:
+                clock = self.endpoint.clock
+                self.journal.write_snapshot(
+                    clock.snapshot(), clock.send_count, self.session.link_states()
+                )
         self._deliveries.append(record)
         if self._on_delivery is not None:
             self._on_delivery(record)

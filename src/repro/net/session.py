@@ -22,7 +22,19 @@ so this module adds the classic reliability machinery between a
   cannot make the sender accumulate unbounded state;
 * **anti-entropy plumbing** — digest frames (per-sender ``(sender, seq)``
   frontiers) are encoded/dispatched here; deciding *what* is missing is
-  the message-store's job (see :mod:`repro.net.node`).
+  the message-store's job (see :mod:`repro.net.node`);
+* **liveness plumbing** — HEARTBEAT frames are sent/counted here, every
+  incoming datagram is reported through ``on_peer_activity``, and a peer
+  the failure detector declares dead can be **quarantined**: its pending
+  retransmissions are dropped (counted in ``quarantine_drops``) and its
+  backpressure budget released, so a dead peer burns neither timers nor
+  sender memory.  :meth:`resume` re-arms the peer; anti-entropy heals
+  whatever was dropped while it was away (see :mod:`repro.net.liveness`);
+* **crash recovery plumbing** — per-link sequence state can be exported
+  (:meth:`link_states`) and re-imported (:meth:`restore_peer`) by the
+  journal, and ``on_link_seq`` fires *before* a fresh sequence number
+  first hits the wire so the journal can lease seq ranges ahead of use
+  (see :mod:`repro.net.journal`).
 
 Everything observable is surfaced through per-peer
 :class:`TransportStats` (sends, retransmits, nacks, drops, a smoothed
@@ -49,6 +61,7 @@ from repro.core.codec import (
     DigestFrame,
     Frame,
     FrameCodec,
+    HeartbeatFrame,
     NackFrame,
 )
 from repro.core.errors import ConfigurationError
@@ -59,6 +72,8 @@ __all__ = ["RetransmitPolicy", "TransportStats", "ReliableSession"]
 Address = Hashable
 MessageHandler = Callable[[bytes, Address], None]
 DigestHandler = Callable[[Dict[str, Tuple[int, Tuple[int, ...]]], Address], None]
+ActivityHandler = Callable[[Address], None]
+LinkSeqHandler = Callable[[Address, int], None]
 
 # Acked-at-first-send RTT smoothing (Jacobson/Karels constants).
 _RTT_ALPHA = 0.125
@@ -127,6 +142,10 @@ class TransportStats:
         acks_sent / acks_received: ACK frame counts.
         nacks_sent / nacks_received: NACK frame counts.
         digests_sent / digests_received: anti-entropy digest counts.
+        heartbeats_sent / heartbeats_received: liveness beacon counts.
+        quarantine_drops: pending frames discarded when the failure
+            detector quarantined this peer (anti-entropy re-sends the
+            messages they carried once the peer returns).
         rtt: smoothed round-trip estimate in seconds (None until the
             first clean ack of a never-retransmitted frame).
     """
@@ -142,6 +161,9 @@ class TransportStats:
     nacks_received: int = 0
     digests_sent: int = 0
     digests_received: int = 0
+    heartbeats_sent: int = 0
+    heartbeats_received: int = 0
+    quarantine_drops: int = 0
     rtt: Optional[float] = None
 
     def merge(self, other: "TransportStats") -> "TransportStats":
@@ -159,6 +181,9 @@ class TransportStats:
             nacks_received=self.nacks_received + other.nacks_received,
             digests_sent=self.digests_sent + other.digests_sent,
             digests_received=self.digests_received + other.digests_received,
+            heartbeats_sent=self.heartbeats_sent + other.heartbeats_sent,
+            heartbeats_received=self.heartbeats_received + other.heartbeats_received,
+            quarantine_drops=self.quarantine_drops + other.quarantine_drops,
             rtt=sum(rtts) / len(rtts) if rtts else None,
         )
 
@@ -188,6 +213,7 @@ class _PeerState:
         self.srtt: Optional[float] = None
         self.rttvar: Optional[float] = None
         self.stats = TransportStats()
+        self.quarantined = False
         self._policy = policy
 
     def rto(self) -> float:
@@ -244,6 +270,11 @@ class ReliableSession:
             a session interoperates with frame-less senders.
         on_digest: upcall ``(frontiers, addr)`` for anti-entropy digests;
             the owner answers by re-sending whatever the digest lacks.
+        on_peer_activity: upcall ``(addr)`` for every incoming datagram,
+            whatever its kind — the liveness monitor's evidence stream.
+        on_link_seq: upcall ``(addr, seq)`` invoked *before* a fresh DATA
+            sequence number is first transmitted, so a journal can lease
+            seq ranges ahead of use (write-ahead ordering).
         policy: retransmission tuning; defaults to :class:`RetransmitPolicy`.
         seed: seeds the jitter generator (jitter needs no determinism,
             but a fixed seed keeps tests reproducible).
@@ -254,12 +285,16 @@ class ReliableSession:
         transport: Transport,
         on_message: MessageHandler,
         on_digest: Optional[DigestHandler] = None,
+        on_peer_activity: Optional[ActivityHandler] = None,
+        on_link_seq: Optional[LinkSeqHandler] = None,
         policy: Optional[RetransmitPolicy] = None,
         seed: int = 0,
     ) -> None:
         self._transport = transport
         self._on_message = on_message
         self._on_digest = on_digest
+        self._on_peer_activity = on_peer_activity
+        self._on_link_seq = on_link_seq
         self._policy = policy if policy is not None else RetransmitPolicy()
         self._codec = FrameCodec()
         self._random = random.Random(seed)
@@ -320,6 +355,94 @@ class ReliableSession:
         """The active retransmission policy."""
         return self._policy
 
+    def link_states(self) -> Dict[Address, Tuple[int, int, Tuple[int, ...]]]:
+        """Per-peer link-sequence state for journal snapshots.
+
+        Maps each address to ``(tx_next, rx_cumulative, rx_out_of_order)``.
+        """
+        return {
+            address: (
+                state.next_seq,
+                state.recv_cumulative,
+                tuple(sorted(state.recv_out_of_order)),
+            )
+            for address, state in self._peers.items()
+        }
+
+    # ------------------------------------------------------------------
+    # peer lifecycle (quarantine / crash recovery / purge)
+    # ------------------------------------------------------------------
+
+    def quarantine(self, address: Address) -> int:
+        """Park an unresponsive peer; returns the pending frames dropped.
+
+        Its unacked buffer is discarded (counted in ``quarantine_drops``;
+        anti-entropy re-delivers those messages on resume), blocked
+        senders are released, and the retransmit timer skips it — a dead
+        peer stops costing memory and wire traffic.  Idempotent.
+        """
+        state = self._peers.get(address)
+        if state is None or state.quarantined:
+            return 0
+        state.quarantined = True
+        dropped = len(state.unacked)
+        state.stats.quarantine_drops += dropped
+        state.unacked.clear()
+        state.space.set()
+        return dropped
+
+    def resume(self, address: Address) -> bool:
+        """Lift a quarantine (the peer showed signs of life); True if it
+        was actually quarantined."""
+        state = self._peers.get(address)
+        if state is None or not state.quarantined:
+            return False
+        state.quarantined = False
+        return True
+
+    def is_quarantined(self, address: Address) -> bool:
+        """Whether ``address`` is currently quarantined."""
+        state = self._peers.get(address)
+        return state is not None and state.quarantined
+
+    def forget(self, address: Address) -> bool:
+        """Purge all per-peer state for ``address`` (membership removal).
+
+        Drops pending retransmissions, receive bookkeeping and stats, and
+        wakes any sender blocked on the peer's backpressure (their
+        in-flight frames complete against the discarded state and are
+        never retransmitted).  Returns True when state existed.
+        """
+        state = self._peers.pop(address, None)
+        if state is None:
+            return False
+        state.unacked.clear()
+        state.space.set()
+        return True
+
+    def restore_peer(
+        self,
+        address: Address,
+        next_seq: int = 1,
+        recv_cumulative: int = 0,
+        recv_out_of_order: Tuple[int, ...] = (),
+    ) -> None:
+        """Re-import journaled link state after a crash restart.
+
+        ``next_seq`` comes from the journal's seq lease, guaranteeing a
+        restarted node never reuses a link sequence number its peer saw
+        before the crash.  Receive-side state may lag the true pre-crash
+        value (it is only snapshotted periodically); the regression is
+        harmless — re-accepted duplicates are absorbed by the causal
+        layer's ``(sender, seq)`` duplicate suppression.
+        """
+        state = self._peer(address)
+        state.next_seq = max(state.next_seq, int(next_seq))
+        state.recv_cumulative = max(state.recv_cumulative, int(recv_cumulative))
+        state.recv_out_of_order.update(
+            int(seq) for seq in recv_out_of_order if int(seq) > state.recv_cumulative
+        )
+
     # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
@@ -336,6 +459,9 @@ class ReliableSession:
             await state.space.wait()
         seq = state.next_seq
         state.next_seq += 1
+        if self._on_link_seq is not None:
+            # Write-ahead: the journal leases the seq before it hits the wire.
+            self._on_link_seq(destination, seq)
         frame = self._codec.encode(DataFrame(seq=seq, payload=payload))
         now = asyncio.get_running_loop().time()
         timeout = state.rto()
@@ -360,11 +486,23 @@ class ReliableSession:
         state.stats.digests_sent += 1
         await self._transport.send(destination, self._codec.encode(DigestFrame(frontiers)))
 
+    async def send_heartbeat(self, destination: Address, count: int) -> None:
+        """Fire-and-forget a liveness beacon (never acked or retransmitted)."""
+        state = self._peer(destination)
+        state.stats.heartbeats_sent += 1
+        await self._transport.send(
+            destination, self._codec.encode(HeartbeatFrame(count=count))
+        )
+
     # ------------------------------------------------------------------
     # receiving
     # ------------------------------------------------------------------
 
     def _handle_datagram(self, data: bytes, addr: Address) -> None:
+        if self._on_peer_activity is not None:
+            # Any datagram — data, ack, digest, heartbeat, even one that
+            # fails to decode — is evidence the address is alive.
+            self._on_peer_activity(addr)
         if not FrameCodec.is_frame(data):
             # Frame-less sender (e.g. a bare AsyncCausalPeer): pass through.
             self._on_message(data, addr)
@@ -389,6 +527,8 @@ class ReliableSession:
             state.stats.digests_received += 1
             if self._on_digest is not None:
                 self._on_digest(frame.frontiers, addr)
+        elif isinstance(frame, HeartbeatFrame):
+            state.stats.heartbeats_received += 1
 
     def _on_data(self, state: _PeerState, frame: DataFrame, addr: Address, now: float) -> None:
         if state.note_received(frame.seq):
@@ -449,6 +589,8 @@ class ReliableSession:
             await asyncio.sleep(self._policy.tick_interval)
             now = asyncio.get_running_loop().time()
             for address, state in self._peers.items():
+                if state.quarantined:
+                    continue
                 due = [
                     (seq, pending)
                     for seq, pending in state.unacked.items()

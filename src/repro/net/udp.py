@@ -28,12 +28,17 @@ _MAX_DATAGRAM = 60_000
 class _Protocol(asyncio.DatagramProtocol):
     def __init__(self) -> None:
         self.receiver: Optional[Callable[[bytes, HostPort], None]] = None
+        self.closed: asyncio.Future = asyncio.get_event_loop().create_future()
 
     def datagram_received(self, data: bytes, addr) -> None:
         # Thread the sender address through: sessions attribute datagrams
         # to peers (per-peer acks and retransmit state) by this value.
         if self.receiver is not None:
             self.receiver(data, (addr[0], addr[1]))
+
+    def connection_lost(self, exc) -> None:
+        if not self.closed.done():
+            self.closed.set_result(None)
 
 
 class UdpTransport(Transport):
@@ -77,3 +82,7 @@ class UdpTransport(Transport):
 
     async def close(self) -> None:
         self._transport.close()
+        # Wait for the socket to actually release: a crash-recovery
+        # restart rebinds the same port immediately, and the datagram
+        # transport only closes on a later loop iteration.
+        await self._protocol.closed

@@ -1,4 +1,4 @@
-"""Wire tests for the reliability frames (DATA/ACK/NACK/DIGEST)."""
+"""Wire tests for the reliability frames (DATA/ACK/NACK/DIGEST/HEARTBEAT)."""
 
 import pytest
 from hypothesis import given, settings
@@ -10,6 +10,7 @@ from repro.core.codec import (
     DataFrame,
     DigestFrame,
     FrameCodec,
+    HeartbeatFrame,
     MessageCodec,
     NackFrame,
 )
@@ -60,6 +61,12 @@ class TestRoundTrip:
     @settings(max_examples=200, deadline=None)
     def test_digest_frame(self, frontiers):
         frame = DigestFrame(frontiers=frontiers)
+        assert codec.decode(codec.encode(frame)) == frame
+
+    @given(count=st.integers(min_value=0, max_value=2**60))
+    @settings(max_examples=200, deadline=None)
+    def test_heartbeat_frame(self, count):
+        frame = HeartbeatFrame(count=count)
         assert codec.decode(codec.encode(frame)) == frame
 
 
@@ -116,3 +123,12 @@ class TestMalformed:
     def test_non_ascending_sack_rejected(self):
         with pytest.raises(CodecError):
             codec.encode(AckFrame(cumulative=10, sacks=(5,)))
+
+    def test_negative_heartbeat_count_rejected(self):
+        with pytest.raises(CodecError):
+            codec.encode(HeartbeatFrame(count=-1))
+
+    def test_truncated_heartbeat_rejected(self):
+        data = codec.encode(HeartbeatFrame(count=7))
+        with pytest.raises(CodecError):
+            codec.decode(data[:-2])

@@ -7,12 +7,13 @@ prove the reliability machinery (retransmissions, anti-entropy) did it.
 """
 
 import asyncio
+import logging
 
 import pytest
 
 from repro.api import NodeConfig, create_node
 from repro.core.errors import ConfigurationError
-from repro.net import FaultyTransport, UdpTransport
+from repro.net import FaultWindow, FaultyTransport, UdpTransport
 from repro.net.node import MessageStore
 from repro.util.rng import RandomSource
 
@@ -36,6 +37,7 @@ async def make_lossy_node(name, config, seed, **faults):
 
 
 class TestSoakUnderLoss:
+    @pytest.mark.soak
     def test_full_causal_delivery_despite_loss_dup_reorder(self):
         """The ISSUE acceptance test: >= 20% drop + dup + reorder on
         loopback UDP; eventual 100% delivery in causal order with
@@ -96,6 +98,7 @@ class TestSoakUnderLoss:
 
         asyncio.run(scenario())
 
+    @pytest.mark.soak
     def test_anti_entropy_recovers_without_retransmission(self):
         """With retransmission disabled (max_retries=0) and heavy loss,
         the periodic digest exchange alone must converge the nodes."""
@@ -192,6 +195,25 @@ class TestMessageStore:
         with pytest.raises(ConfigurationError):
             MessageStore(limit=0)
 
+    def test_eviction_counted_and_unservable_request_logged_once(self, caplog):
+        store = MessageStore(limit=2)
+        for seq in range(1, 5):
+            store.add("p", seq, bytes([seq]))
+        assert store.stats.evictions == 2
+        with caplog.at_level(logging.WARNING, logger="repro.net.node"):
+            # A digest whose frontier lies below the evicted high-water
+            # mark asks for bytes this store no longer holds.
+            list(store.missing_for({"p": (0, ())}))
+            list(store.missing_for({"p": (1, ())}))
+        assert store.stats.unservable_requests == 2
+        warnings = [
+            record for record in caplog.records if "evicted" in record.message
+        ]
+        assert len(warnings) == 1, "the unservable warning must log only once"
+        # A fully-covered digest is not an unservable request.
+        list(store.missing_for({"p": (4, ())}))
+        assert store.stats.unservable_requests == 2
+
 
 class TestNodeSurface:
     def test_stats_and_store_exposed(self):
@@ -211,6 +233,84 @@ class TestNodeSurface:
             assert a.peers == ()
             await a.close()
             await b.close()
+
+        asyncio.run(scenario())
+
+    def test_remove_peer_purges_session_and_liveness_state(self):
+        """Satellite regression: remove_peer must not leak per-peer
+        session state (unacked queue, stats, receive bookkeeping) or a
+        stale liveness entry that would later quarantine the departed
+        address."""
+
+        async def scenario():
+            config = NodeConfig(
+                r=32, k=2, ack_timeout=0.02,
+                heartbeat_interval=0.05, quarantine_after=0.5,
+            )
+            alice = await create_node("alice", config)
+            bob = await create_node("bob", config)
+            alice.add_peer(bob.local_address)
+            bob.add_peer(alice.local_address)
+            await alice.broadcast("hello")
+            assert await wait_for(lambda: bob.delivered_payloads() == ["hello"])
+            assert bob.local_address in alice.session.all_stats()
+
+            alice.remove_peer(bob.local_address)
+            assert bob.local_address not in alice.session.all_stats()
+            assert alice.session.unacked_count(bob.local_address) == 0
+            await bob.close()
+            # With bob's entry purged, his silence must never trip the
+            # failure detector on a peer alice no longer talks to.
+            await asyncio.sleep(0.7)
+            assert not alice.liveness.is_quarantined(bob.local_address)
+            assert alice.liveness.quarantines == 0
+            # Removing an unknown address stays a no-op.
+            alice.remove_peer(("127.0.0.1", 1))
+            await alice.close()
+
+        asyncio.run(scenario())
+
+    def test_max_retries_exhaustion_dropped_then_healed(self):
+        """Satellite: a frame abandoned after ``max_retries`` increments
+        ``drops`` and frees the unacked slot; anti-entropy then delivers
+        the message end-to-end once the outage lifts."""
+
+        async def scenario():
+            config = NodeConfig(
+                r=32, k=2, ack_timeout=0.02, max_retries=2,
+                anti_entropy_interval=0.1,
+            )
+            # Every datagram alice sends in the first 0.5 s vanishes —
+            # long enough for 2 retries at a 20 ms timeout to exhaust.
+            transport = FaultyTransport(
+                await UdpTransport.create(),
+                windows=(FaultWindow(start=0.0, end=0.5, drop=True),),
+            )
+            alice = await create_node("alice", config, transport=transport)
+            bob = await create_node("bob", config)
+            alice.transport.arm()
+            alice.add_peer(bob.local_address)
+            bob.add_peer(alice.local_address)
+
+            await alice.broadcast("blocked")
+            assert await wait_for(
+                lambda: alice.transport_stats(bob.local_address).drops >= 1,
+                timeout=5.0,
+            ), "exhausted frame was never counted as dropped"
+            stats = alice.transport_stats(bob.local_address)
+            assert stats.retransmits >= 2
+            # The retransmit path gave up; the digest exchange must not.
+            assert await wait_for(
+                lambda: bob.delivered_payloads() == ["blocked"], timeout=20.0
+            ), "anti-entropy never healed the dropped frame"
+            # Abandoned frames do not linger: once healed and acked, the
+            # unacked queue drains completely.
+            assert await wait_for(
+                lambda: alice.session.unacked_count(bob.local_address) == 0,
+                timeout=5.0,
+            )
+            await alice.close()
+            await bob.close()
 
         asyncio.run(scenario())
 
