@@ -1,0 +1,118 @@
+"""Perf regression gate for the vectorized delivery engine.
+
+Compares a fresh ``bench_hotpath.py`` run against the committed
+``BENCH_hotpath.json`` baseline and fails (exit 1) when the indexed
+engine regressed by more than ``--max-drop`` (default 30 %).
+
+The gated metric is the *speedup* — the indexed engine's deliveries/sec
+relative to the reference (naive) engine measured back-to-back in the
+same run.  Raw deliveries/sec depends on the machine (a CI runner is not
+the laptop that produced the baseline), while the within-run ratio
+cancels machine speed and load; a genuine engine regression (extra
+allocation, a lost fast path, index bookkeeping creep) lowers the ratio
+wherever it runs.  ``--absolute`` additionally gates raw deliveries/sec
+for same-machine comparisons.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick --output /tmp/fresh.json
+    python benchmarks/check_regression.py --fresh /tmp/fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_hotpath.json"
+
+# Scenarios whose baseline speedup is below this are dominated by
+# fixed overheads, not the indexed drain; their ratio is noise-bound
+# and only sanity-checked loosely (2x the tolerance).
+GATE_SPEEDUP_FLOOR = 1.5
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        sys.exit(f"error: {path} not found")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+        help=f"committed baseline JSON (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--fresh", type=pathlib.Path, required=True,
+        help="freshly produced bench_hotpath.py output",
+    )
+    parser.add_argument(
+        "--max-drop", type=float, default=0.30,
+        help="maximum tolerated fractional drop (default 0.30)",
+    )
+    parser.add_argument(
+        "--absolute", action="store_true",
+        help="also gate raw deliveries/sec (same-machine runs only)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 < args.max_drop < 1:
+        sys.exit(f"error: --max-drop must be in (0, 1), got {args.max_drop}")
+
+    baseline = {s["name"]: s for s in load(args.baseline)["scenarios"]}
+    fresh = {s["name"]: s for s in load(args.fresh)["scenarios"]}
+    shared = [name for name in fresh if name in baseline]
+    if not shared:
+        sys.exit("error: no scenarios in common between baseline and fresh run")
+
+    failures = []
+    for name in shared:
+        base_speedup = baseline[name]["speedup"]
+        fresh_speedup = fresh[name]["speedup"]
+        tolerance = args.max_drop
+        if base_speedup < GATE_SPEEDUP_FLOOR:
+            tolerance = min(0.95, 2 * args.max_drop)
+        floor = base_speedup * (1 - tolerance)
+        verdict = "ok" if fresh_speedup >= floor else "REGRESSED"
+        print(
+            f"{name:28s} speedup {base_speedup:6.2f}x -> {fresh_speedup:6.2f}x "
+            f"(floor {floor:.2f}x)  {verdict}"
+        )
+        if fresh_speedup < floor:
+            failures.append(
+                f"{name}: speedup {fresh_speedup:.2f}x fell below "
+                f"{floor:.2f}x ({base_speedup:.2f}x baseline, "
+                f"-{tolerance:.0%} tolerance)"
+            )
+        if args.absolute:
+            base_dps = baseline[name]["indexed"]["deliveries_per_sec"]
+            fresh_dps = fresh[name]["indexed"]["deliveries_per_sec"]
+            dps_floor = base_dps * (1 - args.max_drop)
+            print(
+                f"{'':28s} indexed {base_dps:10.1f}/s -> {fresh_dps:10.1f}/s "
+                f"(floor {dps_floor:.1f}/s)"
+            )
+            if fresh_dps < dps_floor:
+                failures.append(
+                    f"{name}: deliveries/sec {fresh_dps:.1f} fell below "
+                    f"{dps_floor:.1f} ({base_dps:.1f} baseline)"
+                )
+
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf regression gate passed ({len(shared)} scenarios)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,13 @@ across repeats is the highest-power aggregate.
 Scaling: the environment variable ``REPRO_BENCH_SCALE`` (float, default 1)
 multiplies run durations, letting CI run quick shapes and letting a user
 reproduce tighter curves overnight (e.g. ``REPRO_BENCH_SCALE=20``).
+
+Parallelism: every run in a sweep is an independent seeded simulation,
+so the grid fans out across processes
+(:func:`repro.sim.runner.run_simulations`) whenever the default runner is
+in use — all cores by default, tunable via ``REPRO_SIM_WORKERS`` or the
+``workers`` argument.  Results are aggregated in input order, so a
+parallel sweep is bit-identical to a sequential one.
 """
 
 from __future__ import annotations
@@ -21,7 +28,12 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from repro.analysis.stats import Estimate, mean_estimate, pooled_proportion
 from repro.core.errors import ConfigurationError
-from repro.sim.runner import SimulationConfig, SimulationResult, run_simulation
+from repro.sim.runner import (
+    SimulationConfig,
+    SimulationResult,
+    run_simulation,
+    run_simulations,
+)
 
 __all__ = ["SweepPoint", "sweep_parameter", "run_repeated", "bench_scale"]
 
@@ -80,15 +92,23 @@ def run_repeated(
     repeats: int = 3,
     seed_base: int = 1000,
     runner: Callable[[SimulationConfig], SimulationResult] = run_simulation,
+    workers: Optional[int] = None,
 ) -> List[SimulationResult]:
-    """Run ``config`` with ``repeats`` distinct seeds."""
+    """Run ``config`` with ``repeats`` distinct seeds.
+
+    Repeats fan out across processes when the default runner is used
+    (injected runners may close over unpicklable test state, so they
+    always run sequentially, in order).
+    """
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
-    results = []
-    for repeat in range(repeats):
-        run_config = dataclasses.replace(config, seed=seed_base + repeat)
-        results.append(runner(run_config))
-    return results
+    configs = [
+        dataclasses.replace(config, seed=seed_base + repeat)
+        for repeat in range(repeats)
+    ]
+    if runner is run_simulation:
+        return run_simulations(configs, workers=workers)
+    return [runner(run_config) for run_config in configs]
 
 
 def _aggregate(value: Any, results: Sequence[SimulationResult]) -> SweepPoint:
@@ -119,8 +139,15 @@ def sweep_parameter(
     seed_base: int = 1000,
     runner: Callable[[SimulationConfig], SimulationResult] = run_simulation,
     on_point: Optional[Callable[[SweepPoint], None]] = None,
+    workers: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Sweep one parameter.
+
+    With the default runner the *entire* grid — every (point, repeat)
+    pair — is flattened into one multiprocessing fan-out, so a
+    figure-reproduction sweep saturates all cores instead of crawling
+    point by point.  ``on_point`` then fires per point once the grid has
+    completed, still in display order.
 
     Args:
         base: the fixed configuration.
@@ -130,11 +157,34 @@ def sweep_parameter(
         repeats: independent seeds per point.
         seed_base: seeds are ``seed_base + point_index * repeats + repeat``
             so every run in the sweep is independent.
-        runner: injection point for tests.
+        runner: injection point for tests (forces the sequential path).
         on_point: progress callback invoked after each aggregated point.
+        workers: process count for the fan-out (None: ``REPRO_SIM_WORKERS``
+            or all cores).
     """
+    value_list = list(values)
+    if runner is run_simulation:
+        if repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+        grid = [
+            dataclasses.replace(
+                make_config(base, value), seed=seed_base + index * repeats + repeat
+            )
+            for index, value in enumerate(value_list)
+            for repeat in range(repeats)
+        ]
+        all_results = run_simulations(grid, workers=workers)
+        points = []
+        for index, value in enumerate(value_list):
+            chunk = all_results[index * repeats : (index + 1) * repeats]
+            point = _aggregate(value, chunk)
+            points.append(point)
+            if on_point is not None:
+                on_point(point)
+        return points
+
     points: List[SweepPoint] = []
-    for index, value in enumerate(values):
+    for index, value in enumerate(value_list):
         config = make_config(base, value)
         results = run_repeated(
             config,

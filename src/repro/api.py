@@ -45,7 +45,7 @@ from repro.core.detector import (
 )
 from repro.core.errors import ConfigurationError
 from repro.core.keyspace import HashKeyAssigner, KeyAssigner
-from repro.core.protocol import CausalBroadcastEndpoint, DeliveryRecord
+from repro.core.protocol import ENGINE_MODES, CausalBroadcastEndpoint, DeliveryRecord
 from repro.net.journal import NodeJournal
 from repro.net.liveness import LivenessPolicy
 from repro.net.node import ReliableCausalNode
@@ -85,6 +85,10 @@ class NodeConfig:
         keys: explicit key set (overrides the hash-derived assignment).
         keyspace_seed: salts the coordination-free hash key assignment,
             so disjoint deployments draw independent key sets.
+        engine: pending-queue drain strategy — ``indexed`` (default, the
+            vectorised entry-indexed buffer) or ``naive`` (the reference
+            full-rescan drain; identical delivery order, kept for
+            differential testing).
 
     Transport and reliability (used by :func:`create_node`):
 
@@ -125,6 +129,7 @@ class NodeConfig:
     detector: str = "basic"
     keys: Optional[Tuple[int, ...]] = None
     keyspace_seed: int = 0
+    engine: str = "indexed"
     host: str = "127.0.0.1"
     port: int = 0
     payload_codec: str = "json"
@@ -158,6 +163,10 @@ class NodeConfig:
             )
         if self.scheme == "vector" and self.n is None:
             raise ConfigurationError('scheme="vector" needs n (the system size)')
+        if self.engine not in ENGINE_MODES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINE_MODES}"
+            )
         if self.r <= 0:
             raise ConfigurationError(f"vector size R must be positive, got {self.r}")
         if self.k <= 0:
@@ -286,6 +295,7 @@ def create_endpoint(
         detector=create_detector(config),
         deliver_callback=on_delivery,
         max_pending=config.max_pending,
+        engine=config.engine,
     )
 
 
@@ -348,6 +358,7 @@ async def create_node(
         anti_entropy_interval=config.anti_entropy_interval,
         store_limit=config.store_limit,
         max_pending=config.max_pending,
+        engine=config.engine,
         journal=journal,
         liveness=liveness,
     )

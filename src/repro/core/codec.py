@@ -65,6 +65,7 @@ __all__ = [
 _MAGIC = b"PC"
 _VERSION = 1
 _FLAG_VARINT = 0x01
+_MAX_U32 = 0xFFFFFFFF
 
 
 class CodecError(ReproError):
@@ -184,6 +185,8 @@ class MessageCodec:
         keys = timestamp.sender_keys
         if len(keys) > 0xFFFF:
             raise CodecError("more than 65535 sender keys")
+        if keys and (min(keys) < 0 or max(keys) > _MAX_U32):
+            raise CodecError(f"sender keys outside uint32 wire range: {keys}")
         flags = _FLAG_VARINT if self._varint else 0
 
         parts = [
@@ -197,9 +200,25 @@ class MessageCodec:
             struct.pack("<I", timestamp.size),
         ]
         entries = [int(v) for v in timestamp.vector]
+        if entries and min(entries) < 0:
+            raise CodecError(
+                f"negative vector entry in message {message.message_id}: "
+                "clock entries are counters and must be >= 0"
+            )
         if self._varint:
             parts.extend(encode_varint(v) for v in entries)
         else:
+            # Fixed-width entries ride in uint32 slots; a long-running
+            # node whose counters outgrow them must fail loudly here, not
+            # with a struct.error deep in the pack call (or, worse, a
+            # silent truncation on a permissive platform).
+            high = max(entries, default=0)
+            if high > _MAX_U32:
+                raise CodecError(
+                    f"vector entry {high} exceeds the uint32 wire range of "
+                    "fixed-width encoding; use varint_entries=True (default) "
+                    "for counters beyond 2**32-1"
+                )
             parts.append(struct.pack(f"<{len(entries)}I", *entries))
         payload_bytes = self._payload_codec.encode(message.payload)
         parts.append(struct.pack("<I", len(payload_bytes)))

@@ -196,6 +196,6 @@ class RefinedAlertDetector(DeliveryErrorDetector):
             prior = entry.timestamp
             if prior.size != timestamp.size:
                 continue
-            if bool(np.all(prior.vector[keys] >= sent)):
+            if prior.dominates_on(timestamp, keys):
                 return True
         return False

@@ -26,13 +26,22 @@ broadcast semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.clocks import EntryVectorClock, Timestamp
 from repro.core.detector import DeliveryErrorDetector, NullDetector
 from repro.core.errors import ConfigurationError
+from repro.core.pending import Frontiers, PendingBuffer, SeenFilter
 
-__all__ = ["Message", "DeliveryRecord", "EndpointStats", "CausalBroadcastEndpoint"]
+__all__ = [
+    "Message",
+    "DeliveryRecord",
+    "EndpointStats",
+    "CausalBroadcastEndpoint",
+    "ENGINE_MODES",
+]
+
+ENGINE_MODES = ("indexed", "naive")
 
 ProcessId = Hashable
 MessageId = Tuple[ProcessId, int]
@@ -108,6 +117,12 @@ class CausalBroadcastEndpoint:
             means the configuration is pathological (e.g. a partitioned
             sender) and raises :class:`ConfigurationError` rather than
             accumulating unbounded state.
+        engine: pending-queue drain strategy — ``"indexed"`` (default)
+            uses the vectorised, entry-indexed
+            :class:`~repro.core.pending.PendingBuffer`; ``"naive"`` keeps
+            the original full-rescan Python loop as a reference
+            implementation for differential testing.  Delivery order is
+            identical between the two.
     """
 
     def __init__(
@@ -117,16 +132,25 @@ class CausalBroadcastEndpoint:
         detector: Optional[DeliveryErrorDetector] = None,
         deliver_callback: Optional[Callable[[DeliveryRecord], None]] = None,
         max_pending: Optional[int] = None,
+        engine: str = "indexed",
     ) -> None:
         if max_pending is not None and max_pending <= 0:
             raise ConfigurationError(f"max_pending must be positive, got {max_pending}")
+        if engine not in ENGINE_MODES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINE_MODES}, got {engine!r}"
+            )
         self._process_id = process_id
         self._clock = clock
         self._detector = detector if detector is not None else NullDetector()
         self._callback = deliver_callback
         self._max_pending = max_pending
+        self._engine = engine
         self._pending: List[Message] = []
-        self._seen: set = set()
+        self._buffer: Optional[PendingBuffer] = (
+            PendingBuffer(clock.r) if engine == "indexed" else None
+        )
+        self._seen = SeenFilter()
         self.stats = EndpointStats()
 
     # ------------------------------------------------------------------
@@ -149,12 +173,21 @@ class CausalBroadcastEndpoint:
         return self._detector
 
     @property
+    def engine(self) -> str:
+        """The configured drain strategy (``indexed`` or ``naive``)."""
+        return self._engine
+
+    @property
     def pending_count(self) -> int:
         """Messages received but still failing the delivery condition."""
+        if self._buffer is not None:
+            return len(self._buffer)
         return len(self._pending)
 
     def pending_messages(self) -> Tuple[Message, ...]:
         """Snapshot of the pending queue (receive order)."""
+        if self._buffer is not None:
+            return tuple(self._buffer.items())
         return tuple(self._pending)
 
     def has_seen(self, message_id: MessageId) -> bool:
@@ -169,10 +202,25 @@ class CausalBroadcastEndpoint:
         still need exactly-once accounting.  Returns True when the id was
         new.
         """
-        if message_id in self._seen:
-            return False
-        self._seen.add(message_id)
-        return True
+        return self._seen.add(message_id)
+
+    def seen_frontiers(self) -> Frontiers:
+        """Per-sender ``(watermark, sorted tail)`` duplicate-filter state.
+
+        The same shape the journal and anti-entropy digests use, so
+        persistence layers can snapshot the filter without enumerating
+        every historical id.
+        """
+        return self._seen.frontiers()
+
+    def restore_seen(self, frontiers: Frontiers) -> None:
+        """Adopt recovered duplicate-filter coverage wholesale.
+
+        O(senders + out-of-order tail) instead of one :meth:`mark_seen`
+        per historical message; only valid before any traffic was
+        processed (the crash-recovery path runs first).
+        """
+        self._seen.restore(frontiers)
 
     # ------------------------------------------------------------------
     # sending (Algorithm 1)
@@ -209,27 +257,50 @@ class CausalBroadcastEndpoint:
         several (it unblocked queued messages).
         """
         self.stats.received += 1
-        if message.message_id in self._seen:
+        if not self._seen.add(message.message_id):
             self.stats.duplicates += 1
             return []
-        self._seen.add(message.message_id)
 
         delivered: List[DeliveryRecord] = []
         if self._clock.is_deliverable(message.timestamp):
             delivered.append(self._deliver(message, now))
-            delivered.extend(self._drain_pending(now))
+            if self._buffer is not None:
+                self._drain_indexed(now, message.timestamp.sender_keys, delivered)
+            else:
+                delivered.extend(self._drain_pending(now))
         else:
-            self._pending.append(message)
-            if self._max_pending is not None and len(self._pending) > self._max_pending:
+            if self._buffer is not None:
+                self._buffer.add(
+                    message, message.timestamp.adjusted, self._clock.vector_view()
+                )
+                size = len(self._buffer)
+            else:
+                self._pending.append(message)
+                size = len(self._pending)
+            if self._max_pending is not None and size > self._max_pending:
                 raise ConfigurationError(
                     f"pending queue of {self._process_id!r} exceeded "
                     f"max_pending={self._max_pending}"
                 )
-            self.stats.observe_pending(len(self._pending))
+            self.stats.observe_pending(size)
         return delivered
 
+    def _drain_indexed(
+        self, now: float, touched_keys: Sequence[int], delivered: List[DeliveryRecord]
+    ) -> None:
+        """Entry-indexed drain: recheck only messages whose unsatisfied
+        entries intersect the keys each delivery incremented."""
+        if not len(self._buffer):
+            return
+
+        def deliver(message: Message) -> Sequence[int]:
+            delivered.append(self._deliver(message, now))
+            return message.timestamp.sender_keys
+
+        self._buffer.drain(self._clock.vector_view(), touched_keys, deliver)
+
     def _drain_pending(self, now: float) -> List[DeliveryRecord]:
-        """Deliver queued messages until a full pass makes no progress."""
+        """Reference drain: full passes until one makes no progress."""
         delivered: List[DeliveryRecord] = []
         progressed = True
         while progressed and self._pending:

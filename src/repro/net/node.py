@@ -214,6 +214,8 @@ class ReliableCausalNode:
             the periodic exchange (retransmission-only mode).
         store_limit: bound on the recent-messages store.
         max_pending: optional safety bound on the endpoint's pending queue.
+        engine: pending-queue drain strategy — ``indexed`` (default) or
+            ``naive`` (the reference full-rescan drain).
         journal: optional :class:`~repro.net.journal.NodeJournal`; when
             given, the constructor replays any prior state (clock,
             delivered frontiers, link seqs) before a single datagram can
@@ -236,6 +238,7 @@ class ReliableCausalNode:
         anti_entropy_interval: float = 0.5,
         store_limit: int = 8192,
         max_pending: Optional[int] = None,
+        engine: str = "indexed",
         journal: Optional[NodeJournal] = None,
         liveness: Optional[LivenessPolicy] = None,
     ) -> None:
@@ -276,13 +279,13 @@ class ReliableCausalNode:
             detector=detector,
             deliver_callback=self._handle_delivery,
             max_pending=max_pending,
+            engine=engine,
         )
         if self.recovered is not None:
-            for sender, (contiguous, extras) in self.recovered.delivered.items():
-                for seq in range(1, contiguous + 1):
-                    self.endpoint.mark_seen((sender, seq))
-                for seq in extras:
-                    self.endpoint.mark_seen((sender, seq))
+            # The duplicate filter shares the journal's frontier shape, so
+            # recovery adopts the coverage wholesale — O(senders) instead
+            # of one mark_seen() per historical message.
+            self.endpoint.restore_seen(self.recovered.delivered)
             self.store.restore_frontiers(self.recovered.delivered)
             for seq, data in self.recovered.own_messages.items():
                 self.store.restore_message(str(node_id), seq, data)

@@ -20,9 +20,11 @@ clock family member, key assigner, detector, churn model.
 
 from __future__ import annotations
 
+import os
 import time as _time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -49,7 +51,7 @@ from repro.core.keyspace import (
     SequentialKeyAssigner,
 )
 from repro.core.combinatorics import num_key_sets, unrank_lex
-from repro.core.protocol import CausalBroadcastEndpoint, Message
+from repro.core.protocol import ENGINE_MODES, CausalBroadcastEndpoint, Message
 from repro.core.theory import optimal_k_int, p_error
 from repro.sim.dissemination import DirectBroadcast, Dissemination, DisseminationContext
 from repro.sim.engine import Simulator
@@ -68,7 +70,14 @@ from repro.sim.recovery import DeliveryLog, RecoveryStats, diff_logs
 from repro.sim.rng import RandomSource
 from repro.sim.workload import PoissonWorkload, Workload
 
-__all__ = ["NodeApplication", "SimulationConfig", "SimulationResult", "run_simulation"]
+__all__ = [
+    "NodeApplication",
+    "SimulationConfig",
+    "SimulationResult",
+    "run_simulation",
+    "run_simulations",
+    "resolve_workers",
+]
 
 
 class NodeApplication:
@@ -166,6 +175,10 @@ class SimulationConfig:
         recovery_delay_ms / recovery_period_ms: trigger timing.
         recovery_log_size: per-node delivered-message window exchanged by
             anti-entropy sessions.
+        engine: pending-queue drain strategy for every endpoint —
+            ``indexed`` (default, the vectorised entry-indexed buffer)
+            or ``naive`` (the reference full-rescan drain; same delivery
+            order, kept for differential testing and perf baselines).
         adaptive_k_interval_ms: enable *adaptive K* (an extension beyond
             the paper): every node periodically re-estimates the
             concurrency X from its own delivery rate and, when the
@@ -198,6 +211,7 @@ class SimulationConfig:
     recovery_delay_ms: float = 50.0
     recovery_period_ms: float = 2_000.0
     recovery_log_size: int = 4096
+    engine: str = "indexed"
     adaptive_k_interval_ms: Optional[float] = None
 
     def validate(self) -> None:
@@ -230,6 +244,10 @@ class SimulationConfig:
             raise ConfigurationError("recovery timings must be positive")
         if self.recovery_log_size <= 0:
             raise ConfigurationError("recovery_log_size must be positive")
+        if self.engine not in ENGINE_MODES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINE_MODES}, got {self.engine!r}"
+            )
         if self.adaptive_k_interval_ms is not None:
             if self.adaptive_k_interval_ms <= 0:
                 raise ConfigurationError("adaptive_k_interval_ms must be > 0")
@@ -448,6 +466,7 @@ class _Run(DisseminationContext):
             clock=clock,
             detector=self._make_detector(),
             max_pending=self._config.max_pending,
+            engine=self._config.engine,
         )
         node = SimNode(
             node_id=node_id,
@@ -785,3 +804,48 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     Deterministic: the same config (seed included) replays the same run.
     """
     return _Run(config).execute()
+
+
+def resolve_workers(workers: Optional[int] = None, jobs: Optional[int] = None) -> int:
+    """How many processes a simulation fan-out should use.
+
+    ``workers=None`` consults the ``REPRO_SIM_WORKERS`` environment
+    variable, falling back to the machine's core count — the paper-figure
+    parameter grids are embarrassingly parallel, so they should use all
+    cores unless told otherwise.  The result is clamped to ``jobs`` when
+    given (no point forking more processes than runs).
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_SIM_WORKERS", "")
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"REPRO_SIM_WORKERS must be an integer, got {raw!r}"
+                ) from exc
+        else:
+            workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if jobs is not None:
+        workers = min(workers, max(1, jobs))
+    return workers
+
+
+def run_simulations(
+    configs: Iterable[SimulationConfig], workers: Optional[int] = None
+) -> List[SimulationResult]:
+    """Run many independent configs, fanning out across processes.
+
+    Results come back in input order and are bit-identical to a
+    sequential loop (every run is seeded; processes share nothing).
+    With one core, one config, or ``workers=1`` this degrades to the
+    plain loop — no pool is spawned.
+    """
+    configs = list(configs)
+    count = resolve_workers(workers, jobs=len(configs))
+    if count <= 1 or len(configs) <= 1:
+        return [run_simulation(config) for config in configs]
+    with ProcessPoolExecutor(max_workers=count) as pool:
+        return list(pool.map(run_simulation, configs))

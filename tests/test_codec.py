@@ -174,3 +174,50 @@ def test_any_timestamp_roundtrips(r, seed_entries, seq):
     assert decoded.timestamp.as_tuple() == message.timestamp.as_tuple()
     assert decoded.timestamp.sender_keys == keys
     assert decoded.seq == seq
+
+
+class TestWireRangeGuards:
+    """Entries are int64 in memory but uint32 on the fixed-width wire."""
+
+    @staticmethod
+    def _message_with_entry(value, r=8, keys=(1, 4)):
+        vector = np.zeros(r, dtype=np.int64)
+        vector[2] = value
+        vector.flags.writeable = False
+        return Message(
+            sender="s",
+            seq=1,
+            timestamp=Timestamp(vector=vector, sender_keys=keys, seq=1),
+            payload=None,
+        )
+
+    def test_fixed_width_overflow_raises_codec_error(self):
+        codec = MessageCodec(varint_entries=False)
+        message = self._message_with_entry(2**32)
+        with pytest.raises(CodecError, match="uint32 wire range"):
+            codec.encode(message)
+
+    def test_fixed_width_boundary_value_roundtrips(self):
+        codec = MessageCodec(varint_entries=False)
+        message = self._message_with_entry(2**32 - 1)
+        decoded = codec.decode(codec.encode(message))
+        assert int(decoded.timestamp.vector[2]) == 2**32 - 1
+
+    def test_varint_mode_carries_entries_beyond_uint32(self):
+        codec = MessageCodec(varint_entries=True)
+        message = self._message_with_entry(2**40)
+        decoded = codec.decode(codec.encode(message))
+        assert int(decoded.timestamp.vector[2]) == 2**40
+
+    def test_negative_entry_rejected_in_both_modes(self):
+        for varint in (True, False):
+            codec = MessageCodec(varint_entries=varint)
+            message = self._message_with_entry(-1)
+            with pytest.raises(CodecError, match="negative"):
+                codec.encode(message)
+
+    def test_sender_key_beyond_uint32_rejected(self):
+        codec = MessageCodec()
+        message = self._message_with_entry(1, keys=(1, 2**32))
+        with pytest.raises(CodecError, match="sender keys"):
+            codec.encode(message)

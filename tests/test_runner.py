@@ -281,3 +281,44 @@ class TestAdaptiveK:
             )
         with pytest.raises(ConfigurationError):
             run_simulation(quick_config(adaptive_k_interval_ms=0.0))
+
+
+class TestParallelRuns:
+    """The multiprocessing fan-out behind sweeps (run_simulations)."""
+
+    def test_parallel_results_match_sequential(self):
+        from repro.sim.runner import run_simulations
+
+        configs = [quick_config(seed=seed) for seed in (1, 2, 3)]
+        sequential = [run_simulation(config) for config in configs]
+        parallel = run_simulations(configs, workers=2)
+        assert len(parallel) == len(sequential)
+        for seq, par in zip(sequential, parallel):
+            assert par.config.seed == seq.config.seed
+            assert par.sent == seq.sent
+            assert par.delivered_remote == seq.delivered_remote
+            assert par.counters.violations == seq.counters.violations
+
+    def test_resolve_workers(self, monkeypatch):
+        from repro.sim.runner import resolve_workers
+
+        monkeypatch.delenv("REPRO_SIM_WORKERS", raising=False)
+        assert resolve_workers(workers=4) == 4
+        assert resolve_workers(workers=4, jobs=2) == 2
+        assert resolve_workers(jobs=0) == 1
+        monkeypatch.setenv("REPRO_SIM_WORKERS", "3")
+        assert resolve_workers() == 3
+        monkeypatch.setenv("REPRO_SIM_WORKERS", "florp")
+        with pytest.raises(ConfigurationError):
+            resolve_workers()
+        with pytest.raises(ConfigurationError):
+            resolve_workers(workers=0)
+
+    def test_engine_config_round_trip(self):
+        indexed = run_simulation(quick_config(engine="indexed"))
+        naive = run_simulation(quick_config(engine="naive"))
+        assert indexed.sent == naive.sent
+        assert indexed.delivered_remote == naive.delivered_remote
+        assert indexed.counters.violations == naive.counters.violations
+        with pytest.raises(ConfigurationError):
+            run_simulation(quick_config(engine="florp"))
