@@ -10,8 +10,10 @@ incremented (amortized O(K + unblocked·R)).  This script measures it:
 * a shared, pre-generated, causally-entangled trace per scenario
   (N senders, R-entry clocks, a fraction of arrivals delayed to build a
   deep pending queue — the retransmission regime of a 25 %-loss link);
-* the *same* arrival sequence fed to an ``engine="indexed"`` and an
-  ``engine="naive"`` endpoint, timing full-trace ingestion;
+* the *same* arrival sequence fed to ``engine="indexed"``,
+  ``engine="naive"``, and ``engine="auto"`` endpoints, timing
+  full-trace ingestion (``auto`` starts naive and promotes to the
+  indexed buffer at the pending-depth threshold — the default engine);
 * a micro-measurement of the vectorized ``Timestamp.dominates_on``
   against the per-entry Python-loop reference it replaced (the
   Algorithm 5 detector hot check).
@@ -113,7 +115,9 @@ def arrival_sequence(
     return [message for _, _, message in keyed]
 
 
-def time_engine(engine: str, r: int, k: int, arrivals: List[Message]) -> Tuple[float, int]:
+def time_engine(
+    engine: str, r: int, k: int, arrivals: List[Message]
+) -> Tuple[float, int, str]:
     assigner = HashKeyAssigner(r=r, k=k)
     endpoint = CausalBroadcastEndpoint(
         "rx",
@@ -132,7 +136,7 @@ def time_engine(engine: str, r: int, k: int, arrivals: List[Message]) -> Tuple[f
             f"{engine} engine left {endpoint.pending_count} messages pending "
             "— the trace must fully drain for deliveries/sec to be comparable"
         )
-    return elapsed, endpoint.stats.delivered
+    return elapsed, endpoint.stats.delivered, endpoint.active_engine
 
 
 def run_scenario(name: str, repeats: int, k: int = 2, seed: int = 11) -> dict:
@@ -150,11 +154,12 @@ def run_scenario(name: str, repeats: int, k: int = 2, seed: int = 11) -> dict:
             "messages": len(trace),
         },
     }
-    for engine in ("indexed", "naive"):
+    for engine in ("indexed", "naive", "auto"):
         best_seconds = None
         delivered = 0
+        final = engine
         for _ in range(repeats):
-            seconds, delivered = time_engine(engine, r, k, arrivals)
+            seconds, delivered, final = time_engine(engine, r, k, arrivals)
             if best_seconds is None or seconds < best_seconds:
                 best_seconds = seconds
         result[engine] = {
@@ -162,8 +167,17 @@ def run_scenario(name: str, repeats: int, k: int = 2, seed: int = 11) -> dict:
             "delivered": delivered,
             "deliveries_per_sec": round(delivered / best_seconds, 1),
         }
+        if engine == "auto":
+            # Whether the pending-depth heuristic promoted to the
+            # indexed buffer during this trace, or naive stayed cheaper.
+            result[engine]["final_engine"] = final
     result["speedup"] = round(
         result["indexed"]["deliveries_per_sec"]
+        / result["naive"]["deliveries_per_sec"],
+        2,
+    )
+    result["auto_speedup"] = round(
+        result["auto"]["deliveries_per_sec"]
         / result["naive"]["deliveries_per_sec"],
         2,
     )
@@ -246,7 +260,9 @@ def main(argv=None) -> int:
             f"{name:28s} messages={result['params']['messages']:5d}  "
             f"indexed={result['indexed']['deliveries_per_sec']:>10.1f}/s  "
             f"naive={result['naive']['deliveries_per_sec']:>10.1f}/s  "
-            f"speedup={result['speedup']:.2f}x"
+            f"speedup={result['speedup']:.2f}x  "
+            f"auto={result['auto_speedup']:.2f}x "
+            f"({result['auto']['final_engine']})"
         )
 
     dominates = bench_dominates_on(repeats)

@@ -1,4 +1,4 @@
-"""Perf regression gate for the vectorized delivery engine.
+"""Perf regression gate for the delivery engine and the wire path.
 
 Compares a fresh ``bench_hotpath.py`` run against the committed
 ``BENCH_hotpath.json`` baseline and fails (exit 1) when the indexed
@@ -13,10 +13,19 @@ allocation, a lost fast path, index bookkeeping creep) lowers the ratio
 wherever it runs.  ``--absolute`` additionally gates raw deliveries/sec
 for same-machine comparisons.
 
+``--wire-fresh`` additionally gates a fresh ``bench_wire.py`` run
+against the committed ``BENCH_wire.json``: the batched wire path's
+datagrams-per-message and bytes-per-message *ratios* over the legacy
+path (within-run again, so machine-independent — both are counters, not
+timings) must not fall more than ``--max-drop`` below the baseline, and
+the 0 %-loss headline must hold the acceptance floors (>= 3x fewer
+datagrams/msg, >= 2.5x fewer bytes/msg).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py --quick --output /tmp/fresh.json
-    python benchmarks/check_regression.py --fresh /tmp/fresh.json
+    PYTHONPATH=src python benchmarks/bench_wire.py --quick --output /tmp/wire.json
+    python benchmarks/check_regression.py --fresh /tmp/fresh.json --wire-fresh /tmp/wire.json
 """
 
 from __future__ import annotations
@@ -28,11 +37,18 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_hotpath.json"
+DEFAULT_WIRE_BASELINE = REPO_ROOT / "BENCH_wire.json"
 
 # Scenarios whose baseline speedup is below this are dominated by
 # fixed overheads, not the indexed drain; their ratio is noise-bound
 # and only sanity-checked loosely (2x the tolerance).
 GATE_SPEEDUP_FLOOR = 1.5
+
+# The ISSUE acceptance floors for the batched wire path at 0% loss:
+# hard minimums regardless of what the committed baseline says.
+WIRE_HEADLINE = "steady_r100_k2_loss0"
+WIRE_DATAGRAMS_FLOOR = 3.0
+WIRE_BYTES_FLOOR = 2.5
 
 
 def load(path: pathlib.Path) -> dict:
@@ -61,6 +77,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--absolute", action="store_true",
         help="also gate raw deliveries/sec (same-machine runs only)",
+    )
+    parser.add_argument(
+        "--wire-baseline", type=pathlib.Path, default=DEFAULT_WIRE_BASELINE,
+        help=f"committed wire baseline JSON (default {DEFAULT_WIRE_BASELINE})",
+    )
+    parser.add_argument(
+        "--wire-fresh", type=pathlib.Path, default=None,
+        help="freshly produced bench_wire.py output (enables the wire gate)",
     )
     args = parser.parse_args(argv)
     if not 0 < args.max_drop < 1:
@@ -105,12 +129,52 @@ def main(argv=None) -> int:
                     f"{dps_floor:.1f} ({base_dps:.1f} baseline)"
                 )
 
+    checked = len(shared)
+    if args.wire_fresh is not None:
+        wire_baseline = {
+            s["name"]: s for s in load(args.wire_baseline)["scenarios"]
+        }
+        wire_fresh = {s["name"]: s for s in load(args.wire_fresh)["scenarios"]}
+        wire_shared = [name for name in wire_fresh if name in wire_baseline]
+        if not wire_shared:
+            sys.exit("error: no wire scenarios in common between baseline and fresh run")
+        for name in wire_shared:
+            # Lossy scenarios are noise-bound in --quick runs: far fewer
+            # messages amortize the delta reference warm-up, and the
+            # realized drop pattern shifts the full/delta mix run to
+            # run.  Only the 0%-loss headline is stable enough for the
+            # tight tolerance; the rest get the loose one.
+            tolerance = args.max_drop
+            if name != WIRE_HEADLINE:
+                tolerance = min(0.95, 2 * args.max_drop)
+            for metric in ("datagrams_ratio", "bytes_ratio"):
+                base = wire_baseline[name][metric]
+                got = wire_fresh[name][metric]
+                floor = base * (1 - tolerance)
+                if name == WIRE_HEADLINE:
+                    hard = (
+                        WIRE_DATAGRAMS_FLOOR if metric == "datagrams_ratio"
+                        else WIRE_BYTES_FLOOR
+                    )
+                    floor = max(floor, hard)
+                verdict = "ok" if got >= floor else "REGRESSED"
+                print(
+                    f"{name:28s} {metric:15s} {base:6.2f}x -> {got:6.2f}x "
+                    f"(floor {floor:.2f}x)  {verdict}"
+                )
+                if got < floor:
+                    failures.append(
+                        f"{name}: {metric} {got:.2f}x fell below {floor:.2f}x "
+                        f"({base:.2f}x baseline)"
+                    )
+        checked += len(wire_shared)
+
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print(f"\nperf regression gate passed ({len(shared)} scenarios)")
+    print(f"\nperf regression gate passed ({checked} scenarios)")
     return 0
 
 

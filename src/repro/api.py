@@ -101,6 +101,18 @@ class NodeConfig:
         max_retry_timeout: ceiling on the per-frame timeout.
         max_retries: retransmissions before a frame is left to anti-entropy.
         send_buffer: per-peer unacked-frame bound (backpressure beyond it).
+        coalesce_mtu: per-datagram budget for frame coalescing — queued
+            frames flush as one BATCH datagram when they fill it; 0
+            disables coalescing (one datagram per frame).
+        flush_interval: how long a queued frame may wait for company
+            before its batch flushes anyway (seconds).
+        ack_delay: delayed-ack window — received data is acknowledged
+            once per window with one cumulative ACK, piggybacked onto
+            outgoing batches when traffic is bidirectional; 0 restores
+            ack-per-frame.
+        wire_delta: delta-encode broadcast timestamps per link (only the
+            entries changed since the last acked full-encoded message
+            travel); False always sends the full vector.
         anti_entropy_interval: seconds between digest rounds (0 disables).
         store_limit: bound on the recent-messages store serving anti-entropy.
         max_pending: optional safety bound on the endpoint's pending queue.
@@ -138,6 +150,10 @@ class NodeConfig:
     max_retry_timeout: float = 2.0
     max_retries: int = 10
     send_buffer: int = 1024
+    coalesce_mtu: int = 1400
+    flush_interval: float = 0.001
+    ack_delay: float = 0.005
+    wire_delta: bool = True
     anti_entropy_interval: float = 0.5
     store_limit: int = 8192
     max_pending: Optional[int] = None
@@ -186,6 +202,8 @@ class NodeConfig:
             raise ConfigurationError(
                 f"heartbeat_interval must be >= 0, got {self.heartbeat_interval}"
             )
+        # Fails fast on bad reliability knobs (the session re-checks).
+        self.retransmit_policy()
         if self.heartbeat_interval > 0:
             # Fails fast on an inconsistent pair (the policy re-checks).
             LivenessPolicy(
@@ -205,6 +223,9 @@ class NodeConfig:
             max_timeout=self.max_retry_timeout,
             max_retries=self.max_retries,
             send_buffer=self.send_buffer,
+            coalesce_mtu=self.coalesce_mtu,
+            flush_interval=self.flush_interval,
+            ack_delay=self.ack_delay,
         )
 
 
@@ -361,6 +382,7 @@ async def create_node(
         engine=config.engine,
         journal=journal,
         liveness=liveness,
+        wire_delta=config.wire_delta,
     )
     if start:
         await node.start()

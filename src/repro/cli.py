@@ -131,6 +131,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--quarantine-after", type=float, default=2.0, metavar="SECONDS",
         help="peer silence after which it is quarantined",
     )
+    node.add_argument(
+        "--coalesce-mtu", type=int, default=1400, metavar="BYTES",
+        help="datagram budget for frame coalescing (0 sends every frame "
+             "in its own datagram)",
+    )
+    node.add_argument(
+        "--ack-delay", type=float, default=0.005, metavar="SECONDS",
+        help="how long to hold a cumulative ACK hoping to piggyback it "
+             "(0 acks every data frame immediately)",
+    )
+    node.add_argument(
+        "--no-wire-delta", action="store_true",
+        help="always send full timestamp encodings (disable the "
+             "delta-compressed wire path)",
+    )
 
     return parser
 
@@ -168,6 +183,10 @@ def _add_simulation_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--detector", choices=("none", "basic", "refined"), default="basic"
     )
+    parser.add_argument(
+        "--engine", choices=("auto", "indexed", "naive"), default="auto",
+        help="pending-buffer drain engine for every simulated endpoint",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--churn-interval-ms", type=float, default=None,
@@ -194,6 +213,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
             args.delay_mean_ms, args.delay_std_ms, args.skew_std_ms
         ),
         detector=args.detector,
+        engine=args.engine,
         duration_ms=args.duration_ms,
         churn=churn,
         seed=args.seed,
@@ -307,6 +327,9 @@ def _command_node(args: argparse.Namespace) -> int:
         data_dir=args.data_dir,
         heartbeat_interval=args.heartbeat_interval,
         quarantine_after=args.quarantine_after,
+        coalesce_mtu=args.coalesce_mtu,
+        ack_delay=args.ack_delay,
+        wire_delta=not args.no_wire_delta,
     )
 
     async def run() -> int:
@@ -343,6 +366,20 @@ def _command_node(args: argparse.Namespace) -> int:
                 f"drops={stats.drops} digests={stats.digests_sent} "
                 f"heartbeats={stats.heartbeats_sent} "
                 f"rtt={'%.4fs' % stats.rtt if stats.rtt is not None else 'n/a'}"
+            )
+            frames_per_datagram = (
+                stats.frames_sent / stats.datagrams_sent
+                if stats.datagrams_sent else 0.0
+            )
+            print(
+                f"wire: datagrams={stats.datagrams_sent} "
+                f"bytes={stats.bytes_sent} "
+                f"frames/datagram={frames_per_datagram:.2f} "
+                f"batches={stats.batches_sent} "
+                f"acks piggybacked={stats.acks_piggybacked}"
+                f"/{stats.acks_sent} "
+                f"timestamps delta={stats.delta_sent}"
+                f"/full={stats.full_sent}"
             )
             await node.close()
         return 0

@@ -9,6 +9,7 @@ Layout (little-endian)::
     magic   2B  b"PC"
     version 1B  (currently 1)
     flags   1B  bit0: entries are LEB128 varints (else fixed uint32)
+                bit1: DELTA encoding (see below)
     sender  u16 length + UTF-8 bytes
     seq     u64
     K       u16, then K x u32 sender keys
@@ -22,14 +23,34 @@ Payload bytes are produced by a pluggable :class:`PayloadCodec`; the
 default encodes JSON, which covers the CRDT operation payloads used in
 the examples (tuples become lists and are normalised back).
 
+**DELTA encoding** (flags bit1) exploits Algorithm 1 harder: between two
+consecutive sends the sender only incremented its K entries ``f(p_i)``
+plus whatever entries its deliveries bumped, so a message can carry just
+the entries *changed* since a reference message the receiver provably
+holds (the sender's last link-acked full encoding).  After the shared
+``magic..sender`` prefix the layout is all varints — no key block (the
+receiver knows the sender's static keys from the reference), no R::
+
+    seq      varint  (u64 in the full encoding)
+    ref gap  varint  (ref_seq = seq - gap; the referenced own message)
+    changed  varint count, then count x (varint index gap, varint increment)
+    payload  varint length + bytes
+
+Decoding requires the reference vector and the sender's key set
+(:meth:`MessageCodec.decode_delta`) and reconstructs the full vector
+bit-identically to the full encoding — see ``docs/PROTOCOL.md`` §8 for
+the reference rules and mandatory full-encoding fallbacks.
+
 Alongside the message encoding, this module defines the **reliability
 frames** spoken by :class:`repro.net.session.ReliableSession`: a DATA
 frame carrying an opaque payload under a per-link sequence number, ACK
 (cumulative + selective), NACK (explicit missing sequence numbers),
-DIGEST (per-sender ``(sender, seq)`` frontiers for anti-entropy) and
-HEARTBEAT (a liveness beacon for the failure detector).  Frames use a
-distinct magic (``b"PF"``) so a receiver can dispatch between raw
-messages and session frames on the first two bytes.
+DIGEST (per-sender ``(sender, seq)`` frontiers for anti-entropy),
+HEARTBEAT (a liveness beacon for the failure detector) and BATCH (a
+container datagram coalescing several frames, with an optional
+piggybacked cumulative ACK).  Frames use a distinct magic (``b"PF"``)
+so a receiver can dispatch between raw messages and session frames on
+the first two bytes.
 """
 
 from __future__ import annotations
@@ -37,7 +58,7 @@ from __future__ import annotations
 import json
 import struct
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -53,11 +74,13 @@ __all__ = [
     "MessageCodec",
     "encode_varint",
     "decode_varint",
+    "varint_size",
     "DataFrame",
     "AckFrame",
     "NackFrame",
     "DigestFrame",
     "HeartbeatFrame",
+    "BatchFrame",
     "Frame",
     "FrameCodec",
 ]
@@ -65,6 +88,7 @@ __all__ = [
 _MAGIC = b"PC"
 _VERSION = 1
 _FLAG_VARINT = 0x01
+_FLAG_DELTA = 0x02
 _MAX_U32 = 0xFFFFFFFF
 
 
@@ -102,6 +126,17 @@ def decode_varint(data: bytes, offset: int) -> Tuple[int, int]:
         shift += 7
         if shift > 63:
             raise CodecError("varint too long")
+
+
+def varint_size(value: int) -> int:
+    """Encoded length of a non-negative integer, without encoding it."""
+    if value < 0:
+        raise CodecError(f"varint requires a non-negative value, got {value}")
+    size = 1
+    while value > 0x7F:
+        value >>= 7
+        size += 1
+    return size
 
 
 class PayloadCodec:
@@ -177,19 +212,17 @@ class MessageCodec:
         self._payload_codec = payload_codec if payload_codec is not None else JsonPayloadCodec()
         self._varint = varint_entries
 
-    def encode(self, message: Message) -> bytes:
+    def _header_parts(self, message: Message, flags: int) -> list:
+        """Shared prefix (magic..keys) of the full and delta encodings."""
         sender_bytes = str(message.sender).encode("utf-8")
         if len(sender_bytes) > 0xFFFF:
             raise CodecError("sender id longer than 65535 bytes")
-        timestamp = message.timestamp
-        keys = timestamp.sender_keys
+        keys = message.timestamp.sender_keys
         if len(keys) > 0xFFFF:
             raise CodecError("more than 65535 sender keys")
         if keys and (min(keys) < 0 or max(keys) > _MAX_U32):
             raise CodecError(f"sender keys outside uint32 wire range: {keys}")
-        flags = _FLAG_VARINT if self._varint else 0
-
-        parts = [
+        return [
             _MAGIC,
             struct.pack("<BB", _VERSION, flags),
             struct.pack("<H", len(sender_bytes)),
@@ -197,8 +230,13 @@ class MessageCodec:
             struct.pack("<Q", message.seq),
             struct.pack("<H", len(keys)),
             struct.pack(f"<{len(keys)}I", *keys) if keys else b"",
-            struct.pack("<I", timestamp.size),
         ]
+
+    def encode(self, message: Message) -> bytes:
+        timestamp = message.timestamp
+        flags = _FLAG_VARINT if self._varint else 0
+        parts = self._header_parts(message, flags)
+        parts.append(struct.pack("<I", timestamp.size))
         entries = [int(v) for v in timestamp.vector]
         if entries and min(entries) < 0:
             raise CodecError(
@@ -231,6 +269,11 @@ class MessageCodec:
         version, flags = struct.unpack_from("<BB", data, 2)
         if version != _VERSION:
             raise CodecError(f"unsupported version {version}")
+        if flags & _FLAG_DELTA:
+            raise CodecError(
+                "delta-encoded message: use decode_delta() with the "
+                "per-link reference vector"
+            )
         varint = bool(flags & _FLAG_VARINT)
         offset = 4
         try:
@@ -271,8 +314,183 @@ class MessageCodec:
         return Message(sender=sender, seq=seq, timestamp=timestamp, payload=payload)
 
     def encoded_size(self, message: Message) -> int:
-        """Wire size in bytes (for overhead accounting)."""
-        return len(self.encode(message))
+        """Wire size in bytes, computed without materialising the encoding.
+
+        Exactly ``len(self.encode(message))`` for any encodable message
+        (property-tested); only the payload is actually serialised (its
+        length is content-dependent), the rest is arithmetic.
+        """
+        sender_bytes = str(message.sender).encode("utf-8")
+        timestamp = message.timestamp
+        size = (
+            4  # magic + version + flags
+            + 2 + len(sender_bytes)
+            + 8  # seq
+            + 2 + 4 * len(timestamp.sender_keys)
+            + 4  # R
+        )
+        if self._varint:
+            size += sum(varint_size(int(v)) for v in timestamp.vector)
+        else:
+            size += 4 * timestamp.size
+        size += 4 + len(self._payload_codec.encode(message.payload))
+        return size
+
+    # ------------------------------------------------------------------
+    # DELTA encoding (O(K) timestamps against a per-link reference)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def is_delta(data: bytes) -> bool:
+        """True when ``data`` is a delta-encoded message datagram."""
+        return len(data) >= 4 and data[:2] == _MAGIC and bool(data[3] & _FLAG_DELTA)
+
+    def encode_delta(
+        self, message: Message, ref_seq: int, ref_vector: np.ndarray
+    ) -> bytes:
+        """Encode ``message`` as the entries changed since a reference.
+
+        Args:
+            message: the message to encode (an *own* broadcast — the
+                reference must be an earlier message from the same
+                sender on the same link).
+            ref_seq: the reference message's ``seq``; the receiver must
+                hold its decoded vector (guaranteed when the reference
+                was link-acked — see PROTOCOL.md §8).
+            ref_vector: the reference message's full vector.
+
+        Raises :class:`CodecError` when the vectors disagree in size or
+        the message's vector is not entrywise >= the reference (clock
+        entries are monotone counters; a regression means the caller
+        picked a non-causal reference).
+        """
+        timestamp = message.timestamp
+        if len(ref_vector) != timestamp.size:
+            raise CodecError(
+                f"reference vector has {len(ref_vector)} entries, "
+                f"message has {timestamp.size}"
+            )
+        if not 0 <= ref_seq < message.seq:
+            raise CodecError(
+                f"reference seq {ref_seq} is not an earlier message than "
+                f"seq {message.seq}"
+            )
+        diff = np.asarray(timestamp.vector, dtype=np.int64) - np.asarray(
+            ref_vector, dtype=np.int64
+        )
+        if diff.min(initial=0) < 0:
+            raise CodecError(
+                f"message {message.message_id} vector regresses below the "
+                f"reference (seq {ref_seq}): not a causal successor"
+            )
+        changed = np.nonzero(diff)[0]
+        # Leaner header than the full encoding: no sender-keys block (the
+        # receiver knows the sender's static key set from whichever full
+        # encoding established the reference), the reference as a varint
+        # gap below seq, and a varint payload length.
+        sender_bytes = str(message.sender).encode("utf-8")
+        if len(sender_bytes) > 0xFFFF:
+            raise CodecError("sender id longer than 65535 bytes")
+        payload_bytes = self._payload_codec.encode(message.payload)
+        parts = [
+            _MAGIC,
+            struct.pack("<BB", _VERSION, _FLAG_VARINT | _FLAG_DELTA),
+            struct.pack("<H", len(sender_bytes)),
+            sender_bytes,
+            encode_varint(message.seq),
+            encode_varint(message.seq - ref_seq),
+            encode_varint(len(changed)),
+        ]
+        previous = 0
+        for index in changed:
+            index = int(index)
+            parts.append(encode_varint(index - previous))
+            parts.append(encode_varint(int(diff[index])))
+            previous = index
+        parts.append(encode_varint(len(payload_bytes)))
+        parts.append(payload_bytes)
+        return b"".join(parts)
+
+    def delta_header(self, data: bytes) -> Tuple[str, int, int]:
+        """Peek ``(sender, seq, ref_seq)`` of a delta datagram without
+        decoding it (the caller resolves the reference first)."""
+        sender, seq, offset = self._decode_delta_prefix(data)
+        gap, _ = decode_varint(data, offset)
+        if not 0 < gap <= seq:
+            raise CodecError(f"delta reference gap {gap} outside (0, seq]")
+        return sender, seq, seq - gap
+
+    def _decode_delta_prefix(self, data: bytes) -> Tuple[str, int, int]:
+        """Parse a delta's magic/version/flags/sender/varint-seq; returns
+        ``(sender, seq, offset_of_ref_gap)``.  Deltas diverge from the
+        full encoding right after the sender field: seq is a varint."""
+        if len(data) < 4 or data[:2] != _MAGIC:
+            raise CodecError("bad magic")
+        version, flags = struct.unpack_from("<BB", data, 2)
+        if version != _VERSION:
+            raise CodecError(f"unsupported version {version}")
+        if not flags & _FLAG_DELTA:
+            raise CodecError("not a delta-encoded message")
+        offset = 4
+        try:
+            (sender_len,) = struct.unpack_from("<H", data, offset)
+        except struct.error as exc:
+            raise CodecError(f"truncated message: {exc}") from exc
+        offset += 2
+        if len(data) < offset + sender_len:
+            raise CodecError("truncated sender")
+        sender = data[offset : offset + sender_len].decode("utf-8")
+        offset += sender_len
+        seq, offset = decode_varint(data, offset)
+        return sender, seq, offset
+
+    def decode_delta(
+        self, data: bytes, ref_vector: np.ndarray, sender_keys: Tuple[int, ...]
+    ) -> Message:
+        """Reconstruct the full message from a delta and its reference.
+
+        ``sender_keys`` is the sender's static key set, known to the
+        receiver from whichever full encoding established the reference
+        (deltas do not carry it).  The result is bit-identical to
+        decoding the full encoding of the same message
+        (differential-tested): same vector dtype and values, same keys,
+        seq, and payload.
+        """
+        sender, seq, offset = self._decode_delta_prefix(data)
+        try:
+            gap, offset = decode_varint(data, offset)
+            if not 0 < gap <= seq:
+                raise CodecError(f"delta reference gap {gap} outside (0, seq]")
+            ref_seq = seq - gap
+            changed, offset = decode_varint(data, offset)
+            vector = np.array(ref_vector, dtype=np.int64, copy=True)
+            index = 0
+            for position in range(changed):
+                gap, offset = decode_varint(data, offset)
+                if position > 0 and gap == 0:
+                    raise CodecError("zero index gap in delta entries")
+                index += gap
+                if index >= len(vector):
+                    raise CodecError(
+                        f"delta entry index {index} outside the "
+                        f"{len(vector)}-entry reference vector"
+                    )
+                increment, offset = decode_varint(data, offset)
+                if increment == 0:
+                    raise CodecError("zero increment in delta entries")
+                vector[index] += increment
+            payload_len, offset = decode_varint(data, offset)
+            if len(data) < offset + payload_len:
+                raise CodecError("truncated payload")
+            payload = self._payload_codec.decode(data[offset : offset + payload_len])
+        except struct.error as exc:
+            raise CodecError(f"truncated delta message: {exc}") from exc
+        del ref_seq  # resolved by the caller via delta_header()
+        vector.flags.writeable = False
+        timestamp = Timestamp(
+            vector=vector, sender_keys=tuple(int(k) for k in sender_keys), seq=seq
+        )
+        return Message(sender=sender, seq=seq, timestamp=timestamp, payload=payload)
 
 
 # ----------------------------------------------------------------------
@@ -286,9 +504,11 @@ _TYPE_ACK = 2
 _TYPE_NACK = 3
 _TYPE_DIGEST = 4
 _TYPE_HEARTBEAT = 5
+_TYPE_BATCH = 6
 
 _MAX_SACK = 64
 _MAX_NACK = 64
+_BATCH_HAS_ACK = 0x01
 
 
 @dataclass(frozen=True)
@@ -346,7 +566,26 @@ class HeartbeatFrame:
     count: int
 
 
-Frame = Union[DataFrame, AckFrame, NackFrame, DigestFrame, HeartbeatFrame]
+@dataclass(frozen=True)
+class BatchFrame:
+    """A container datagram: several coalesced frames, one syscall.
+
+    Attributes:
+        frames: the *encoded* inner frames (each a complete ``PF`` frame;
+            nesting a BATCH inside a BATCH is rejected on both ends).
+            Kept as opaque bytes so a batch round-trips byte-identically
+            and the flush path never re-encodes.
+        ack: optional piggybacked cumulative+selective acknowledgement —
+            the delayed-ack path folds it into an outgoing batch so
+            bidirectional steady-state traffic needs no standalone ACK
+            datagrams.
+    """
+
+    frames: Tuple[bytes, ...]
+    ack: Optional[AckFrame] = None
+
+
+Frame = Union[DataFrame, AckFrame, NackFrame, DigestFrame, HeartbeatFrame, BatchFrame]
 
 
 def _encode_ascending(values: Tuple[int, ...], base: int) -> bytes:
@@ -445,6 +684,29 @@ class FrameCodec:
             return b"".join(
                 [header, struct.pack("<B", _TYPE_HEARTBEAT), struct.pack("<Q", frame.count)]
             )
+        if isinstance(frame, BatchFrame):
+            if not frame.frames:
+                raise CodecError("a BATCH must carry at least one frame")
+            if len(frame.frames) > 0xFFFF:
+                raise CodecError("BATCH carries more than 65535 frames")
+            flags = _BATCH_HAS_ACK if frame.ack is not None else 0
+            parts = [header, struct.pack("<BB", _TYPE_BATCH, flags)]
+            if frame.ack is not None:
+                parts.append(struct.pack("<Q", frame.ack.cumulative))
+                parts.append(
+                    _encode_ascending(
+                        tuple(frame.ack.sacks)[:_MAX_SACK], frame.ack.cumulative
+                    )
+                )
+            parts.append(struct.pack("<H", len(frame.frames)))
+            for inner in frame.frames:
+                if not FrameCodec.is_frame(inner) or inner[3] == _TYPE_BATCH:
+                    raise CodecError(
+                        "BATCH inner elements must be encoded non-BATCH frames"
+                    )
+                parts.append(encode_varint(len(inner)))
+                parts.append(inner)
+            return b"".join(parts)
         raise CodecError(f"not a frame: {type(frame).__name__}")
 
     def decode(self, data: bytes) -> Frame:
@@ -492,6 +754,28 @@ class FrameCodec:
             if frame_type == _TYPE_HEARTBEAT:
                 (count,) = struct.unpack_from("<Q", data, offset)
                 return HeartbeatFrame(count=count)
+            if frame_type == _TYPE_BATCH:
+                (flags,) = struct.unpack_from("<B", data, offset)
+                offset += 1
+                ack = None
+                if flags & _BATCH_HAS_ACK:
+                    (cumulative,) = struct.unpack_from("<Q", data, offset)
+                    offset += 8
+                    sacks, offset = _decode_ascending(data, offset, cumulative)
+                    ack = AckFrame(cumulative=cumulative, sacks=sacks)
+                (count,) = struct.unpack_from("<H", data, offset)
+                offset += 2
+                frames = []
+                for _ in range(count):
+                    length, offset = decode_varint(data, offset)
+                    if len(data) < offset + length:
+                        raise CodecError("truncated BATCH inner frame")
+                    inner = data[offset : offset + length]
+                    offset += length
+                    if not self.is_frame(inner) or inner[3] == _TYPE_BATCH:
+                        raise CodecError("malformed BATCH inner frame")
+                    frames.append(inner)
+                return BatchFrame(frames=tuple(frames), ack=ack)
         except struct.error as exc:
             raise CodecError(f"truncated frame: {exc}") from exc
         raise CodecError(f"unknown frame type {frame_type}")

@@ -41,7 +41,14 @@ __all__ = [
     "ENGINE_MODES",
 ]
 
-ENGINE_MODES = ("indexed", "naive")
+ENGINE_MODES = ("indexed", "naive", "auto")
+
+# Pending depth at which engine="auto" promotes the naive drain to the
+# entry-indexed buffer.  BENCH_hotpath.json locates the crossover: at
+# depth ~8 the index bookkeeping costs ~13%, by depth ~32 it wins 3.6x;
+# 24 keeps shallow queues on the cheap path and promotes well before
+# the naive full-rescan drain's O(P*R) passes dominate.
+AUTO_PROMOTE_PENDING = 24
 
 ProcessId = Hashable
 MessageId = Tuple[ProcessId, int]
@@ -121,8 +128,11 @@ class CausalBroadcastEndpoint:
             uses the vectorised, entry-indexed
             :class:`~repro.core.pending.PendingBuffer`; ``"naive"`` keeps
             the original full-rescan Python loop as a reference
-            implementation for differential testing.  Delivery order is
-            identical between the two.
+            implementation for differential testing; ``"auto"`` starts
+            naive and promotes to the indexed buffer once the pending
+            queue deepens past :data:`AUTO_PROMOTE_PENDING` (shallow
+            queues are faster without the index bookkeeping; deep ones
+            need it).  Delivery order is identical across all three.
     """
 
     def __init__(
@@ -174,8 +184,15 @@ class CausalBroadcastEndpoint:
 
     @property
     def engine(self) -> str:
-        """The configured drain strategy (``indexed`` or ``naive``)."""
+        """The configured drain strategy (``indexed``, ``naive`` or
+        ``auto``)."""
         return self._engine
+
+    @property
+    def active_engine(self) -> str:
+        """The drain strategy currently executing — for ``auto``, which
+        side of the promotion threshold the endpoint is on."""
+        return "indexed" if self._buffer is not None else "naive"
 
     @property
     def pending_count(self) -> int:
@@ -277,6 +294,8 @@ class CausalBroadcastEndpoint:
             else:
                 self._pending.append(message)
                 size = len(self._pending)
+                if self._engine == "auto" and size >= AUTO_PROMOTE_PENDING:
+                    self._promote()
             if self._max_pending is not None and size > self._max_pending:
                 raise ConfigurationError(
                     f"pending queue of {self._process_id!r} exceeded "
@@ -284,6 +303,23 @@ class CausalBroadcastEndpoint:
                 )
             self.stats.observe_pending(size)
         return delivered
+
+    def _promote(self) -> None:
+        """One-way switch from the naive drain to the indexed buffer.
+
+        Safe at this point by construction: the naive drain just ran to
+        a fixpoint, so everything in ``_pending`` is genuinely
+        non-deliverable against the current clock — exactly the state
+        :meth:`PendingBuffer.add` indexes.  Never demoted: a queue that
+        got this deep once is paying rescan costs that dwarf the index
+        bookkeeping, and an empty indexed buffer early-outs anyway.
+        """
+        buffer = PendingBuffer(self._clock.r)
+        vector = self._clock.vector_view()
+        for queued in self._pending:
+            buffer.add(queued, queued.timestamp.adjusted, vector)
+        self._pending = []
+        self._buffer = buffer
 
     def _drain_indexed(
         self, now: float, touched_keys: Sequence[int], delivered: List[DeliveryRecord]

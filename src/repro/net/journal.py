@@ -100,6 +100,11 @@ class RecoveredState:
         delivered: per-sender ``(contiguous, extras)`` delivery coverage.
         links: per-peer session state (see :class:`LinkState`).
         own_messages: encoded own broadcasts still in the WAL, by seq.
+        delta_refs: per-peer, per-sender newest delta reference
+            ``(msg_seq, vector, sender_keys)`` from the last snapshot,
+            so a restarted node can keep decoding a live sender's
+            delta-encoded messages without waiting for a full-encoding
+            resync.
         wal_records: how many WAL records were replayed (load metric).
     """
 
@@ -108,6 +113,9 @@ class RecoveredState:
     delivered: Frontiers
     links: Dict[Address, LinkState] = field(default_factory=dict)
     own_messages: Dict[int, bytes] = field(default_factory=dict)
+    delta_refs: Dict[
+        Address, Dict[str, Tuple[int, Tuple[int, ...], Tuple[int, ...]]]
+    ] = field(default_factory=dict)
     wal_records: int = 0
 
 
@@ -195,6 +203,9 @@ class NodeJournal:
         self._records_since_snapshot = 0
         self._delivered: Dict[str, _Frontier] = {}
         self._leases: Dict[Address, int] = {}
+        self._delta_refs: Dict[
+            Address, Dict[str, Tuple[int, Tuple[int, ...], Tuple[int, ...]]]
+        ] = {}
         self.snapshots_written = 0
 
     # ------------------------------------------------------------------
@@ -260,6 +271,7 @@ class NodeJournal:
             delivered={s: f.as_tuple() for s, f in self._delivered.items()},
             links=links,
             own_messages=own_messages,
+            delta_refs=self._delta_refs,
             wal_records=replayed,
         )
 
@@ -291,6 +303,16 @@ class NodeJournal:
                 rx_cumulative=int(state["rx"]),
                 rx_out_of_order=tuple(int(s) for s in state["ooo"]),
             )
+        # Absent in pre-delta snapshots: .get keeps them loadable.
+        for address_json, senders in snap.get("delta_refs", []):
+            self._delta_refs[_address_from_json(address_json)] = {
+                str(sender): (
+                    int(seq),
+                    tuple(int(v) for v in entries),
+                    tuple(int(k) for k in keys),
+                )
+                for sender, (seq, entries, keys) in senders.items()
+            }
         return True
 
     def _replay_wal(self, vector: List[int], own_messages: Dict[int, bytes]) -> int:
@@ -434,6 +456,9 @@ class NodeJournal:
         vector: Sequence[int],
         send_seq: int,
         links: Dict[Address, Tuple[int, int, Tuple[int, ...]]],
+        delta_refs: Optional[
+            Dict[Address, Dict[str, Tuple[int, Tuple[int, ...], Tuple[int, ...]]]]
+        ] = None,
     ) -> None:
         """Atomically persist the full state and truncate the WAL.
 
@@ -443,9 +468,14 @@ class NodeJournal:
             links: the session's ``link_states()`` — per peer
                 ``(next_seq, recv_cumulative, recv_out_of_order)``;
                 merged with any outstanding leases.
+            delta_refs: the node's newest per-(peer, sender) delta
+                reference ``(msg_seq, vector, sender_keys)``; optional
+                because only delta-enabled nodes have any.
         """
         if self._wal is None:
             raise ConfigurationError("journal is not open")
+        if delta_refs is not None:
+            self._delta_refs = dict(delta_refs)
         merged: Dict[Address, Tuple[int, int, Tuple[int, ...]]] = dict(links)
         for address, upper in self._leases.items():
             tx, rx, ooo = merged.get(address, (1, 0, ()))
@@ -460,6 +490,20 @@ class NodeJournal:
             "links": [
                 [_address_to_json(address), {"tx": tx, "rx": rx, "ooo": list(ooo)}]
                 for address, (tx, rx, ooo) in merged.items()
+            ],
+            "delta_refs": [
+                [
+                    _address_to_json(address),
+                    {
+                        sender: [
+                            int(seq),
+                            [int(v) for v in entries],
+                            [int(k) for k in keys],
+                        ]
+                        for sender, (seq, entries, keys) in senders.items()
+                    },
+                ]
+                for address, senders in self._delta_refs.items()
             ],
         }
         tmp_path = self.snapshot_path + ".tmp"

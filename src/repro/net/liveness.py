@@ -6,7 +6,11 @@ a bounded send buffer full of its frames backpressures the sender's own
 broadcasts.  This module separates "lossy" from "gone":
 
 * every node beats a HEARTBEAT frame to every peer on a fixed interval
-  (pure liveness proof — never acked, never retransmitted);
+  (pure liveness proof — never acked, never retransmitted); a beat is
+  *suppressed* when the session sent that peer any datagram within the
+  interval — steady-state traffic is already a liveness proof — and
+  beats that are sent ride the session's coalescing queue, so they
+  batch with whatever else is leaving for that peer;
 * :class:`PeerLivenessMonitor` tracks the last datagram of any kind
   seen from each peer and **quarantines** one that stays silent past
   ``quarantine_after`` (timeout failure detection — the classic

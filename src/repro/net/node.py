@@ -12,6 +12,16 @@ ROADMAP's "runnable networked system" needs.  It stacks, bottom-up:
 * the :class:`~repro.core.protocol.CausalBroadcastEndpoint` (Algorithms
   1–2 + detector) and the binary :class:`~repro.core.codec.MessageCodec`.
 
+On the wire each broadcast is delta-encoded per link when possible
+(``wire_delta``): only the vector entries changed since this node's last
+*full-encoded* message acked on that link travel — O(K) bytes instead of
+O(R) — and the receiver reconstructs the full vector from its per-link
+reference table.  New links, journal recovery, stale references and
+reference misses (e.g. the peer crashed and lost its table) fall back to
+the full encoding; a miss additionally triggers an immediate
+anti-entropy exchange that re-delivers the affected messages full, after
+which deltas resume.
+
 Retransmission handles the common case (a datagram lost on one link);
 the periodic anti-entropy exchange handles the rest: each node digests
 its per-sender frontiers to every peer, and a peer that holds messages
@@ -27,9 +37,11 @@ from __future__ import annotations
 
 import asyncio
 import logging
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.clocks import EntryVectorClock
 from repro.core.codec import MessageCodec
@@ -195,6 +207,59 @@ class MessageStore:
         self._order.append(key)
 
 
+class _DeltaTx:
+    """Per-link delta-encoding sender state.
+
+    ``inflight`` maps link sequence numbers of this node's own
+    *full-encoded* broadcasts to ``(msg_seq, vector)``; once the peer's
+    cumulative ack covers a link seq, that message's vector becomes a
+    safe reference.  Only full sends qualify: a full that was acked was
+    provably decoded and recorded by the receiver, whereas an acked
+    *delta* might itself have bounced off a missing reference (the
+    session acks frames it received, not messages the node decoded) —
+    admitting those would let one miss cascade down the link.  Bounded
+    by the session's ``send_buffer`` backpressure: ripe entries are
+    popped on every send.
+    """
+
+    __slots__ = ("inflight", "ref_seq", "ref_vector")
+
+    def __init__(self) -> None:
+        self.inflight: Dict[int, Tuple[int, np.ndarray]] = {}
+        self.ref_seq = -1
+        self.ref_vector: Optional[np.ndarray] = None
+
+    def advance(self, acked: int) -> None:
+        """Adopt the newest acked inflight message as the reference."""
+        if not self.inflight:
+            return
+        ripe = [link_seq for link_seq in self.inflight if link_seq <= acked]
+        if not ripe:
+            return
+        best_seq, best_vector = self.ref_seq, self.ref_vector
+        for link_seq in ripe:
+            msg_seq, vector = self.inflight.pop(link_seq)
+            if msg_seq > best_seq:
+                best_seq, best_vector = msg_seq, vector
+        self.ref_seq, self.ref_vector = best_seq, best_vector
+
+
+class _DeltaRx:
+    """Per-(peer, sender) delta-decoding receiver state.
+
+    ``refs`` maps the sender's message seqs to their decoded vectors
+    (candidate references for incoming deltas); ``keys`` is the sender's
+    static key set, learned from the full encodings that established
+    those references — deltas do not carry it on the wire.
+    """
+
+    __slots__ = ("keys", "refs")
+
+    def __init__(self, keys: Tuple[int, ...]) -> None:
+        self.keys = keys
+        self.refs: "OrderedDict[int, np.ndarray]" = OrderedDict()
+
+
 class ReliableCausalNode:
     """One networked participant with reliable dissemination.
 
@@ -223,7 +288,13 @@ class ReliableCausalNode:
             Requires a pristine ``clock``.
         liveness: optional :class:`~repro.net.liveness.LivenessPolicy`;
             when given, :meth:`start` runs a heartbeat/failure-detector
-            loop that quarantines silent peers and heals them on return.
+            loop that quarantines silent peers and heals them on return
+            (a beacon is skipped when the link sent any datagram within
+            the last interval — traffic already proves liveness).
+        wire_delta: delta-encode broadcasts per link against the last
+            acked own message (O(K) wire bytes instead of O(R)); False
+            restores the always-full-vector PR-1 encoding.  Incoming
+            deltas are decoded regardless of this knob.
     """
 
     def __init__(
@@ -241,6 +312,7 @@ class ReliableCausalNode:
         engine: str = "indexed",
         journal: Optional[NodeJournal] = None,
         liveness: Optional[LivenessPolicy] = None,
+        wire_delta: bool = True,
     ) -> None:
         if anti_entropy_interval < 0:
             raise ConfigurationError(
@@ -257,6 +329,14 @@ class ReliableCausalNode:
         self._liveness_task: Optional[asyncio.Task] = None
         self._heal_tasks: Set[asyncio.Task] = set()
         self._heartbeat_count = 0
+        self._heartbeats_suppressed = 0
+        self._wire_delta = wire_delta
+        # Delta wire state: per-peer sender references (own acked
+        # messages) and a per-(peer, sender) table of recently received
+        # vectors that incoming deltas may reference.
+        self._delta_tx: Dict[Address, _DeltaTx] = {}
+        self._delta_rx: Dict[Address, Dict[str, _DeltaRx]] = {}
+        self._resync_last: Dict[Address, float] = {}
         self.store = MessageStore(limit=store_limit)
         self.journal = journal
         self.liveness = (
@@ -300,6 +380,9 @@ class ReliableCausalNode:
             ),
             on_link_seq=(journal.ensure_lease if journal is not None else None),
         )
+        # A reference must outlive the window in which a delta naming it
+        # can still arrive; the sender's send_buffer bounds that window.
+        self._delta_rx_cap = max(128, self.session.policy.send_buffer + 32)
         if self.recovered is not None:
             for address, link in self.recovered.links.items():
                 self.session.restore_peer(
@@ -308,6 +391,14 @@ class ReliableCausalNode:
                     recv_cumulative=link.rx_cumulative,
                     recv_out_of_order=link.rx_out_of_order,
                 )
+            for address, senders in self.recovered.delta_refs.items():
+                for sender, (seq, vector, keys) in senders.items():
+                    restored = np.asarray(vector, dtype=np.int64)
+                    restored.setflags(write=False)
+                    self._record_ref(
+                        address, sender, int(seq), restored,
+                        tuple(int(k) for k in keys),
+                    )
         self._transport = transport
 
     # ------------------------------------------------------------------
@@ -413,11 +504,39 @@ class ReliableCausalNode:
         self.store.add(str(message.sender), message.seq, data)
         await asyncio.gather(
             *(
-                self.session.send(address, data)
+                self._send_message(address, message, data)
                 for address in self._live_peers()
             )
         )
         return message
+
+    async def _send_message(self, address: Address, message: Message, full: bytes) -> None:
+        """Send one broadcast over one link, delta-encoded when a
+        reference is established (falls back to ``full`` otherwise)."""
+        wire = full
+        stats = self.session.peer_stats(address)
+        tx: Optional[_DeltaTx] = None
+        if self._wire_delta:
+            tx = self._delta_tx.setdefault(address, _DeltaTx())
+            tx.advance(self.session.acked_cumulative(address))
+            if tx.ref_vector is not None:
+                delta = self._codec.encode_delta(message, tx.ref_seq, tx.ref_vector)
+                # Refresh policy: a delta must earn its keep.  As the
+                # reference ages, more entries diverge and the delta
+                # grows; once it stops being clearly smaller, send full
+                # instead — which (once acked) becomes the new
+                # reference, shrinking subsequent deltas again.  Under
+                # loss the ack never comes, so this degrades to full
+                # encoding by itself, exactly the safe fallback.
+                if len(delta) * 2 < len(full):
+                    wire = delta
+        if wire is full:
+            stats.full_sent += 1
+        else:
+            stats.delta_sent += 1
+        link_seq = await self.session.send(address, wire)
+        if tx is not None and wire is full:
+            tx.inflight[link_seq] = (message.seq, message.timestamp.vector)
 
     def _live_peers(self) -> List[Address]:
         if self.liveness is None:
@@ -429,14 +548,81 @@ class ReliableCausalNode:
         ]
 
     def _handle_wire_message(self, data: bytes, addr: Address) -> None:
-        try:
-            message = self._codec.decode(data)
-        except Exception:
-            # A malformed datagram must never take the node down.
-            self._decode_errors += 1
-            return
-        self.store.add(str(message.sender), message.seq, data)
+        stats = self.session.peer_stats(addr)
+        if MessageCodec.is_delta(data):
+            try:
+                sender, _seq, ref_seq = self._codec.delta_header(data)
+            except Exception:
+                self._decode_errors += 1
+                return
+            entry = self._delta_rx.get(addr, {}).get(sender)
+            ref_vector = entry.refs.get(ref_seq) if entry is not None else None
+            if ref_vector is None:
+                # Unknown reference (we crashed, or the table rolled
+                # over): the message is unrecoverable from this datagram
+                # alone — ask for an immediate anti-entropy exchange,
+                # which re-delivers it in the full encoding.
+                stats.delta_ref_misses += 1
+                self._request_resync(addr)
+                return
+            try:
+                message = self._codec.decode_delta(data, ref_vector, entry.keys)
+            except Exception:
+                self._decode_errors += 1
+                return
+            stats.delta_received += 1
+            # The store must hold the full encoding: anti-entropy serves
+            # third parties that do not share this link's references.
+            full = self._codec.encode(message)
+        else:
+            try:
+                message = self._codec.decode(data)
+            except Exception:
+                # A malformed datagram must never take the node down.
+                self._decode_errors += 1
+                return
+            stats.full_received += 1
+            full = data
+        self._record_ref(
+            addr, str(message.sender), message.seq,
+            message.timestamp.vector, message.timestamp.sender_keys,
+        )
+        self.store.add(str(message.sender), message.seq, full)
         self.endpoint.on_receive(message)
+
+    def _record_ref(
+        self,
+        addr: Address,
+        sender: str,
+        seq: int,
+        vector: np.ndarray,
+        keys: Tuple[int, ...],
+    ) -> None:
+        """Remember a received vector as a potential delta reference."""
+        entry = self._delta_rx.setdefault(addr, {}).setdefault(
+            sender, _DeltaRx(keys)
+        )
+        refs = entry.refs
+        if seq in refs:
+            refs.move_to_end(seq)
+        refs[seq] = vector
+        while len(refs) > self._delta_rx_cap:
+            refs.popitem(last=False)
+
+    def _request_resync(self, addr: Address) -> None:
+        """Rate-limited out-of-band anti-entropy round after a reference
+        miss (one per link per 50 ms, however many deltas bounce)."""
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return
+        now = loop.time()
+        if now - self._resync_last.get(addr, -1e18) < 0.05:
+            return
+        self._resync_last[addr] = now
+        task = loop.create_task(self._heal_peer(addr))
+        self._heal_tasks.add(task)
+        task.add_done_callback(self._heal_tasks.discard)
 
     def _handle_digest(self, frontiers: Frontiers, addr: Address) -> None:
         for data in self.store.missing_for(frontiers):
@@ -465,6 +651,12 @@ class ReliableCausalNode:
                 # Heartbeats flow to quarantined peers too: that is what
                 # resolves a mutual quarantine once the partition lifts.
                 self.liveness.track(address, now)
+                last = self.session.last_send_time(address)
+                if last >= 0.0 and now - last < interval:
+                    # Any recent datagram already proves we are alive;
+                    # the beacon would be pure overhead on a busy link.
+                    self._heartbeats_suppressed += 1
+                    continue
                 try:
                     await self.session.send_heartbeat(address, self._heartbeat_count)
                 except Exception:
@@ -515,7 +707,10 @@ class ReliableCausalNode:
             if self.journal.snapshot_due:
                 clock = self.endpoint.clock
                 self.journal.write_snapshot(
-                    clock.snapshot(), clock.send_count, self.session.link_states()
+                    clock.snapshot(),
+                    clock.send_count,
+                    self.session.link_states(),
+                    delta_refs=self._delta_refs_snapshot(),
                 )
         self._deliveries.append(record)
         if self._on_delivery is not None:
@@ -538,10 +733,35 @@ class ReliableCausalNode:
             if include_local or not record.local
         ]
 
+    def _delta_refs_snapshot(
+        self,
+    ) -> Dict[Address, Dict[str, Tuple[int, Tuple[int, ...], Tuple[int, ...]]]]:
+        """Newest known reference per (peer, sender), for the journal —
+        enough to keep decoding a live sender's deltas across a restart."""
+        out: Dict[Address, Dict[str, Tuple[int, Tuple[int, ...], Tuple[int, ...]]]] = {}
+        for addr, senders in self._delta_rx.items():
+            per: Dict[str, Tuple[int, Tuple[int, ...], Tuple[int, ...]]] = {}
+            for sender, entry in senders.items():
+                if entry.refs:
+                    seq = next(reversed(entry.refs))
+                    per[sender] = (
+                        seq,
+                        tuple(int(v) for v in entry.refs[seq]),
+                        tuple(int(k) for k in entry.keys),
+                    )
+            if per:
+                out[addr] = per
+        return out
+
     @property
     def decode_errors(self) -> int:
         """Datagrams dropped because they failed to decode."""
         return self._decode_errors
+
+    @property
+    def heartbeats_suppressed(self) -> int:
+        """Heartbeat beacons skipped because the link had recent traffic."""
+        return self._heartbeats_suppressed
 
     def transport_stats(self, address: Optional[Address] = None) -> TransportStats:
         """Wire counters: one peer's, or all peers merged when ``None``."""

@@ -20,6 +20,16 @@ so this module adds the classic reliability machinery between a
 * **a bounded send buffer with backpressure** — ``send`` suspends when a
   peer has too many unacknowledged frames in flight, so a dead peer
   cannot make the sender accumulate unbounded state;
+* **frame coalescing** — outgoing frames queue per peer and flush as one
+  BATCH datagram when they fill the ``coalesce_mtu`` budget, when the
+  ``flush_interval`` timer fires, or on an explicit :meth:`flush`;
+  retransmissions, digests and heartbeats ride the same queue, so a
+  steady stream costs a fraction of the datagrams (and syscalls);
+* **delayed cumulative acks with piggybacking** — received DATA is
+  acknowledged once per ``ack_delay`` window with a single cumulative
+  ACK, and a pending ack is folded into the next outgoing batch's header
+  instead of costing its own datagram, so bidirectional steady-state
+  traffic sends no standalone ACKs at all;
 * **anti-entropy plumbing** — digest frames (per-sender ``(sender, seq)``
   frontiers) are encoded/dispatched here; deciding *what* is missing is
   the message-store's job (see :mod:`repro.net.node`);
@@ -51,11 +61,12 @@ from __future__ import annotations
 import asyncio
 import random
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.codec import (
     AckFrame,
+    BatchFrame,
     CodecError,
     DataFrame,
     DigestFrame,
@@ -63,6 +74,7 @@ from repro.core.codec import (
     FrameCodec,
     HeartbeatFrame,
     NackFrame,
+    varint_size,
 )
 from repro.core.errors import ConfigurationError
 from repro.net.peer import Transport
@@ -99,6 +111,15 @@ class RetransmitPolicy:
         tick_interval: period of the retransmit scan (seconds).
         nack_interval: minimum delay between two NACKs for the same
             missing frame (seconds).
+        coalesce_mtu: per-datagram budget for frame coalescing; queued
+            frames flush as one BATCH datagram when they fill it.  0
+            disables coalescing entirely (every frame is its own
+            datagram — the PR-1 wire behaviour).
+        flush_interval: how long a queued frame may wait for company
+            before the queue flushes anyway (seconds).
+        ack_delay: delay before acknowledging received DATA, so one
+            cumulative ACK covers a burst and outgoing batches can
+            piggyback it.  0 restores ack-per-frame.
     """
 
     initial_timeout: float = 0.05
@@ -109,6 +130,9 @@ class RetransmitPolicy:
     send_buffer: int = 1024
     tick_interval: float = 0.01
     nack_interval: float = 0.04
+    coalesce_mtu: int = 1400
+    flush_interval: float = 0.001
+    ack_delay: float = 0.005
 
     def __post_init__(self) -> None:
         if self.initial_timeout <= 0:
@@ -127,6 +151,14 @@ class RetransmitPolicy:
             raise ConfigurationError(f"tick_interval must be > 0, got {self.tick_interval}")
         if self.nack_interval < 0:
             raise ConfigurationError(f"nack_interval must be >= 0, got {self.nack_interval}")
+        if self.coalesce_mtu < 0:
+            raise ConfigurationError(f"coalesce_mtu must be >= 0, got {self.coalesce_mtu}")
+        if self.flush_interval <= 0:
+            raise ConfigurationError(
+                f"flush_interval must be > 0, got {self.flush_interval}"
+            )
+        if self.ack_delay < 0:
+            raise ConfigurationError(f"ack_delay must be >= 0, got {self.ack_delay}")
 
 
 @dataclass
@@ -146,6 +178,23 @@ class TransportStats:
         quarantine_drops: pending frames discarded when the failure
             detector quarantined this peer (anti-entropy re-sends the
             messages they carried once the peer returns).
+        datagrams_sent / datagrams_received: transport-level sends and
+            arrivals (one BATCH counts once, however many frames it
+            carries; raw frame-less datagrams count too).
+        bytes_sent / bytes_received: wire bytes of those datagrams.
+        frames_sent / frames_received: session frames crossing the wire
+            (inner frames of a batch counted individually), so frames
+            per datagram is ``frames_sent / datagrams_sent``.
+        batches_sent / batches_received: BATCH container datagrams.
+        acks_piggybacked: acknowledgements that rode an outgoing batch
+            instead of costing a standalone datagram (subset of
+            ``acks_sent``; standalone = sent − piggybacked).
+        delta_sent / delta_received: messages that crossed this link in
+            the O(K) DELTA encoding (counted by the node layer).
+        full_sent / full_received: messages in the full-vector encoding.
+        delta_ref_misses: delta messages dropped because the reference
+            vector was unknown (e.g. after a crash restart); each miss
+            triggers an anti-entropy resync that re-delivers them full.
         rtt: smoothed round-trip estimate in seconds (None until the
             first clean ack of a never-retransmitted frame).
     """
@@ -164,28 +213,35 @@ class TransportStats:
     heartbeats_sent: int = 0
     heartbeats_received: int = 0
     quarantine_drops: int = 0
+    datagrams_sent: int = 0
+    datagrams_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    frames_sent: int = 0
+    frames_received: int = 0
+    batches_sent: int = 0
+    batches_received: int = 0
+    acks_piggybacked: int = 0
+    delta_sent: int = 0
+    delta_received: int = 0
+    full_sent: int = 0
+    full_received: int = 0
+    delta_ref_misses: int = 0
     rtt: Optional[float] = None
 
     def merge(self, other: "TransportStats") -> "TransportStats":
         """Elementwise sum (RTT: average of known estimates), for totals."""
         rtts = [r for r in (self.rtt, other.rtt) if r is not None]
-        return TransportStats(
-            data_sent=self.data_sent + other.data_sent,
-            retransmits=self.retransmits + other.retransmits,
-            drops=self.drops + other.drops,
-            data_received=self.data_received + other.data_received,
-            duplicates=self.duplicates + other.duplicates,
-            acks_sent=self.acks_sent + other.acks_sent,
-            acks_received=self.acks_received + other.acks_received,
-            nacks_sent=self.nacks_sent + other.nacks_sent,
-            nacks_received=self.nacks_received + other.nacks_received,
-            digests_sent=self.digests_sent + other.digests_sent,
-            digests_received=self.digests_received + other.digests_received,
-            heartbeats_sent=self.heartbeats_sent + other.heartbeats_sent,
-            heartbeats_received=self.heartbeats_received + other.heartbeats_received,
-            quarantine_drops=self.quarantine_drops + other.quarantine_drops,
-            rtt=sum(rtts) / len(rtts) if rtts else None,
-        )
+        merged = TransportStats(rtt=sum(rtts) / len(rtts) if rtts else None)
+        for stats_field in fields(TransportStats):
+            if stats_field.name == "rtt":
+                continue
+            setattr(
+                merged,
+                stats_field.name,
+                getattr(self, stats_field.name) + getattr(other, stats_field.name),
+            )
+        return merged
 
 
 @dataclass
@@ -214,6 +270,21 @@ class _PeerState:
         self.rttvar: Optional[float] = None
         self.stats = TransportStats()
         self.quarantined = False
+        # Coalescing outbox: encoded frames awaiting a BATCH flush, and
+        # their wire cost (frame bytes + per-frame length varints).
+        self.outbox: List[bytes] = []
+        self.outbox_bytes = 0
+        self.flush_handle: Optional[asyncio.TimerHandle] = None
+        # Delayed-ack state: one timer per window; the ack itself is
+        # built at emission time so it is always maximally cumulative.
+        self.ack_pending = False
+        self.ack_handle: Optional[asyncio.TimerHandle] = None
+        # Highest cumulative ack received from this peer (what the node
+        # layer keys its delta-encoding references on).
+        self.tx_acked = 0
+        # Event-loop time of the last datagram sent to this peer (lets
+        # the liveness layer skip heartbeats when traffic already flows).
+        self.last_send = -1.0
         self._policy = policy
 
     def rto(self) -> float:
@@ -320,6 +391,8 @@ class ReliableSession:
         if self._tick_task is not None:
             self._tick_task.cancel()
             self._tick_task = None
+        for state in self._peers.values():
+            self._disarm(state)
         for task in list(self._tasks):
             task.cancel()
         self._tasks.clear()
@@ -349,6 +422,32 @@ class ReliableSession:
         """Frames awaiting acknowledgement from ``address``."""
         state = self._peers.get(address)
         return len(state.unacked) if state is not None else 0
+
+    def acked_cumulative(self, address: Address) -> int:
+        """Highest cumulative link seq ``address`` has acknowledged.
+
+        Monotone per link; the node layer keys its delta-encoding
+        references on it (a message the peer acked is a vector the peer
+        is guaranteed to hold).
+        """
+        state = self._peers.get(address)
+        return state.tx_acked if state is not None else 0
+
+    def peer_stats(self, address: Address) -> TransportStats:
+        """Live (mutable) counters for ``address``, created on demand.
+
+        Unlike :meth:`stats_for` this never hands back a detached zero
+        object, so upper layers can count on it directly (the node layer
+        records delta/full encoding choices here).
+        """
+        return self._peer(address).stats
+
+    def last_send_time(self, address: Address) -> float:
+        """Event-loop time of the last datagram sent to ``address``
+        (-1.0 before the first); lets liveness suppress heartbeats on
+        links that already carry traffic."""
+        state = self._peers.get(address)
+        return state.last_send if state is not None else -1.0
 
     @property
     def policy(self) -> RetransmitPolicy:
@@ -388,6 +487,7 @@ class ReliableSession:
         dropped = len(state.unacked)
         state.stats.quarantine_drops += dropped
         state.unacked.clear()
+        self._disarm(state)
         state.space.set()
         return dropped
 
@@ -417,6 +517,7 @@ class ReliableSession:
         if state is None:
             return False
         state.unacked.clear()
+        self._disarm(state)
         state.space.set()
         return True
 
@@ -469,7 +570,7 @@ class ReliableSession:
             data=frame, first_sent=now, next_due=now + self._jittered(timeout), timeout=timeout
         )
         state.stats.data_sent += 1
-        await self._transport.send(destination, frame)
+        self._transmit(destination, state, frame)
         return seq
 
     def push(self, destination: Address, payload: bytes) -> None:
@@ -484,15 +585,117 @@ class ReliableSession:
         the next periodic round repeats it)."""
         state = self._peer(destination)
         state.stats.digests_sent += 1
-        await self._transport.send(destination, self._codec.encode(DigestFrame(frontiers)))
+        self._transmit(destination, state, self._codec.encode(DigestFrame(frontiers)))
 
     async def send_heartbeat(self, destination: Address, count: int) -> None:
         """Fire-and-forget a liveness beacon (never acked or retransmitted)."""
         state = self._peer(destination)
         state.stats.heartbeats_sent += 1
-        await self._transport.send(
-            destination, self._codec.encode(HeartbeatFrame(count=count))
+        self._transmit(destination, state, self._codec.encode(HeartbeatFrame(count=count)))
+
+    # ------------------------------------------------------------------
+    # coalescing wire path
+    # ------------------------------------------------------------------
+
+    def _transmit(self, addr: Address, state: _PeerState, frame_bytes: bytes) -> None:
+        """Put an encoded frame on the wire via the coalescing outbox.
+
+        With ``coalesce_mtu == 0`` the frame is its own datagram (the
+        PR-1 wire behaviour).  Otherwise it joins the peer's outbox,
+        which flushes as one BATCH datagram when the budget fills, when
+        the flush timer fires, or on an explicit :meth:`flush`.
+        """
+        if self._policy.coalesce_mtu <= 0:
+            self._send_datagram(addr, state, frame_bytes, frames=1)
+            return
+        cost = varint_size(len(frame_bytes)) + len(frame_bytes)
+        if state.outbox and state.outbox_bytes + cost > self._policy.coalesce_mtu:
+            self._flush_peer(addr, state)
+        state.outbox.append(frame_bytes)
+        state.outbox_bytes += cost
+        if state.outbox_bytes >= self._policy.coalesce_mtu:
+            # Budget full (or a single oversized frame): no point waiting.
+            self._flush_peer(addr, state)
+        elif state.flush_handle is None:
+            state.flush_handle = asyncio.get_running_loop().call_later(
+                self._policy.flush_interval, self._flush_peer, addr, state
+            )
+
+    def _flush_peer(self, addr: Address, state: _PeerState) -> None:
+        """Emit the peer's outbox as one datagram, piggybacking any
+        pending delayed ack.  Doubles as the flush-timer callback."""
+        if state.flush_handle is not None:
+            state.flush_handle.cancel()
+            state.flush_handle = None
+        frames = state.outbox
+        if not frames and not state.ack_pending:
+            return
+        state.outbox = []
+        state.outbox_bytes = 0
+        ack = self._take_ack(state)
+        if ack is not None:
+            state.stats.acks_sent += 1
+        if not frames:
+            # Explicit flush with only a delayed ack pending.
+            self._send_datagram(addr, state, self._codec.encode(ack), frames=1)
+            return
+        if len(frames) == 1 and ack is None:
+            # A lone frame needs no container.
+            self._send_datagram(addr, state, frames[0], frames=1)
+            return
+        if ack is not None:
+            state.stats.acks_piggybacked += 1
+        state.stats.batches_sent += 1
+        data = self._codec.encode(BatchFrame(frames=tuple(frames), ack=ack))
+        self._send_datagram(addr, state, data, frames=len(frames))
+
+    def _take_ack(self, state: _PeerState) -> Optional[AckFrame]:
+        """Consume the pending delayed ack, built maximally cumulative
+        at this moment (not at the moment the data arrived)."""
+        if not state.ack_pending:
+            return None
+        state.ack_pending = False
+        if state.ack_handle is not None:
+            state.ack_handle.cancel()
+            state.ack_handle = None
+        return AckFrame(
+            cumulative=state.recv_cumulative,
+            sacks=tuple(sorted(state.recv_out_of_order)[:64]),
         )
+
+    def _ack_timer(self, addr: Address, state: _PeerState) -> None:
+        """Delayed-ack window expired: acknowledge everything received."""
+        state.ack_handle = None
+        if not state.ack_pending:
+            return
+        if state.outbox:
+            # Frames are already queued: flush now and piggyback the ack.
+            self._flush_peer(addr, state)
+            return
+        ack = self._take_ack(state)
+        state.stats.acks_sent += 1
+        self._send_datagram(addr, state, self._codec.encode(ack), frames=1)
+
+    def _send_datagram(
+        self, addr: Address, state: _PeerState, data: bytes, frames: int
+    ) -> None:
+        state.stats.datagrams_sent += 1
+        state.stats.bytes_sent += len(data)
+        state.stats.frames_sent += frames
+        state.last_send = asyncio.get_running_loop().time()
+        self._post(self._transport.send(addr, data))
+
+    def flush(self, address: Optional[Address] = None) -> None:
+        """Flush queued frames (and pending delayed acks) immediately.
+
+        With no address every peer is flushed.  Latency-sensitive
+        callers use this instead of waiting out ``flush_interval``.
+        """
+        targets = [address] if address is not None else list(self._peers)
+        for addr in targets:
+            state = self._peers.get(addr)
+            if state is not None and (state.outbox or state.ack_pending):
+                self._flush_peer(addr, state)
 
     # ------------------------------------------------------------------
     # receiving
@@ -503,6 +706,9 @@ class ReliableSession:
             # Any datagram — data, ack, digest, heartbeat, even one that
             # fails to decode — is evidence the address is alive.
             self._on_peer_activity(addr)
+        state = self._peer(addr)
+        state.stats.datagrams_received += 1
+        state.stats.bytes_received += len(data)
         if not FrameCodec.is_frame(data):
             # Frame-less sender (e.g. a bare AsyncCausalPeer): pass through.
             self._on_message(data, addr)
@@ -517,6 +723,20 @@ class ReliableSession:
     def _dispatch(self, frame: Frame, addr: Address) -> None:
         state = self._peer(addr)
         now = asyncio.get_running_loop().time()
+        if isinstance(frame, BatchFrame):
+            state.stats.batches_received += 1
+            if frame.ack is not None:
+                # Piggybacked ack: processed exactly like a standalone one.
+                self._on_ack(state, frame.ack, now)
+            for inner_bytes in frame.frames:
+                try:
+                    inner = self._codec.decode(inner_bytes)
+                except CodecError:
+                    self.frame_errors += 1
+                    continue
+                self._dispatch(inner, addr)
+            return
+        state.stats.frames_received += 1
         if isinstance(frame, DataFrame):
             self._on_data(state, frame, addr, now)
         elif isinstance(frame, AckFrame):
@@ -538,12 +758,21 @@ class ReliableSession:
             state.stats.duplicates += 1
         # Always acknowledge — the duplicate may be a retransmission whose
         # previous ack was lost, and only an ack stops the sender's timer.
-        ack = AckFrame(
-            cumulative=state.recv_cumulative,
-            sacks=tuple(sorted(state.recv_out_of_order)[:64]),
-        )
-        state.stats.acks_sent += 1
-        self._post(self._transport.send(addr, self._codec.encode(ack)))
+        if self._policy.ack_delay <= 0:
+            ack = AckFrame(
+                cumulative=state.recv_cumulative,
+                sacks=tuple(sorted(state.recv_out_of_order)[:64]),
+            )
+            state.stats.acks_sent += 1
+            self._transmit(addr, state, self._codec.encode(ack))
+        else:
+            # Delayed: one cumulative ack per window, piggybacked onto an
+            # outgoing batch whenever this link carries reverse traffic.
+            state.ack_pending = True
+            if state.ack_handle is None:
+                state.ack_handle = asyncio.get_running_loop().call_later(
+                    self._policy.ack_delay, self._ack_timer, addr, state
+                )
         self._maybe_nack(state, addr, now)
 
     def _maybe_nack(self, state: _PeerState, addr: Address, now: float) -> None:
@@ -557,10 +786,11 @@ class ReliableSession:
         for seq in gaps:
             state.nack_last[seq] = now
         state.stats.nacks_sent += 1
-        self._post(self._transport.send(addr, self._codec.encode(NackFrame(tuple(gaps)))))
+        self._transmit(addr, state, self._codec.encode(NackFrame(tuple(gaps))))
 
     def _on_ack(self, state: _PeerState, frame: AckFrame, now: float) -> None:
         state.stats.acks_received += 1
+        state.tx_acked = max(state.tx_acked, frame.cumulative)
         sacked = set(frame.sacks)
         for seq in [
             s for s in state.unacked if s <= frame.cumulative or s in sacked
@@ -614,7 +844,7 @@ class ReliableSession:
         )
         pending.next_due = now + self._jittered(pending.timeout)
         state.stats.retransmits += 1
-        self._post(self._transport.send(addr, pending.data))
+        self._transmit(addr, state, pending.data)
 
     def _jittered(self, timeout: float) -> float:
         return timeout * (1.0 + self._policy.jitter * self._random.random())
@@ -622,6 +852,20 @@ class ReliableSession:
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _disarm(state: _PeerState) -> None:
+        """Drop a peer's queued-but-unsent wire state (outbox, timers,
+        pending ack) — for quarantine, purge and shutdown."""
+        state.outbox.clear()
+        state.outbox_bytes = 0
+        state.ack_pending = False
+        if state.flush_handle is not None:
+            state.flush_handle.cancel()
+            state.flush_handle = None
+        if state.ack_handle is not None:
+            state.ack_handle.cancel()
+            state.ack_handle = None
 
     def _peer(self, address: Address) -> _PeerState:
         state = self._peers.get(address)

@@ -22,6 +22,9 @@ __all__ = ["UdpTransport"]
 HostPort = Tuple[str, int]
 
 # Conservative bound: stay under the common 64 KiB UDP datagram ceiling.
+# The session's ``coalesce_mtu`` (frame-coalescing budget) must stay at
+# or below this, or a flushed BATCH datagram would be rejected here; the
+# 1400 B default leaves three orders of magnitude of headroom.
 _MAX_DATAGRAM = 60_000
 
 

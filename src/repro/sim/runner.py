@@ -176,9 +176,12 @@ class SimulationConfig:
         recovery_log_size: per-node delivered-message window exchanged by
             anti-entropy sessions.
         engine: pending-queue drain strategy for every endpoint —
-            ``indexed`` (default, the vectorised entry-indexed buffer)
-            or ``naive`` (the reference full-rescan drain; same delivery
-            order, kept for differential testing and perf baselines).
+            ``auto`` (default: the naive drain until the pending queue
+            deepens past the promotion threshold, then the vectorised
+            entry-indexed buffer), ``indexed`` (always the buffer) or
+            ``naive`` (always the reference full-rescan drain; same
+            delivery order, kept for differential testing and perf
+            baselines).
         adaptive_k_interval_ms: enable *adaptive K* (an extension beyond
             the paper): every node periodically re-estimates the
             concurrency X from its own delivery rate and, when the
@@ -211,7 +214,7 @@ class SimulationConfig:
     recovery_delay_ms: float = 50.0
     recovery_period_ms: float = 2_000.0
     recovery_log_size: int = 4096
-    engine: str = "indexed"
+    engine: str = "auto"
     adaptive_k_interval_ms: Optional[float] = None
 
     def validate(self) -> None:

@@ -18,6 +18,7 @@ import pytest
 
 from repro.api import NodeConfig, create_node
 from repro.net import FaultWindow, FaultyTransport, UdpTransport
+from repro.net.session import TransportStats
 from repro.sim.oracle import CausalityOracle, DeliveryVerdict
 from repro.util.rng import RandomSource
 
@@ -58,6 +59,17 @@ class Harness:
             quarantine_after=0.6,
             journal_snapshot_interval=16,
         )
+        # Explicitly disjoint key sets: with shared entries the (R, K)
+        # scheme's violations are *probabilistic by design* (the hash
+        # assignment at this R gives b and c two common entries, and the
+        # simulator suite is what measures those rates), so a zero-
+        # violation assertion would flake on timing.  Disjoint keys make
+        # the delivery condition exact, so the oracle soundly verifies
+        # the thing this soak is about: the runtime's reliability and
+        # recovery machinery.
+        self.keys = {
+            name: tuple(range(3 * i, 3 * i + 3)) for i, name in enumerate(NAMES)
+        }
         for name in NAMES:
             self.oracle.register_node(name)
 
@@ -89,7 +101,9 @@ class Harness:
         transport = self._wrap(udp, name, windows=windows)
         node = await create_node(
             name,
-            self.config.replace(data_dir=str(self.tmp / name)),
+            self.config.replace(
+                data_dir=str(self.tmp / name), keys=self.keys[name]
+            ),
             transport=transport,
             on_delivery=self._on_delivery(name),
             start=False,
@@ -261,6 +275,36 @@ def test_chaos_soak(tmp_path):
         )
         assert quarantines >= 1, "no peer was ever quarantined"
         assert resumes >= 1, "no quarantined peer ever resumed"
+
+        # The batched wire path (the NodeConfig defaults) was live
+        # through the whole ordeal: frames coalesced into batches and
+        # O(K) delta timestamps flowed despite the partition, the loss,
+        # and two crash/restarts.
+        def merged_wire():
+            merged = TransportStats()
+            for node in harness.nodes.values():
+                merged = merged.merge(node.transport_stats())
+            return merged
+
+        wire = merged_wire()
+        assert wire.batches_sent > 0, "nothing ever coalesced"
+        assert wire.delta_sent > 0, "no delta timestamp ever flowed"
+
+        # And the crash/restarts did not leave any link in permanent
+        # full-encoding fallback: references resync via the journal's
+        # persisted delta state or a digest exchange after a reference
+        # miss, so a fresh post-convergence round still travels (at
+        # least partly) as deltas.
+        deltas_before = wire.delta_sent
+        for name in NAMES:
+            await harness.broadcast(name)
+        assert await wait_for(harness.converged, timeout=30.0), (
+            "no convergence on the post-restart delta-resync round"
+        )
+        assert merged_wire().delta_sent > deltas_before, (
+            "every link fell back to full encodings for good after the "
+            "restarts — delta references never resynced"
+        )
 
         for node in harness.nodes.values():
             await node.close()

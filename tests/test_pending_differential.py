@@ -154,7 +154,7 @@ class TestDifferential:
 
 class TestEngineOption:
     def test_engine_modes_exposed(self):
-        assert ENGINE_MODES == ("indexed", "naive")
+        assert ENGINE_MODES == ("indexed", "naive", "auto")
 
     def test_default_engine_is_indexed(self):
         ep = CausalBroadcastEndpoint("a", ProbabilisticCausalClock(6, (0, 1)))

@@ -264,6 +264,115 @@ class TestBackpressure:
         asyncio.run(scenario())
 
 
+class TestWirePath:
+    """Frame coalescing, delayed cumulative ACKs, and the wire counters."""
+
+    def test_burst_coalesces_into_batches(self):
+        async def scenario():
+            bus = LocalAsyncBus(delay_model=ConstantDelayModel(1.0))
+            sessions, inboxes = make_pair(bus)
+            for session in sessions.values():
+                session.start()
+            for i in range(6):
+                await sessions["a"].send("b", bytes([i]))
+            await wait_for(lambda: len(inboxes["b"]) == 6)
+            await wait_for(lambda: sessions["a"].unacked_count("b") == 0)
+            tx = sessions["a"].stats_for("b")
+            rx = sessions["b"].stats_for("a")
+            assert tx.frames_sent == 6
+            assert tx.datagrams_sent < 6, "burst should coalesce"
+            assert tx.batches_sent >= 1
+            assert tx.bytes_sent > 0
+            assert rx.batches_received >= 1
+            assert rx.frames_received == 6
+            assert rx.datagrams_received == tx.datagrams_sent
+            assert rx.bytes_received == tx.bytes_sent
+            for session in sessions.values():
+                await session.close()
+
+        asyncio.run(scenario())
+
+    def test_coalescing_disabled_sends_one_datagram_per_frame(self):
+        async def scenario():
+            bus = LocalAsyncBus(delay_model=ConstantDelayModel(1.0))
+            policy = fast_policy(coalesce_mtu=0, ack_delay=0.0)
+            sessions, inboxes = make_pair(bus, policy=policy)
+            for session in sessions.values():
+                session.start()
+            for i in range(5):
+                await sessions["a"].send("b", bytes([i]))
+            await wait_for(lambda: len(inboxes["b"]) == 5)
+            await wait_for(lambda: sessions["a"].unacked_count("b") == 0)
+            tx = sessions["a"].stats_for("b")
+            rx = sessions["b"].stats_for("a")
+            assert tx.datagrams_sent == 5
+            assert tx.batches_sent == 0
+            # Immediate-ack mode: one standalone ACK per DATA frame.
+            assert rx.acks_sent == 5
+            assert rx.acks_piggybacked == 0
+            for session in sessions.values():
+                await session.close()
+
+        asyncio.run(scenario())
+
+    def test_delayed_ack_is_cumulative(self):
+        async def scenario():
+            bus = LocalAsyncBus(delay_model=ConstantDelayModel(1.0))
+            policy = fast_policy(initial_timeout=0.5, max_timeout=1.0, ack_delay=0.05)
+            sessions, inboxes = make_pair(bus, policy=policy)
+            for session in sessions.values():
+                session.start()
+            for i in range(5):
+                await sessions["a"].send("b", bytes([i]))
+            await wait_for(lambda: len(inboxes["b"]) == 5)
+            await wait_for(lambda: sessions["a"].unacked_count("b") == 0)
+            rx = sessions["b"].stats_for("a")
+            assert rx.acks_sent == 1, "one held cumulative ACK, not five"
+            assert sessions["a"].stats_for("b").retransmits == 0
+            for session in sessions.values():
+                await session.close()
+
+        asyncio.run(scenario())
+
+    def test_ack_piggybacks_on_reverse_traffic(self):
+        async def scenario():
+            bus = LocalAsyncBus(delay_model=ConstantDelayModel(1.0))
+            policy = fast_policy(initial_timeout=0.5, max_timeout=1.0, ack_delay=0.1)
+            sessions, inboxes = make_pair(bus, policy=policy)
+            for session in sessions.values():
+                session.start()
+            await sessions["a"].send("b", b"ping")
+            await wait_for(lambda: len(inboxes["b"]) == 1)
+            # Reverse traffic inside the ack-delay window: the held ACK
+            # must ride b's outgoing datagram, never stand alone.
+            await sessions["b"].send("a", b"pong")
+            await wait_for(lambda: sessions["a"].unacked_count("b") == 0)
+            rx = sessions["b"].stats_for("a")
+            assert rx.acks_piggybacked >= 1
+            assert rx.acks_piggybacked == rx.acks_sent
+            for session in sessions.values():
+                await session.close()
+
+        asyncio.run(scenario())
+
+    def test_explicit_flush_empties_the_outbox(self):
+        async def scenario():
+            bus = LocalAsyncBus(delay_model=ConstantDelayModel(1.0))
+            policy = fast_policy(flush_interval=10.0, ack_delay=10.0)
+            sessions, inboxes = make_pair(bus, policy=policy)
+            for session in sessions.values():
+                session.start()
+            await sessions["a"].send("b", b"held")
+            assert sessions["a"].stats_for("b").datagrams_sent == 0
+            sessions["a"].flush("b")
+            assert sessions["a"].stats_for("b").datagrams_sent == 1
+            await wait_for(lambda: len(inboxes["b"]) == 1)
+            for session in sessions.values():
+                await session.close()
+
+        asyncio.run(scenario())
+
+
 class TestPolicyValidation:
     @pytest.mark.parametrize(
         "kwargs",
@@ -276,6 +385,9 @@ class TestPolicyValidation:
             dict(send_buffer=0),
             dict(tick_interval=0),
             dict(nack_interval=-0.1),
+            dict(coalesce_mtu=-1),
+            dict(flush_interval=0),
+            dict(ack_delay=-0.1),
         ],
     )
     def test_bad_policy_rejected(self, kwargs):
@@ -285,10 +397,20 @@ class TestPolicyValidation:
     def test_stats_merge_sums_counters(self):
         from repro.net import TransportStats
 
-        first = TransportStats(data_sent=2, retransmits=1, rtt=0.1)
-        second = TransportStats(data_sent=3, drops=1, rtt=0.3)
+        first = TransportStats(
+            data_sent=2, retransmits=1, rtt=0.1,
+            datagrams_sent=4, bytes_sent=100, delta_sent=1,
+        )
+        second = TransportStats(
+            data_sent=3, drops=1, rtt=0.3,
+            datagrams_sent=6, bytes_sent=50, acks_piggybacked=2,
+        )
         total = first.merge(second)
         assert total.data_sent == 5
         assert total.retransmits == 1
         assert total.drops == 1
+        assert total.datagrams_sent == 10
+        assert total.bytes_sent == 150
+        assert total.delta_sent == 1
+        assert total.acks_piggybacked == 2
         assert total.rtt == pytest.approx(0.2)

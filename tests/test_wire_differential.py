@@ -1,0 +1,275 @@
+"""Differential suite: the batched wire is observationally identical to PR-1's.
+
+The coalescing / delayed-ack / delta-timestamp wire (the `NodeConfig`
+defaults) must be indistinguishable *above the codec* from the
+one-datagram-per-frame, ack-per-frame, full-timestamp wire of PR 1
+(``coalesce_mtu=0, ack_delay=0, wire_delta=False``).  Each test runs
+the same scripted scenario under both configs over real loopback UDP
+with injected drops, duplication, and reordering — plus a mid-stream
+crash/restart — and compares everything the application can observe:
+
+* full convergence — every node delivers the complete message set;
+* zero causal violations against the simulator's ground-truth oracle
+  (disjoint key sets make the delivery condition exact, so this is a
+  sound zero, not a probabilistic one);
+* per-sender FIFO at every node;
+* for a single sender, the *total* delivery order — which is fully
+  determined (seq order) and therefore must be identical between the
+  two wire configurations, datagram schedule notwithstanding.
+
+The wire stats double-check that the comparison is honest: the batched
+run must actually have batched and delta-encoded, the legacy run must
+have done neither.
+"""
+
+import asyncio
+
+from repro.api import NodeConfig, create_node
+from repro.net import FaultyTransport, UdpTransport
+from repro.net.session import TransportStats
+from repro.sim.oracle import CausalityOracle, DeliveryVerdict
+from repro.util.rng import RandomSource
+
+LEGACY = dict(coalesce_mtu=0, ack_delay=0.0, wire_delta=False)
+BATCHED = {}  # the defaults
+
+FAULTS = dict(drop_rate=0.20, duplicate_rate=0.10, reorder_rate=0.10)
+
+
+async def wait_for(predicate, timeout=30.0, interval=0.01):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while asyncio.get_running_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return False
+
+
+class Exchange:
+    """One scripted multi-node run under a given wire configuration."""
+
+    def __init__(self, names, wire_kwargs, seed, data_root=None):
+        self.names = names
+        self.seed = seed
+        self.data_root = data_root
+        self.oracle = CausalityOracle(capacity=len(names))
+        self.nodes = {}
+        self.addresses = {}
+        # message_ids in delivery order, accumulated across incarnations.
+        self.order = {name: [] for name in names}
+        self.violations = []
+        self.sent = []
+        # Disjoint key sets => the (R, K) delivery condition is exact
+        # and a zero-violation assertion cannot flake (see the chaos
+        # soak for the full rationale).
+        self.keys = {
+            name: tuple(range(3 * i, 3 * i + 3)) for i, name in enumerate(names)
+        }
+        self.config = NodeConfig(
+            r=64,
+            k=3,
+            ack_timeout=0.02,
+            anti_entropy_interval=0.1,
+            **wire_kwargs,
+        )
+        for name in names:
+            self.oracle.register_node(name)
+
+    def _on_delivery(self, name):
+        def callback(record):
+            if record.local:
+                return
+            self.order[name].append(record.message.message_id)
+            result = self.oracle.classify_delivery(
+                name,
+                record.message.message_id,
+                now=asyncio.get_running_loop().time(),
+            )
+            if result.verdict is DeliveryVerdict.VIOLATION:
+                self.violations.append((name, record.message.message_id))
+
+        return callback
+
+    async def boot(self, name, port=0):
+        udp = await UdpTransport.create(port=port)
+        transport = FaultyTransport(
+            udp,
+            rng=RandomSource(seed=self.seed).spawn(f"wire-{name}"),
+            **FAULTS,
+        )
+        config = self.config.replace(keys=self.keys[name])
+        if self.data_root is not None:
+            config = config.replace(data_dir=str(self.data_root / name))
+        node = await create_node(
+            name, config, transport=transport,
+            on_delivery=self._on_delivery(name),
+        )
+        self.nodes[name] = node
+        self.addresses[name] = udp.local_address
+        for other, address in self.addresses.items():
+            if other != name:
+                node.add_peer(address)
+                self.nodes[other].add_peer(udp.local_address)
+        return node
+
+    async def broadcast(self, name):
+        node = self.nodes[name]
+        message_id = (name, node.endpoint.clock.send_count + 1)
+        self.oracle.on_send(
+            name,
+            message_id,
+            now=asyncio.get_running_loop().time(),
+            fanout=len(self.names) - 1,
+        )
+        await node.broadcast(message_id)
+        self.sent.append(message_id)
+
+    async def crash(self, name):
+        node = self.nodes.pop(name)
+        await node.close()
+
+    async def restart(self, name):
+        node = await self.boot(name, port=self.addresses[name][1])
+        assert node.recovered is not None, f"{name} recovered nothing"
+        return node
+
+    def converged(self):
+        expected = len(self.sent) * (len(self.names) - 1)
+        return sum(len(order) for order in self.order.values()) == expected
+
+    def merged_stats(self):
+        merged = TransportStats()
+        for node in self.nodes.values():
+            merged = merged.merge(node.transport_stats())
+        return merged
+
+    async def close(self):
+        for node in self.nodes.values():
+            await node.close()
+
+    # ------------------------------------------------------------------
+    # the shared observational assertions
+
+    def assert_observations(self):
+        assert self.converged(), (
+            f"no convergence: sent={len(self.sent)}, "
+            f"delivered={ {n: len(o) for n, o in self.order.items()} }"
+        )
+        assert not self.violations, f"causal violations: {self.violations}"
+        expected = set(self.sent)
+        for name, order in self.order.items():
+            own = {m for m in expected if m[0] == name}
+            assert set(order) == expected - own, (
+                f"{name} delivered a different message set"
+            )
+            last = {}
+            for sender, seq in order:
+                if sender in last:
+                    assert seq == last[sender] + 1, (
+                        f"{name} broke {sender}'s FIFO at seq {seq}"
+                    )
+                last[sender] = seq
+
+
+async def run_scripted(wire_kwargs, *, seed, rounds=8, data_root=None,
+                       crash_restart=False):
+    """The fixed script both wire configs execute."""
+    names = ("a", "b", "c")
+    exchange = Exchange(names, wire_kwargs, seed, data_root=data_root)
+    for name in names:
+        await exchange.boot(name)
+
+    for _ in range(rounds):
+        for name in names:
+            await exchange.broadcast(name)
+        await asyncio.sleep(0.03)
+
+    if crash_restart:
+        await exchange.crash("b")
+        for _ in range(3):
+            for name in ("a", "c"):
+                await exchange.broadcast(name)
+            await asyncio.sleep(0.05)
+        await exchange.restart("b")
+        for name in names:
+            await exchange.broadcast(name)
+
+    assert await wait_for(exchange.converged), (
+        f"no convergence: sent={len(exchange.sent)}, "
+        f"delivered={ {n: len(o) for n, o in exchange.order.items()} }"
+    )
+    exchange.assert_observations()
+    stats = exchange.merged_stats()
+    await exchange.close()
+    return exchange, stats
+
+
+def assert_wire_shapes(legacy_stats, batched_stats):
+    """The two runs really exercised different wires."""
+    assert legacy_stats.batches_sent == 0
+    assert legacy_stats.delta_sent == 0
+    assert legacy_stats.acks_piggybacked == 0
+    assert batched_stats.batches_sent > 0, "batched run never coalesced"
+    assert batched_stats.delta_sent > 0, "batched run never sent a delta"
+
+
+class TestObservationalEquivalence:
+    def test_lossy_multiparty_exchange(self):
+        """Drops + dups + reorders: both wires deliver the same message
+        sets, in per-sender FIFO order, with zero oracle violations."""
+
+        async def scenario():
+            legacy, legacy_stats = await run_scripted(LEGACY, seed=31)
+            batched, batched_stats = await run_scripted(BATCHED, seed=31)
+            assert_wire_shapes(legacy_stats, batched_stats)
+            for name in legacy.order:
+                assert set(legacy.order[name]) == set(batched.order[name])
+
+        asyncio.run(scenario())
+
+    def test_crash_restart(self, tmp_path):
+        """A journaled crash/restart mid-stream: both wires converge to
+        the same delivered sets; the restarted node's delta references
+        survive (batched) or never existed (legacy) — either way the
+        application can't tell the wires apart."""
+
+        async def scenario():
+            legacy, legacy_stats = await run_scripted(
+                LEGACY, seed=47, data_root=tmp_path / "legacy",
+                crash_restart=True,
+            )
+            batched, batched_stats = await run_scripted(
+                BATCHED, seed=47, data_root=tmp_path / "batched",
+                crash_restart=True,
+            )
+            assert_wire_shapes(legacy_stats, batched_stats)
+            for name in legacy.order:
+                assert set(legacy.order[name]) == set(batched.order[name])
+
+        asyncio.run(scenario())
+
+    def test_single_sender_total_order_is_identical(self):
+        """With one sender the delivery order is fully determined (seq
+        order), so both wires must produce *identical* sequences at
+        every receiver, whatever the datagram schedule did."""
+
+        async def scenario():
+            orders = {}
+            for label, wire in (("legacy", LEGACY), ("batched", BATCHED)):
+                names = ("tx", "rx1", "rx2")
+                exchange = Exchange(names, wire, seed=59)
+                for name in names:
+                    await exchange.boot(name)
+                for _ in range(20):
+                    await exchange.broadcast("tx")
+                assert await wait_for(exchange.converged)
+                exchange.assert_observations()
+                orders[label] = {
+                    name: list(exchange.order[name]) for name in ("rx1", "rx2")
+                }
+                await exchange.close()
+            assert orders["legacy"] == orders["batched"]
+            for order in orders["batched"].values():
+                assert order == [("tx", i) for i in range(1, 21)]
+
+        asyncio.run(scenario())
