@@ -1,0 +1,159 @@
+"""Metered chaos soak: four lossy UDP nodes exporting metrics JSONL.
+
+The observability acceptance scenario, runnable standalone and in CI's
+bench-smoke job: four real ``create_node()`` participants under 20%
+datagram loss (plus duplication and reordering) broadcast on disjoint
+key sets until full convergence, each exporting periodic registry
+snapshots to ``results/metered_soak/<name>.metrics.jsonl``.  The script
+then merges the per-node exports fleet-wide and **fails (exit 1)** if
+the pipeline was dead anywhere:
+
+* ``repro_detector_checks_total`` must be nonzero (the alert pipeline
+  ran on every delivery);
+* the wire counters must show real traffic and real repair
+  (``datagrams_sent``, ``retransmits``);
+* the pending-depth gauge must have been exported;
+* the delivery-latency histogram must have observed every delivery.
+
+The merged snapshot is written to ``results/metered_soak/merged.json``
+and the JSONL files are what CI uploads as the run artifact.  Render
+them interactively with ``python -m repro stats results/metered_soak/*.jsonl``.
+"""
+
+import argparse
+import asyncio
+import json
+import pathlib
+import shutil
+import sys
+
+from repro.api import NodeConfig, create_node
+from repro.analysis.tables import render_table
+from repro.net import FaultyTransport, UdpTransport
+from repro.obs import Histogram, last_snapshot, merge_snapshots
+from repro.util.rng import RandomSource
+
+from _common import RESULTS_DIR
+
+NAMES = ("a", "b", "c", "d")
+FAULTS = dict(drop_rate=0.20, duplicate_rate=0.10, reorder_rate=0.10)
+
+
+async def wait_for(predicate, timeout=60.0, interval=0.01):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while asyncio.get_running_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return False
+
+
+async def run_soak(out_dir, rounds):
+    config = NodeConfig(
+        r=64, k=3, ack_timeout=0.02, anti_entropy_interval=0.1,
+        heartbeat_interval=0.05, quarantine_after=1.0,
+        metrics_interval=0.2,
+    )
+    keys = {name: tuple(range(3 * i, 3 * i + 3)) for i, name in enumerate(NAMES)}
+    nodes = {}
+    for name in NAMES:
+        udp = await UdpTransport.create()
+        transport = FaultyTransport(
+            udp, rng=RandomSource(seed=13).spawn(f"soak-{name}"), **FAULTS
+        )
+        nodes[name] = await create_node(
+            name,
+            config.replace(
+                keys=keys[name],
+                metrics_path=str(out_dir / f"{name}.metrics.jsonl"),
+            ),
+            transport=transport,
+        )
+    for name, node in nodes.items():
+        for other in NAMES:
+            if other != name:
+                node.add_peer(nodes[other].local_address)
+
+    sent = 0
+    for _ in range(rounds):
+        for node in nodes.values():
+            await node.broadcast(("payload", sent))
+            sent += 1
+        await asyncio.sleep(0.05)
+
+    def converged():
+        # delivered_payloads() includes a node's own broadcasts, so full
+        # convergence is every node holding every message sent.
+        return all(
+            len(node.delivered_payloads()) == sent for node in nodes.values()
+        )
+
+    ok = await wait_for(converged)
+    for node in nodes.values():
+        await node.close()
+    if not ok:
+        delivered = {n: len(node.delivered_payloads()) for n, node in nodes.items()}
+        raise SystemExit(f"soak never converged: sent={sent}, delivered={delivered}")
+    return sent
+
+
+def check_merged(out_dir):
+    snapshots = []
+    for name in NAMES:
+        snapshot = last_snapshot(out_dir / f"{name}.metrics.jsonl")
+        if snapshot is None:
+            raise SystemExit(f"{name} exported no metrics snapshot")
+        snapshots.append(snapshot)
+    fleet = merge_snapshots(snapshots)
+    counters = fleet["counters"]
+    waits = Histogram.from_dict(fleet["histograms"]["repro_delivery_wait_seconds"])
+    gates = [
+        ("detector checks > 0", counters["repro_detector_checks_total"] > 0),
+        ("deliveries > 0", counters["repro_endpoint_delivered_total"] > 0),
+        ("datagrams sent > 0", counters["repro_wire_datagrams_sent_total"] > 0),
+        ("retransmits > 0 (loss was repaired)",
+         counters["repro_wire_retransmits_total"] > 0),
+        ("pending-depth gauge exported", "repro_pending_depth" in fleet["gauges"]),
+        ("delivery-wait histogram populated", waits.count > 0),
+    ]
+    failed = [label for label, passed in gates if not passed]
+    rows = [
+        ["deliveries", counters["repro_endpoint_delivered_total"]],
+        ["detector checks", counters["repro_detector_checks_total"]],
+        ["detector alerts", counters["repro_detector_alerts_total"]],
+        ["datagrams sent", counters["repro_wire_datagrams_sent_total"]],
+        ["retransmits", counters["repro_wire_retransmits_total"]],
+        ["delivery wait p95 (s)", f"{waits.quantile(0.95):.4f}"],
+        ["delivery wait mean (s)", f"{waits.mean:.4f}"],
+    ]
+    print(render_table(["fleet metric", "value"], rows, title="metered soak"))
+    with open(out_dir / "merged.json", "w", encoding="utf-8") as handle:
+        json.dump(fleet, handle, indent=2, sort_keys=True)
+    if failed:
+        for label in failed:
+            print(f"GATE FAILED: {label}", file=sys.stderr)
+        return 1
+    print("all observability gates passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=12,
+                        help="broadcast rounds (4 messages per round)")
+    parser.add_argument("--quick", action="store_true",
+                        help="short CI-sized run (6 rounds)")
+    parser.add_argument("--out-dir", default=str(RESULTS_DIR / "metered_soak"))
+    args = parser.parse_args()
+    out_dir = pathlib.Path(args.out_dir)
+    if out_dir.exists():
+        shutil.rmtree(out_dir)
+    out_dir.mkdir(parents=True)
+    rounds = 6 if args.quick else args.rounds
+    sent = asyncio.run(run_soak(out_dir, rounds))
+    print(f"converged: {sent} messages, metrics in {out_dir}/")
+    return check_merged(out_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

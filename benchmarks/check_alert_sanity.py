@@ -1,0 +1,100 @@
+"""CI sanity gate: the measured alert rate must track theory's P_err.
+
+Algorithm 4's alert fires exactly when a delivered message's sender
+entries were already covered by concurrent traffic — the event whose
+probability the paper's closed form ``P_err(R, K, X)`` estimates.  The
+two are not identical (the formula models a Poisson snapshot of X
+concurrent messages; the simulator has churn-free but bursty reality),
+and locally the observed ratio sits around 0.7–1.4x.  An order of
+magnitude is therefore a *sanity* gate, not a precision claim: it
+catches the failure modes that matter — a dead alert pipeline
+(rate ~ 0 while theory predicts ~0.2) or a detector firing on
+everything — without flaking on statistics.
+
+The run exports its metrics snapshot as JSONL (the same format the live
+runtime writes) and the gate reads the alert rate back **from the
+export**, so this also end-to-end-checks the sim metrics pipeline:
+observe → registry → JSONL → reader.
+
+Exit 0 when ``p_err/tolerance <= alert_rate <= p_err*tolerance``,
+exit 1 otherwise.
+"""
+
+import argparse
+import pathlib
+import sys
+import tempfile
+
+from repro.core.theory import p_error
+from repro.obs import last_snapshot
+from repro.sim import PoissonWorkload, SimulationConfig, run_simulation
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=30)
+    parser.add_argument("--r", type=int, default=40)
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--lambda-ms", type=float, default=250.0)
+    parser.add_argument("--duration-ms", type=float, default=12_000.0)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--tolerance", type=float, default=10.0,
+                        help="allowed multiplicative deviation either way")
+    parser.add_argument("--metrics-path", default=None,
+                        help="where to write the JSONL export "
+                             "(default: a temp file)")
+    args = parser.parse_args()
+
+    if args.metrics_path is None:
+        metrics_path = pathlib.Path(tempfile.mkdtemp()) / "sim.metrics.jsonl"
+    else:
+        metrics_path = pathlib.Path(args.metrics_path)
+        if metrics_path.exists():
+            metrics_path.unlink()
+
+    config = SimulationConfig(
+        n_nodes=args.nodes, r=args.r, k=args.k,
+        workload=PoissonWorkload(args.lambda_ms),
+        duration_ms=args.duration_ms, seed=args.seed,
+        detector="basic", metrics_path=str(metrics_path),
+    )
+    result = run_simulation(config)
+
+    snapshot = last_snapshot(metrics_path)
+    if snapshot is None:
+        print("FAIL: simulation exported no metrics snapshot", file=sys.stderr)
+        return 1
+    alert_rate = snapshot["gauges"]["repro_sim_alert_rate"]
+    if alert_rate != result.alerts.alert_rate:
+        print(
+            f"FAIL: exported alert rate {alert_rate} != in-memory "
+            f"{result.alerts.alert_rate} (the export path corrupted it)",
+            file=sys.stderr,
+        )
+        return 1
+
+    x = result.measured_concurrency
+    predicted = p_error(args.r, args.k, x)
+    print(f"measured:  X={x:.2f}  alert_rate={alert_rate:.4e} "
+          f"({snapshot['counters']['repro_sim_alerts_total']:.0f} alerts / "
+          f"{snapshot['counters']['repro_sim_deliveries_total']:.0f} deliveries)")
+    print(f"predicted: P_err(R={args.r}, K={args.k}, X={x:.2f}) = {predicted:.4e}")
+    if predicted <= 0:
+        print("FAIL: theory predicts a zero error rate; the gate cannot "
+              "calibrate — choose a denser configuration", file=sys.stderr)
+        return 1
+    ratio = alert_rate / predicted
+    print(f"ratio: {ratio:.2f}x (tolerance {args.tolerance:.0f}x either way)")
+    if not (1.0 / args.tolerance <= ratio <= args.tolerance):
+        print(
+            f"FAIL: alert rate deviates {ratio:.2f}x from theory — the "
+            f"alert pipeline is broken or the detector misfires",
+            file=sys.stderr,
+        )
+        return 1
+    print("alert-rate sanity gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

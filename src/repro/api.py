@@ -132,6 +132,21 @@ class NodeConfig:
         quarantine_after: silence after which a peer is quarantined
             (retransmissions pause, broadcasts skip it) until it is
             heard from again.
+
+    Observability (used by :func:`create_node`):
+
+    Attributes:
+        detector_window: ``detector="refined"`` only — retain delivered
+            messages in the recent list L for this many seconds (the
+            paper recommends the order of the propagation time);
+            ``None`` keeps L bounded by count alone.
+        metrics_path: append one metrics-registry snapshot per
+            ``metrics_interval`` seconds to this JSONL file (plus a
+            final line on close); ``None`` disables the exporter.
+        metrics_interval: seconds between JSONL export lines.
+        metrics_port: serve Prometheus text at
+            ``http://127.0.0.1:<port>/metrics`` (0 picks an ephemeral
+            port); ``None`` disables the endpoint.
     """
 
     r: int = 128
@@ -162,6 +177,10 @@ class NodeConfig:
     journal_fsync: bool = False
     heartbeat_interval: float = 0.0
     quarantine_after: float = 2.0
+    detector_window: Optional[float] = None
+    metrics_path: Optional[str] = None
+    metrics_interval: float = 1.0
+    metrics_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -201,6 +220,18 @@ class NodeConfig:
         if self.heartbeat_interval < 0:
             raise ConfigurationError(
                 f"heartbeat_interval must be >= 0, got {self.heartbeat_interval}"
+            )
+        if self.detector_window is not None and self.detector_window <= 0:
+            raise ConfigurationError(
+                f"detector_window must be > 0, got {self.detector_window}"
+            )
+        if self.metrics_interval <= 0:
+            raise ConfigurationError(
+                f"metrics_interval must be > 0, got {self.metrics_interval}"
+            )
+        if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
+            raise ConfigurationError(
+                f"metrics_port must lie in [0, 65535], got {self.metrics_port}"
             )
         # Fails fast on bad reliability knobs (the session re-checks).
         self.retransmit_policy()
@@ -292,7 +323,7 @@ def create_detector(config: NodeConfig) -> DeliveryErrorDetector:
         return NullDetector()
     if config.detector == "basic":
         return BasicAlertDetector()
-    return RefinedAlertDetector()
+    return RefinedAlertDetector(window=config.detector_window)
 
 
 def create_endpoint(
@@ -383,6 +414,9 @@ async def create_node(
         journal=journal,
         liveness=liveness,
         wire_delta=config.wire_delta,
+        metrics_path=config.metrics_path,
+        metrics_interval=config.metrics_interval,
+        metrics_port=config.metrics_port,
     )
     if start:
         await node.start()

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the common workflows without writing code:
+Six subcommands cover the common workflows without writing code:
 
 * ``simulate``  — run one experiment and print the measurements;
 * ``sweep``     — sweep K, λ, or N and print the resulting series;
@@ -8,7 +8,9 @@ Five subcommands cover the common workflows without writing code:
   timestamp byte budget, pick R and K and predict the error;
 * ``theory``    — print the closed-form P_err(K) curve for an (R, X);
 * ``node``      — run a real networked node (reliable UDP runtime),
-  assembled by the :mod:`repro.api` factory.
+  assembled by the :mod:`repro.api` factory;
+* ``stats``     — render metrics JSONL exports (from ``node
+  --metrics-path``, the simulator, or the metered soak) as tables.
 
 Every command prints plain text; ``simulate --json`` emits a
 machine-readable result instead.
@@ -55,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = commands.add_parser("simulate", help="run one simulated experiment")
     _add_simulation_arguments(simulate)
     simulate.add_argument("--json", action="store_true", help="emit JSON")
+    simulate.add_argument(
+        "--metrics-path", default=None, metavar="FILE",
+        help="append one end-of-run metrics snapshot (JSONL) to FILE",
+    )
 
     sweep = commands.add_parser("sweep", help="sweep one parameter")
     _add_simulation_arguments(sweep)
@@ -146,6 +152,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="always send full timestamp encodings (disable the "
              "delta-compressed wire path)",
     )
+    node.add_argument(
+        "--metrics-path", default=None, metavar="FILE",
+        help="append periodic metrics snapshots (JSONL) to FILE; "
+             "render later with `repro stats FILE`",
+    )
+    node.add_argument(
+        "--metrics-interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between JSONL snapshots",
+    )
+    node.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus text metrics on http://127.0.0.1:PORT/metrics "
+             "(0 picks a free port)",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="render a metrics JSONL export as tables"
+    )
+    stats.add_argument(
+        "paths", nargs="+", metavar="FILE",
+        help="metrics JSONL file(s); several files (e.g. one per node) "
+             "are merged into one fleet-wide view",
+    )
+    stats.add_argument("--json", action="store_true", help="emit the snapshot as JSON")
+    stats.add_argument(
+        "--prometheus", action="store_true",
+        help="emit Prometheus text exposition format instead of tables",
+    )
 
     return parser
 
@@ -217,6 +251,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         duration_ms=args.duration_ms,
         churn=churn,
         seed=args.seed,
+        metrics_path=getattr(args, "metrics_path", None),
     )
 
 
@@ -330,6 +365,9 @@ def _command_node(args: argparse.Namespace) -> int:
         coalesce_mtu=args.coalesce_mtu,
         ack_delay=args.ack_delay,
         wire_delta=not args.no_wire_delta,
+        metrics_path=args.metrics_path,
+        metrics_interval=args.metrics_interval,
+        metrics_port=args.metrics_port,
     )
 
     async def run() -> int:
@@ -350,7 +388,12 @@ def _command_node(args: argparse.Namespace) -> int:
               f"as {args.id!r} (R={config.r}, K={config.k}, {config.scheme})")
         if node.recovered is not None:
             print(f"recovered journal: send_seq={node.recovered.send_seq} "
-                  f"({node.recovered.wal_records} WAL records replayed)")
+                  f"({node.recovered.wal_records} WAL records replayed, "
+                  f"detector checks={node.recovered.detector_checks} "
+                  f"alerts={node.recovered.detector_alerts})")
+        if node.metrics_server is not None:
+            print(f"metrics: http://{node.metrics_server.host}:"
+                  f"{node.metrics_server.port}/metrics")
         for peer in peer_addresses:
             node.add_peer(peer)
         try:
@@ -359,6 +402,14 @@ def _command_node(args: argparse.Namespace) -> int:
                 await asyncio.sleep(args.interval)
             await asyncio.sleep(args.duration)
         finally:
+            node_stats = node.stats()
+            detector = node_stats.detector
+            print(
+                f"delivered={node_stats.endpoint.delivered} "
+                f"pending={node_stats.pending} "
+                f"detector: checks={detector.checks} alerts={detector.alerts} "
+                f"alert_rate={detector.alert_rate:.3e}"
+            )
             stats = node.transport_stats()
             print(
                 f"sent={stats.data_sent} received={stats.data_received} "
@@ -387,12 +438,75 @@ def _command_node(args: argparse.Namespace) -> int:
     return asyncio.run(run())
 
 
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.obs import merge_snapshots, render_prometheus
+    from repro.obs.registry import Histogram
+    from repro.obs.export import last_snapshot
+
+    snapshots = []
+    for path in args.paths:
+        try:
+            snapshot = last_snapshot(path)
+        except OSError as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return 1
+        if snapshot is None:
+            print(f"no complete snapshot in {path}", file=sys.stderr)
+            return 1
+        snapshots.append(snapshot)
+    merged = snapshots[0] if len(snapshots) == 1 else merge_snapshots(snapshots)
+
+    if args.json:
+        print(json.dumps(merged, indent=2, sort_keys=True))
+        return 0
+    if args.prometheus:
+        sys.stdout.write(render_prometheus(merged))
+        return 0
+
+    labels = ", ".join(
+        f"{key}={value}" for key, value in sorted(merged.get("labels", {}).items())
+    )
+    source = f"{len(args.paths)} file(s)" if len(args.paths) > 1 else args.paths[0]
+    header = f"metrics from {source}"
+    if labels:
+        header += f"  [{labels}]"
+    if "ts" in merged:
+        header += f"  (ts={merged['ts']:.3f})"
+    print(header)
+
+    counters = merged.get("counters", {})
+    gauges = merged.get("gauges", {})
+    scalar_rows = [[name, value] for name, value in counters.items()]
+    scalar_rows += [[name, value] for name, value in gauges.items()]
+    if scalar_rows:
+        print(render_table(["series", "value"], scalar_rows))
+    histograms = merged.get("histograms", {})
+    if histograms:
+        rows = []
+        for name, payload in histograms.items():
+            histogram = Histogram.from_dict(payload)
+            rows.append([
+                name,
+                histogram.count,
+                f"{histogram.mean:.4g}",
+                f"{histogram.quantile(0.50):.4g}",
+                f"{histogram.quantile(0.95):.4g}",
+                f"{histogram.quantile(0.99):.4g}",
+            ])
+        print(render_table(
+            ["histogram", "count", "mean", "p50", "p95", "p99"], rows,
+            title="quantiles are bucket-resolution estimates",
+        ))
+    return 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "sweep": _command_sweep,
     "dimension": _command_dimension,
     "theory": _command_theory,
     "node": _command_node,
+    "stats": _command_stats,
 }
 
 

@@ -165,6 +165,7 @@ class RefinedAlertDetector(DeliveryErrorDetector):
         self._max_entries = max_entries
         self._strict = strict_domination
         self._recent: Deque[_RecentEntry] = deque()
+        self.evictions = 0  # entries aged out of L by the time window
 
     @property
     def recent_size(self) -> int:
@@ -183,6 +184,7 @@ class RefinedAlertDetector(DeliveryErrorDetector):
         cutoff = now - self._window
         while self._recent and self._recent[0].time < cutoff:
             self._recent.popleft()
+            self.evictions += 1
 
     def _evaluate(self, clock: EntryVectorClock, timestamp: Timestamp, now: float) -> bool:
         self._evict_old(now)

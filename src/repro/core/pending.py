@@ -92,6 +92,13 @@ class PendingBuffer:
         self._waiting: List[Set[int]] = [set() for _ in range(r)]
         self._count = 0
         self._arrival_counter = 0
+        # Plain ints (no obs dependency): slots examined by the wakeup
+        # index, and the subset that was still blocked when rechecked.
+        # The spurious/total ratio is the index's precision — the price
+        # of registering messages under a (safe) superset of their
+        # unsatisfied entries.
+        self.wakeups = 0
+        self.spurious_wakeups = 0
 
     def __len__(self) -> int:
         return self._count
@@ -197,6 +204,7 @@ class PendingBuffer:
         delivered = 0
         wave = self._collect(touched_keys)
         while wave:
+            self.wakeups += len(wave)
             slots = np.fromiter(wave, dtype=np.intp, count=len(wave))
             deficits = self._adjusted[slots] > local_vector
             blocked = deficits.any(axis=1)
@@ -206,6 +214,7 @@ class PendingBuffer:
             for position, slot in enumerate(slots):
                 slot = int(slot)
                 if blocked[position]:
+                    self.spurious_wakeups += 1
                     self._reindex(slot, deficits[position])
                 else:
                     heap.append((self._arrival[slot], slot))
@@ -219,8 +228,10 @@ class PendingBuffer:
                 for woken in self._collect(keys):
                     if woken in scheduled or woken in next_wave:
                         continue
+                    self.wakeups += 1
                     deficit = self._adjusted[woken] > local_vector
                     if deficit.any():
+                        self.spurious_wakeups += 1
                         self._reindex(woken, deficit)
                     elif self._arrival[woken] > arrival:
                         # The naive pass would reach this queue position

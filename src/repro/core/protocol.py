@@ -26,12 +26,16 @@ broadcast semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.clocks import EntryVectorClock, Timestamp
 from repro.core.detector import DeliveryErrorDetector, NullDetector
 from repro.core.errors import ConfigurationError
 from repro.core.pending import Frontiers, PendingBuffer, SeenFilter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs is optional)
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.trace import TraceRing
 
 __all__ = [
     "Message",
@@ -162,6 +166,62 @@ class CausalBroadcastEndpoint:
         )
         self._seen = SeenFilter()
         self.stats = EndpointStats()
+        # Observability is opt-in: the hot path pays one None check until
+        # bind_metrics() wires a registry in.
+        self._wait_histogram = None
+        self._trace: Optional["TraceRing"] = None
+        self._arrival_time: Dict[MessageId, float] = {}
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def bind_metrics(
+        self,
+        registry: "MetricsRegistry",
+        trace: Optional["TraceRing"] = None,
+    ) -> None:
+        """Attach a metrics registry (and optionally a trace ring).
+
+        Counters stay pull-style: :class:`EndpointStats` and the
+        detector's :class:`~repro.core.detector.DetectorStats` remain
+        the source of truth, synced into registry instruments by a
+        collector at snapshot time — the delivery hot path is untouched.
+        Only the delivery-wait histogram is push-style (a distribution
+        cannot be reconstructed after the fact), which costs one dict
+        pop and one bisect per remote delivery.
+        """
+        self._wait_histogram = registry.histogram("repro_delivery_wait_seconds")
+        self._trace = trace
+        sent = registry.counter("repro_endpoint_sent_total")
+        received = registry.counter("repro_endpoint_received_total")
+        duplicates = registry.counter("repro_endpoint_duplicates_total")
+        delivered = registry.counter("repro_endpoint_delivered_total")
+        alerts = registry.counter("repro_endpoint_alerts_total")
+        checks = registry.counter("repro_detector_checks_total")
+        detector_alerts = registry.counter("repro_detector_alerts_total")
+        depth = registry.gauge("repro_pending_depth")
+        peak = registry.gauge("repro_pending_peak")
+        recent = registry.gauge("repro_detector_recent_size")
+        wakeups = registry.counter("repro_pending_wakeups_total")
+        spurious = registry.counter("repro_pending_spurious_wakeups_total")
+
+        def collect() -> None:
+            sent.set(self.stats.sent)
+            received.set(self.stats.received)
+            duplicates.set(self.stats.duplicates)
+            delivered.set(self.stats.delivered)
+            alerts.set(self.stats.alerts)
+            checks.set(self._detector.stats.checks)
+            detector_alerts.set(self._detector.stats.alerts)
+            depth.set(self.pending_count)
+            peak.set(self.stats.pending_peak)
+            recent.set(getattr(self._detector, "recent_size", 0))
+            if self._buffer is not None:
+                wakeups.set(self._buffer.wakeups)
+                spurious.set(self._buffer.spurious_wakeups)
+
+        registry.register_collector(collect)
 
     # ------------------------------------------------------------------
     # introspection
@@ -286,6 +346,8 @@ class CausalBroadcastEndpoint:
             else:
                 delivered.extend(self._drain_pending(now))
         else:
+            if self._wait_histogram is not None:
+                self._arrival_time[message.message_id] = now
             if self._buffer is not None:
                 self._buffer.add(
                     message, message.timestamp.adjusted, self._clock.vector_view()
@@ -359,6 +421,16 @@ class CausalBroadcastEndpoint:
         self.stats.delivered += 1
         if alert:
             self.stats.alerts += 1
+        if self._wait_histogram is not None:
+            # Wait = time spent failing the delivery condition; a message
+            # delivered on arrival waited zero.
+            arrived = self._arrival_time.pop(message.message_id, now)
+            self._wait_histogram.observe(max(0.0, now - arrived))
+            if alert and self._trace is not None:
+                self._trace.emit(
+                    "alert", ts=now,
+                    sender=str(message.sender), seq=message.seq,
+                )
         self._emit(record)
         return record
 

@@ -43,6 +43,7 @@ import base64
 import binascii
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -106,6 +107,11 @@ class RecoveredState:
             delta-encoded messages without waiting for a full-encoding
             resync.
         wal_records: how many WAL records were replayed (load metric).
+        detector_checks / detector_alerts: the alert detector's lifetime
+            counters at the crash (snapshot baseline + one check per
+            replayed delivery, alerts from the records' flags), so the
+            alert *rate* survives restart accounting instead of
+            resetting to a misleading zero.
     """
 
     vector: Tuple[int, ...]
@@ -117,6 +123,8 @@ class RecoveredState:
         Address, Dict[str, Tuple[int, Tuple[int, ...], Tuple[int, ...]]]
     ] = field(default_factory=dict)
     wal_records: int = 0
+    detector_checks: int = 0
+    detector_alerts: int = 0
 
 
 class _Frontier:
@@ -207,6 +215,36 @@ class NodeJournal:
             Address, Dict[str, Tuple[int, Tuple[int, ...], Tuple[int, ...]]]
         ] = {}
         self.snapshots_written = 0
+        self.appends = 0
+        self.replayed_records = 0
+        self.replay_seconds = 0.0
+        self._detector_checks = 0
+        self._detector_alerts = 0
+        self._append_hist = None  # set by bind_metrics()
+        self._snapshot_hist = None
+
+    def bind_metrics(self, registry) -> None:
+        """Attach a metrics registry (``repro.obs``).
+
+        Append and snapshot latencies are push histograms (the write
+        path's fsync cost is exactly the distribution worth watching);
+        the rest are pull counters synced at snapshot time.  Call before
+        :meth:`open` to have the replay timing captured too.
+        """
+        self._append_hist = registry.histogram("repro_journal_append_seconds")
+        self._snapshot_hist = registry.histogram("repro_journal_snapshot_seconds")
+        appends = registry.counter("repro_journal_appends_total")
+        snapshots = registry.counter("repro_journal_snapshots_total")
+        replayed = registry.counter("repro_journal_replayed_records_total")
+        replay_seconds = registry.gauge("repro_journal_replay_seconds")
+
+        def collect() -> None:
+            appends.set(self.appends)
+            snapshots.set(self.snapshots_written)
+            replayed.set(self.replayed_records)
+            replay_seconds.set(self.replay_seconds)
+
+        registry.register_collector(collect)
 
     # ------------------------------------------------------------------
     # recovery
@@ -235,11 +273,14 @@ class NodeJournal:
         vector = [0] * self._r
         send_seq = 0
         links: Dict[Address, LinkState] = {}
+        replay_start = time.perf_counter()
         had_snapshot = self._load_snapshot(vector, links)
         if had_snapshot:
             send_seq = self._snapshot_send_seq
         own_messages: Dict[int, bytes] = {}
         replayed = self._replay_wal(vector, own_messages)
+        self.replay_seconds = time.perf_counter() - replay_start
+        self.replayed_records = replayed
         if replayed:
             send_seq = max(send_seq, self._max_replayed_send)
 
@@ -273,6 +314,8 @@ class NodeJournal:
             own_messages=own_messages,
             delta_refs=self._delta_refs,
             wal_records=replayed,
+            detector_checks=self._detector_checks,
+            detector_alerts=self._detector_alerts,
         )
 
     def _load_snapshot(self, vector: List[int], links: Dict[Address, LinkState]) -> bool:
@@ -303,6 +346,10 @@ class NodeJournal:
                 rx_cumulative=int(state["rx"]),
                 rx_out_of_order=tuple(int(s) for s in state["ooo"]),
             )
+        # Absent in pre-observability snapshots: .get keeps them loadable.
+        checks, alerts = snap.get("detector", (0, 0))
+        self._detector_checks = int(checks)
+        self._detector_alerts = int(alerts)
         # Absent in pre-delta snapshots: .get keeps them loadable.
         for address_json, senders in snap.get("delta_refs", []):
             self._delta_refs[_address_from_json(address_json)] = {
@@ -377,6 +424,11 @@ class NodeJournal:
             for key in record["k"]:
                 vector[int(key)] += 1
             self._frontier(sender).add(seq)
+            # Every journalled remote delivery went through exactly one
+            # detector check; the "a" flag marks the ones that alerted
+            # (absent in pre-observability records).
+            self._detector_checks += 1
+            self._detector_alerts += int(record.get("a", 0))
             return 1
         if kind == "lease":
             address = _address_from_json(record["a"])
@@ -407,11 +459,23 @@ class NodeJournal:
         self._append({"t": "send", "q": seq,
                       "d": base64.b64encode(data).decode("ascii")})
 
-    def record_delivery(self, sender: str, seq: int, keys: Sequence[int]) -> None:
-        """Log one remote delivery with the sender's entry set."""
+    def record_delivery(
+        self, sender: str, seq: int, keys: Sequence[int], alert: bool = False
+    ) -> None:
+        """Log one remote delivery with the sender's entry set.
+
+        ``alert`` marks deliveries the detector flagged, so restart
+        accounting reconstructs the alert rate (the flag is written only
+        when set, keeping the common record compact).
+        """
         self._frontier(str(sender)).add(seq)
-        self._append({"t": "dlv", "s": str(sender), "q": seq,
-                      "k": [int(k) for k in keys]})
+        self._detector_checks += 1
+        self._detector_alerts += int(alert)
+        record = {"t": "dlv", "s": str(sender), "q": seq,
+                  "k": [int(k) for k in keys]}
+        if alert:
+            record["a"] = 1
+        self._append(record)
 
     def ensure_lease(self, address: Address, seq: int) -> None:
         """Reserve link seqs for ``address`` up to at least ``seq``.
@@ -435,10 +499,14 @@ class NodeJournal:
     def _append(self, record: dict, count: bool = True) -> None:
         if self._wal is None:
             raise ConfigurationError("journal is not open")
+        start = time.perf_counter() if self._append_hist is not None else 0.0
         self._wal.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._wal.flush()
         if self._fsync:
             os.fsync(self._wal.fileno())
+        self.appends += 1
+        if self._append_hist is not None:
+            self._append_hist.observe(time.perf_counter() - start)
         if count:
             self._records_since_snapshot += 1
 
@@ -459,6 +527,7 @@ class NodeJournal:
         delta_refs: Optional[
             Dict[Address, Dict[str, Tuple[int, Tuple[int, ...], Tuple[int, ...]]]]
         ] = None,
+        detector: Optional[Tuple[int, int]] = None,
     ) -> None:
         """Atomically persist the full state and truncate the WAL.
 
@@ -471,11 +540,17 @@ class NodeJournal:
             delta_refs: the node's newest per-(peer, sender) delta
                 reference ``(msg_seq, vector, sender_keys)``; optional
                 because only delta-enabled nodes have any.
+            detector: the live detector's ``(checks, alerts)`` lifetime
+                counters; becomes the baseline replay counts on top of.
         """
         if self._wal is None:
             raise ConfigurationError("journal is not open")
+        start = time.perf_counter() if self._snapshot_hist is not None else 0.0
         if delta_refs is not None:
             self._delta_refs = dict(delta_refs)
+        if detector is not None:
+            self._detector_checks = int(detector[0])
+            self._detector_alerts = int(detector[1])
         merged: Dict[Address, Tuple[int, int, Tuple[int, ...]]] = dict(links)
         for address, upper in self._leases.items():
             tx, rx, ooo = merged.get(address, (1, 0, ()))
@@ -505,6 +580,7 @@ class NodeJournal:
                 ]
                 for address, senders in self._delta_refs.items()
             ],
+            "detector": [self._detector_checks, self._detector_alerts],
         }
         tmp_path = self.snapshot_path + ".tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
@@ -520,6 +596,8 @@ class NodeJournal:
                       "k": list(self._own_keys)}, count=False)
         self._records_since_snapshot = 0
         self.snapshots_written += 1
+        if self._snapshot_hist is not None:
+            self._snapshot_hist.observe(time.perf_counter() - start)
 
     def delivered_frontiers(self) -> Frontiers:
         """Current per-sender delivery coverage (journal's view)."""

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -45,15 +46,16 @@ import numpy as np
 
 from repro.core.clocks import EntryVectorClock
 from repro.core.codec import MessageCodec
-from repro.core.detector import DeliveryErrorDetector
+from repro.core.detector import DeliveryErrorDetector, DetectorStats
 from repro.core.errors import ConfigurationError
-from repro.core.protocol import CausalBroadcastEndpoint, DeliveryRecord, Message
+from repro.core.protocol import CausalBroadcastEndpoint, DeliveryRecord, EndpointStats, Message
 from repro.net.journal import NodeJournal, RecoveredState
 from repro.net.liveness import LivenessPolicy, PeerLivenessMonitor
 from repro.net.peer import Transport
 from repro.net.session import ReliableSession, RetransmitPolicy, TransportStats
+from repro.obs import JsonlExporter, MetricsHttpServer, MetricsRegistry, TraceRing
 
-__all__ = ["StoreStats", "MessageStore", "ReliableCausalNode"]
+__all__ = ["StoreStats", "MessageStore", "NodeStats", "ReliableCausalNode"]
 
 logger = logging.getLogger(__name__)
 
@@ -68,6 +70,27 @@ class StoreStats:
 
     evictions: int = 0
     unservable_requests: int = 0
+
+
+@dataclass
+class NodeStats:
+    """One coherent snapshot of everything a node can report about itself.
+
+    The structured counterpart of the registry snapshot: typed stats
+    objects for programmatic use, plus the full registry ``snapshot``
+    dict (the JSONL/Prometheus shape) for export and rendering.
+    """
+
+    node_id: str
+    endpoint: EndpointStats
+    detector: DetectorStats
+    wire: TransportStats
+    store: StoreStats
+    pending: int
+    decode_errors: int
+    quarantines: int
+    resumes: int
+    snapshot: dict
 
 
 class MessageStore:
@@ -295,6 +318,18 @@ class ReliableCausalNode:
             acked own message (O(K) wire bytes instead of O(R)); False
             restores the always-full-vector PR-1 encoding.  Incoming
             deltas are decoded regardless of this knob.
+        metrics: the node's :class:`~repro.obs.MetricsRegistry`; created
+            automatically (with a ``node=<id>`` label) when not given —
+            every node is observable, the instruments cost nothing until
+            snapshotted.
+        trace: structured trace-event ring; created automatically.
+        metrics_path: when set, a background task appends one registry
+            snapshot per ``metrics_interval`` seconds to this JSONL
+            file (plus a final line on :meth:`close`).
+        metrics_interval: seconds between JSONL export lines.
+        metrics_port: when set, :meth:`start` serves Prometheus text at
+            ``http://127.0.0.1:<port>/metrics`` (0 = ephemeral; the
+            bound port is ``node.metrics_server.port``).
     """
 
     def __init__(
@@ -313,10 +348,19 @@ class ReliableCausalNode:
         journal: Optional[NodeJournal] = None,
         liveness: Optional[LivenessPolicy] = None,
         wire_delta: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRing] = None,
+        metrics_path: Optional[str] = None,
+        metrics_interval: float = 1.0,
+        metrics_port: Optional[int] = None,
     ) -> None:
         if anti_entropy_interval < 0:
             raise ConfigurationError(
                 f"anti_entropy_interval must be >= 0, got {anti_entropy_interval}"
+            )
+        if metrics_interval <= 0:
+            raise ConfigurationError(
+                f"metrics_interval must be > 0, got {metrics_interval}"
             )
         self._node_id = node_id
         self._codec = codec if codec is not None else MessageCodec()
@@ -344,11 +388,27 @@ class ReliableCausalNode:
         )
         self._liveness_policy = liveness
 
+        # Observability: every node owns a registry (collectors are free
+        # until snapshotted) and a trace ring; the exporter and HTTP
+        # endpoint are armed in start() when configured.
+        self.metrics = (
+            metrics if metrics is not None
+            else MetricsRegistry(labels={"node": str(node_id)})
+        )
+        self.trace = trace if trace is not None else TraceRing()
+        self._metrics_path = metrics_path
+        self._metrics_interval = metrics_interval
+        self._metrics_port = metrics_port
+        self._exporter: Optional[JsonlExporter] = None
+        self._export_task: Optional[asyncio.Task] = None
+        self.metrics_server: Optional[MetricsHttpServer] = None
+
         # Recovery runs strictly before the session exists: by the time
         # a datagram can arrive, the clock, duplicate filter, store
         # frontiers, and link seqs already reflect the pre-crash state.
         self.recovered: Optional[RecoveredState] = None
         if journal is not None:
+            journal.bind_metrics(self.metrics)  # before open(): times replay
             self.recovered = journal.open()
         if self.recovered is not None:
             clock.restore_state(self.recovered.vector, self.recovered.send_seq)
@@ -361,6 +421,7 @@ class ReliableCausalNode:
             max_pending=max_pending,
             engine=engine,
         )
+        self.endpoint.bind_metrics(self.metrics, self.trace)
         if self.recovered is not None:
             # The duplicate filter shares the journal's frontier shape, so
             # recovery adopts the coverage wholesale — O(senders) instead
@@ -369,6 +430,12 @@ class ReliableCausalNode:
             self.store.restore_frontiers(self.recovered.delivered)
             for seq, data in self.recovered.own_messages.items():
                 self.store.restore_message(str(node_id), seq, data)
+            # Restart accounting: a fresh detector resumes the crashed
+            # incarnation's lifetime counters, so the exported alert
+            # *rate* stays meaningful across restarts.
+            stats = self.endpoint.detector.stats
+            stats.checks += self.recovered.detector_checks
+            stats.alerts += self.recovered.detector_alerts
 
         self.session = ReliableSession(
             transport,
@@ -400,19 +467,63 @@ class ReliableCausalNode:
                         tuple(int(k) for k in keys),
                     )
         self._transport = transport
+        self.session.bind_metrics(self.metrics)
+        self._bind_node_metrics()
+
+    def _bind_node_metrics(self) -> None:
+        """Pull collector for the node-level tallies (store, liveness,
+        codec) — the structs stay authoritative, the registry mirrors."""
+        store_evictions = self.metrics.counter("repro_store_evictions_total")
+        store_unservable = self.metrics.counter("repro_store_unservable_total")
+        store_size = self.metrics.gauge("repro_store_size")
+        decode_errors = self.metrics.counter("repro_decode_errors_total")
+        quarantines = self.metrics.counter("repro_liveness_quarantines_total")
+        resumes = self.metrics.counter("repro_liveness_resumes_total")
+        suppressed = self.metrics.counter("repro_heartbeats_suppressed_total")
+
+        def collect() -> None:
+            store_evictions.set(self.store.stats.evictions)
+            store_unservable.set(self.store.stats.unservable_requests)
+            store_size.set(len(self.store))
+            decode_errors.set(self._decode_errors)
+            if self.liveness is not None:
+                quarantines.set(self.liveness.quarantines)
+                resumes.set(self.liveness.resumes)
+            suppressed.set(self._heartbeats_suppressed)
+
+        self.metrics.register_collector(collect)
+
+    def _now(self) -> float:
+        """Monotonic protocol time: the event-loop clock when one is
+        running (what every other timer in the stack uses), the system
+        monotonic clock otherwise (e.g. synchronous test drivers).
+        Overridable — the fake-clock regression tests monkeypatch it."""
+        try:
+            return asyncio.get_running_loop().time()
+        except RuntimeError:
+            return time.monotonic()
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
     async def start(self) -> "ReliableCausalNode":
-        """Start the retransmit timer, anti-entropy, and liveness loops."""
+        """Start the retransmit timer, anti-entropy, liveness, and
+        metrics-export loops (and the Prometheus endpoint, if any)."""
         self.session.start()
         loop = asyncio.get_running_loop()
         if self._anti_entropy_interval > 0 and self._anti_entropy_task is None:
             self._anti_entropy_task = loop.create_task(self._anti_entropy_loop())
         if self.liveness is not None and self._liveness_task is None:
             self._liveness_task = loop.create_task(self._liveness_loop())
+        if self._metrics_path is not None and self._exporter is None:
+            self._exporter = JsonlExporter(self._metrics_path)
+            self._export_task = loop.create_task(self._export_loop())
+        if self._metrics_port is not None and self.metrics_server is None:
+            self.metrics_server = MetricsHttpServer(
+                self.metrics, port=self._metrics_port
+            )
+            await self.metrics_server.start()
         return self
 
     async def close(self) -> None:
@@ -423,17 +534,33 @@ class ReliableCausalNode:
         close taking a different path would leave the crash path
         untested in production.
         """
-        for task in (self._anti_entropy_task, self._liveness_task):
+        for task in (self._anti_entropy_task, self._liveness_task,
+                     self._export_task):
             if task is not None:
                 task.cancel()
         self._anti_entropy_task = None
         self._liveness_task = None
+        self._export_task = None
         for task in list(self._heal_tasks):
             task.cancel()
         self._heal_tasks.clear()
+        if self.metrics_server is not None:
+            await self.metrics_server.close()
+            self.metrics_server = None
         await self.session.close()
         if self.journal is not None:
             self.journal.close()
+        if self._exporter is not None:
+            # One final line so even a run shorter than the export
+            # interval leaves a complete snapshot behind.
+            self._exporter.export(self.metrics.snapshot(), ts=self._now())
+            self._exporter.close()
+            self._exporter = None
+
+    async def _export_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._metrics_interval)
+            self._exporter.export(self.metrics.snapshot(), ts=self._now())
 
     # ------------------------------------------------------------------
     # membership
@@ -499,7 +626,10 @@ class ReliableCausalNode:
         Quarantined peers are skipped — their copy arrives through the
         anti-entropy exchange when they resume.
         """
-        message = self.endpoint.broadcast(payload)
+        # Real monotonic time, not the 0.0 default: the refined
+        # detector's recent-window eviction is keyed on it (a frozen
+        # clock silently disables Algorithm 5's time bound).
+        message = self.endpoint.broadcast(payload, now=self._now())
         data = self._codec.encode(message)
         self.store.add(str(message.sender), message.seq, data)
         await asyncio.gather(
@@ -553,7 +683,7 @@ class ReliableCausalNode:
             try:
                 sender, _seq, ref_seq = self._codec.delta_header(data)
             except Exception:
-                self._decode_errors += 1
+                self._note_decode_error(addr)
                 return
             entry = self._delta_rx.get(addr, {}).get(sender)
             ref_vector = entry.refs.get(ref_seq) if entry is not None else None
@@ -563,12 +693,16 @@ class ReliableCausalNode:
                 # alone — ask for an immediate anti-entropy exchange,
                 # which re-delivers it in the full encoding.
                 stats.delta_ref_misses += 1
+                self.trace.emit(
+                    "delta_ref_miss", ts=self._now(),
+                    peer=str(addr), sender=sender, ref_seq=ref_seq,
+                )
                 self._request_resync(addr)
                 return
             try:
                 message = self._codec.decode_delta(data, ref_vector, entry.keys)
             except Exception:
-                self._decode_errors += 1
+                self._note_decode_error(addr)
                 return
             stats.delta_received += 1
             # The store must hold the full encoding: anti-entropy serves
@@ -579,7 +713,7 @@ class ReliableCausalNode:
                 message = self._codec.decode(data)
             except Exception:
                 # A malformed datagram must never take the node down.
-                self._decode_errors += 1
+                self._note_decode_error(addr)
                 return
             stats.full_received += 1
             full = data
@@ -588,7 +722,15 @@ class ReliableCausalNode:
             message.timestamp.vector, message.timestamp.sender_keys,
         )
         self.store.add(str(message.sender), message.seq, full)
-        self.endpoint.on_receive(message)
+        # Every receive path funnels through here — direct sends,
+        # retransmissions, and anti-entropy pushes alike — so this one
+        # real timestamp covers them all (it used to default to 0.0,
+        # which froze the refined detector's eviction clock).
+        self.endpoint.on_receive(message, now=self._now())
+
+    def _note_decode_error(self, addr: Address) -> None:
+        self._decode_errors += 1
+        self.trace.emit("decode_error", ts=self._now(), peer=str(addr))
 
     def _record_ref(
         self,
@@ -664,6 +806,9 @@ class ReliableCausalNode:
             for address in self.liveness.sweep(loop.time()):
                 if address in self._peers:
                     self.session.quarantine(address)
+                    self.trace.emit(
+                        "quarantine", ts=loop.time(), peer=str(address)
+                    )
                 else:
                     # Activity from a non-member primed the monitor;
                     # nothing to pause for it.
@@ -678,6 +823,7 @@ class ReliableCausalNode:
             return
         if self.liveness.touch(address, now):
             self.session.resume(address)
+            self.trace.emit("resume", ts=now, peer=str(address))
             # Heal immediately rather than waiting for the next
             # anti-entropy round: exchange digests both ways.
             task = asyncio.get_running_loop().create_task(self._heal_peer(address))
@@ -703,14 +849,21 @@ class ReliableCausalNode:
                     str(message.sender),
                     message.seq,
                     message.timestamp.sender_keys,
+                    alert=record.alert,
                 )
             if self.journal.snapshot_due:
                 clock = self.endpoint.clock
+                detector_stats = self.endpoint.detector.stats
                 self.journal.write_snapshot(
                     clock.snapshot(),
                     clock.send_count,
                     self.session.link_states(),
                     delta_refs=self._delta_refs_snapshot(),
+                    detector=(detector_stats.checks, detector_stats.alerts),
+                )
+                self.trace.emit(
+                    "journal_snapshot", ts=self._now(),
+                    number=self.journal.snapshots_written,
                 )
         self._deliveries.append(record)
         if self._on_delivery is not None:
@@ -762,6 +915,21 @@ class ReliableCausalNode:
     def heartbeats_suppressed(self) -> int:
         """Heartbeat beacons skipped because the link had recent traffic."""
         return self._heartbeats_suppressed
+
+    def stats(self) -> NodeStats:
+        """One coherent :class:`NodeStats` snapshot of this node."""
+        return NodeStats(
+            node_id=str(self._node_id),
+            endpoint=self.endpoint.stats,
+            detector=self.endpoint.detector.stats,
+            wire=self.session.total_stats(),
+            store=self.store.stats,
+            pending=self.endpoint.pending_count,
+            decode_errors=self._decode_errors,
+            quarantines=self.liveness.quarantines if self.liveness else 0,
+            resumes=self.liveness.resumes if self.liveness else 0,
+            snapshot=self.metrics.snapshot(),
+        )
 
     def transport_stats(self, address: Optional[Address] = None) -> TransportStats:
         """Wire counters: one peer's, or all peers merged when ``None``."""

@@ -197,6 +197,10 @@ class TransportStats:
             triggers an anti-entropy resync that re-delivers them full.
         rtt: smoothed round-trip estimate in seconds (None until the
             first clean ack of a never-retransmitted frame).
+        rtt_samples: clean RTT samples folded into the estimate — the
+            weight of ``rtt`` when merging across peers.
+        rtt_min / rtt_max: extreme raw samples (None until the first),
+            so a merged view preserves the spread the mean hides.
     """
 
     data_sent: int = 0
@@ -228,13 +232,40 @@ class TransportStats:
     full_received: int = 0
     delta_ref_misses: int = 0
     rtt: Optional[float] = None
+    rtt_samples: int = 0
+    rtt_min: Optional[float] = None
+    rtt_max: Optional[float] = None
 
     def merge(self, other: "TransportStats") -> "TransportStats":
-        """Elementwise sum (RTT: average of known estimates), for totals."""
-        rtts = [r for r in (self.rtt, other.rtt) if r is not None]
-        merged = TransportStats(rtt=sum(rtts) / len(rtts) if rtts else None)
+        """Elementwise sum, for totals.
+
+        The merged ``rtt`` is the sample-count-weighted mean of the known
+        estimates: a peer whose estimate rests on one early ack must not
+        pull the aggregate as hard as a peer with thousands of samples
+        behind it (the unweighted average used to let one idle link skew
+        the fleet view).  An estimate that somehow exists with zero
+        recorded samples still counts with weight one rather than
+        vanishing.  ``rtt_min``/``rtt_max`` take the elementwise extreme
+        so the spread survives aggregation.
+        """
+        merged = TransportStats()
+        estimates = [
+            (estimate, max(samples, 1))
+            for estimate, samples in (
+                (self.rtt, self.rtt_samples),
+                (other.rtt, other.rtt_samples),
+            )
+            if estimate is not None
+        ]
+        if estimates:
+            weight = sum(samples for _, samples in estimates)
+            merged.rtt = sum(e * s for e, s in estimates) / weight
+        mins = [m for m in (self.rtt_min, other.rtt_min) if m is not None]
+        merged.rtt_min = min(mins) if mins else None
+        maxes = [m for m in (self.rtt_max, other.rtt_max) if m is not None]
+        merged.rtt_max = max(maxes) if maxes else None
         for stats_field in fields(TransportStats):
-            if stats_field.name == "rtt":
+            if stats_field.name in ("rtt", "rtt_min", "rtt_max"):
                 continue
             setattr(
                 merged,
@@ -303,6 +334,11 @@ class _PeerState:
             self.rttvar = (1 - _RTT_BETA) * self.rttvar + _RTT_BETA * abs(self.srtt - sample)
             self.srtt = (1 - _RTT_ALPHA) * self.srtt + _RTT_ALPHA * sample
         self.stats.rtt = self.srtt
+        self.stats.rtt_samples += 1
+        if self.stats.rtt_min is None or sample < self.stats.rtt_min:
+            self.stats.rtt_min = sample
+        if self.stats.rtt_max is None or sample > self.stats.rtt_max:
+            self.stats.rtt_max = sample
 
     def note_received(self, seq: int) -> bool:
         """Record an incoming DATA seq; True when it was new."""
@@ -374,6 +410,7 @@ class ReliableSession:
         self._tasks: Set[asyncio.Task] = set()
         self._closed = False
         self.frame_errors = 0
+        self._rtt_histogram = None  # set by bind_metrics()
         transport.set_receiver(self._handle_datagram)
 
     # ------------------------------------------------------------------
@@ -397,6 +434,40 @@ class ReliableSession:
             task.cancel()
         self._tasks.clear()
         await self._transport.close()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Attach a metrics registry (``repro.obs``).
+
+        Every integer field of :class:`TransportStats` becomes a
+        ``repro_wire_<field>_total`` counter, synced from
+        :meth:`total_stats` by a pull collector at snapshot time — the
+        per-datagram paths keep mutating the plain dataclass they always
+        mutated, and the registry mirrors it exactly (the differential
+        suite holds the two views equal).  The only push instrument is
+        the raw RTT-sample histogram, one observe per clean ack.
+        """
+        self._rtt_histogram = registry.histogram("repro_wire_rtt_seconds")
+        skip = ("rtt", "rtt_min", "rtt_max")
+        counters = {
+            stats_field.name: registry.counter(f"repro_wire_{stats_field.name}_total")
+            for stats_field in fields(TransportStats)
+            if stats_field.name not in skip
+        }
+        rtt_mean = registry.gauge("repro_wire_rtt_mean_seconds")
+        peer_count = registry.gauge("repro_wire_peers")
+
+        def collect() -> None:
+            total = self.total_stats()
+            for name, counter in counters.items():
+                counter.set(getattr(total, name))
+            rtt_mean.set(total.rtt if total.rtt is not None else 0.0)
+            peer_count.set(len(self._peers))
+
+        registry.register_collector(collect)
 
     # ------------------------------------------------------------------
     # introspection
@@ -799,7 +870,10 @@ class ReliableSession:
             if pending.sends == 1:
                 # Karn's rule: only never-retransmitted frames give a
                 # trustworthy RTT sample.
-                state.observe_rtt(now - pending.first_sent)
+                sample = now - pending.first_sent
+                state.observe_rtt(sample)
+                if self._rtt_histogram is not None:
+                    self._rtt_histogram.observe(sample)
         if len(state.unacked) < self._policy.send_buffer:
             state.space.set()
 

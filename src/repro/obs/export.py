@@ -1,0 +1,77 @@
+"""JSONL metrics export: one registry snapshot per line.
+
+The exporter is the durable half of the observability story: the HTTP
+endpoint answers "what is happening now", the JSONL file answers "what
+happened" — it is what the metered soak uploads from CI, what
+``repro stats`` renders, and what the alert-rate sanity gate reads.
+
+Each line is the :meth:`~repro.obs.registry.MetricsRegistry.snapshot`
+dict plus two timestamps: ``ts`` (the caller's monotonic clock, so
+intervals between lines are exact) and ``wall`` (Unix epoch seconds, so
+a human can line the file up with logs).  Appending is crash-friendly:
+one ``write`` + ``flush`` per line, and the reader skips torn trailing
+lines instead of failing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+__all__ = ["JsonlExporter", "read_snapshots", "last_snapshot"]
+
+
+class JsonlExporter:
+    """Append registry snapshots to a JSONL file, one dict per line."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self.lines_written = 0
+
+    def export(self, snapshot: dict, ts: float = 0.0) -> None:
+        """Write one snapshot line (caller supplies its monotonic ``ts``)."""
+        record = {"ts": ts, "wall": time.time()}
+        record.update(snapshot)
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._file.flush()
+        self.lines_written += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_snapshots(path: Union[str, Path]) -> List[dict]:
+    """Read every snapshot line from a JSONL export.
+
+    A torn final line (the writer crashed mid-record) is skipped rather
+    than raised — the file is an append-only log, and everything before
+    the tear is still good data.
+    """
+    snapshots: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                snapshots.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return snapshots
+
+
+def last_snapshot(path: Union[str, Path]) -> Optional[dict]:
+    """The most recent complete snapshot in the file, or ``None``."""
+    snapshots = read_snapshots(path)
+    return snapshots[-1] if snapshots else None

@@ -1,0 +1,407 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The live runtime (and, with the same series names, the simulator) needs
+the observability any serving stack has: the paper's headline deliverable
+is *measuring* probabilistic failure — the Algorithm 4/5 alert rate
+against the predicted ``P_err(R, K, X)`` — and a rate nobody can export
+might as well not exist.  This module is the dependency-free core of
+``repro.obs``:
+
+* :class:`Counter` — a monotonically increasing value (``_total`` series).
+* :class:`Gauge` — a point-in-time value that can go both ways.
+* :class:`Histogram` — fixed bucket bounds chosen at creation, constant
+  memory per series, mergeable across processes (bounds must match).
+* :class:`MetricsRegistry` — the instrument store.  Hot paths either
+  push (``counter.inc()``, ``histogram.observe()``) or stay untouched:
+  a **collector callback** registered with the registry is invoked at
+  snapshot time and syncs pre-existing counter structs (e.g. the
+  session's :class:`~repro.net.session.TransportStats`) into registry
+  instruments via ``Counter.set`` — zero per-datagram overhead, and the
+  registry values are *by construction* identical to the structs the
+  rest of the code base already trusts (the differential suite checks
+  exactly this).
+
+Snapshots are plain JSON-ready dicts (see :meth:`MetricsRegistry.snapshot`)
+so the JSONL exporter, the ``repro stats`` renderer, and cross-process
+aggregation (:func:`merge_snapshots`) all speak one format.
+
+Naming conventions (DESIGN.md §8): every series is prefixed ``repro_``,
+counters end in ``_total``, time histograms end in their unit
+(``_seconds`` live, ``_ms`` simulated), and identity rides on registry
+level constant labels (``node="a"`` / ``mode="sim"``), not per-series
+labels, which keeps cardinality flat.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "render_prometheus",
+    "DEFAULT_TIME_BOUNDS_SECONDS",
+    "DEFAULT_TIME_BOUNDS_MS",
+]
+
+# Latency-shaped defaults: sub-millisecond to seconds (live runtime)...
+DEFAULT_TIME_BOUNDS_SECONDS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+# ... and the same shape in simulated milliseconds.
+DEFAULT_TIME_BOUNDS_MS: Tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value.
+
+    ``set`` exists for pull-style collectors that sync an externally
+    maintained tally (it still must never go backwards — the registry is
+    the mirror, not the source of truth, for those series).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ConfigurationError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        """Sync an absolute value from an external tally (collectors)."""
+        self.value = value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, peer count, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the current value upwards."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Adjust the current value downwards."""
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bound bucket histogram with exact count/sum.
+
+    ``bounds`` are the finite upper bucket edges, strictly increasing;
+    an implicit +Inf bucket catches the overflow, so ``counts`` has
+    ``len(bounds) + 1`` cells.  Memory is constant per series no matter
+    how many observations arrive, and two histograms with identical
+    bounds merge by elementwise addition — which is what lets the sweep
+    fan-out and multi-node exports aggregate.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        cleaned = tuple(float(b) for b in bounds)
+        if not cleaned:
+            raise ConfigurationError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(cleaned, cleaned[1:])):
+            raise ConfigurationError(
+                f"histogram bounds must be strictly increasing, got {cleaned}"
+            )
+        if any(math.isnan(b) or math.isinf(b) for b in cleaned):
+            raise ConfigurationError("histogram bounds must be finite")
+        self.bounds = cleaned
+        self.counts = [0] * (len(cleaned) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (buckets are ``value <= bound``)."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution ``q``-quantile (linear within the bucket).
+
+        The +Inf bucket has no upper edge, so observations landing there
+        report the largest finite bound — a floor, clearly labelled as
+        bucket-limited in the docs.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must lie in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self.bounds[-1]
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram with identical bounds into this one."""
+        if self.bounds != other.bounds:
+            raise ConfigurationError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.sum += other.sum
+        self.count += other.count
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the snapshot/JSONL shape)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Histogram":
+        """Rebuild from :meth:`as_dict` output (exporter round-trip)."""
+        histogram = cls(data["bounds"])
+        counts = list(data["counts"])
+        if len(counts) != len(histogram.counts):
+            raise ConfigurationError(
+                f"histogram dict has {len(counts)} buckets, "
+                f"expected {len(histogram.counts)}"
+            )
+        histogram.counts = [int(c) for c in counts]
+        histogram.sum = float(data["sum"])
+        histogram.count = int(data["count"])
+        return histogram
+
+
+def _series_key(name: str, labels: Mapping[str, str]) -> str:
+    """Canonical series key: ``name`` or ``name{k="v",...}`` (sorted)."""
+    if not labels:
+        return name
+    rendered = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """The instrument store one node (or one simulation run) owns.
+
+    Args:
+        labels: constant labels attached to every exported series
+            (identity lives here: ``node="a"``, ``mode="sim"``).
+    """
+
+    def __init__(self, labels: Optional[Mapping[str, str]] = None) -> None:
+        self.labels: Dict[str, str] = dict(labels or {})
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # instrument creation (get-or-create, so call sites stay declarative)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create the counter for ``(name, labels)``."""
+        key = _series_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            self._check_unused(key)
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """Get or create the gauge for ``(name, labels)``."""
+        key = _series_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            self._check_unused(key)
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_TIME_BOUNDS_SECONDS,
+        **labels: str,
+    ) -> Histogram:
+        """Get or create the histogram for ``(name, labels)``.
+
+        ``bounds`` only applies on creation; a later call with different
+        bounds is a configuration error (bounds are part of the series'
+        identity — silent rebinning would corrupt merged exports).
+        """
+        key = _series_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            self._check_unused(key)
+            instrument = self._histograms[key] = Histogram(bounds)
+        elif instrument.bounds != tuple(float(b) for b in bounds):
+            raise ConfigurationError(
+                f"histogram {key!r} already exists with bounds "
+                f"{instrument.bounds}, requested {tuple(bounds)}"
+            )
+        return instrument
+
+    def _check_unused(self, key: str) -> None:
+        for family, kind in (
+            (self._counters, "counter"),
+            (self._gauges, "gauge"),
+            (self._histograms, "histogram"),
+        ):
+            if key in family:
+                raise ConfigurationError(
+                    f"series {key!r} already registered as a {kind}"
+                )
+
+    def register_collector(self, collect: Callable[[], None]) -> None:
+        """Register a pull-style sync callback, run before every snapshot.
+
+        Collectors bridge externally maintained tallies (TransportStats,
+        EndpointStats, DetectorStats...) into registry instruments without
+        touching the hot paths that maintain them.
+        """
+        self._collectors.append(collect)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def collect(self) -> None:
+        """Run every registered collector (sync external tallies in)."""
+        for collector in self._collectors:
+            collector()
+
+    def snapshot(self) -> dict:
+        """JSON-ready snapshot of every series (collectors run first)."""
+        self.collect()
+        return {
+            "labels": dict(self.labels),
+            "counters": {key: c.value for key, c in sorted(self._counters.items())},
+            "gauges": {key: g.value for key, g in sorted(self._gauges.items())},
+            "histograms": {
+                key: h.as_dict() for key, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render_prometheus(self) -> str:
+        """The snapshot in Prometheus text exposition format."""
+        return render_prometheus(self.snapshot())
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Aggregate snapshots from several registries into one.
+
+    Counters and gauges sum (gauges here are depth-like quantities where
+    the fleet-wide total is the meaningful aggregate); histograms merge
+    bucket-wise and must share bounds.  Constant labels survive only
+    where every input agrees — disagreeing labels (e.g. ``node``) are
+    dropped, which is exactly the identity erasure aggregation implies.
+    """
+    merged_counters: Dict[str, float] = {}
+    merged_gauges: Dict[str, float] = {}
+    merged_histograms: Dict[str, Histogram] = {}
+    merged_labels: Optional[Dict[str, str]] = None
+    for snapshot in snapshots:
+        labels = dict(snapshot.get("labels", {}))
+        if merged_labels is None:
+            merged_labels = labels
+        else:
+            merged_labels = {
+                k: v for k, v in merged_labels.items() if labels.get(k) == v
+            }
+        for key, value in snapshot.get("counters", {}).items():
+            merged_counters[key] = merged_counters.get(key, 0) + value
+        for key, value in snapshot.get("gauges", {}).items():
+            merged_gauges[key] = merged_gauges.get(key, 0.0) + value
+        for key, data in snapshot.get("histograms", {}).items():
+            incoming = Histogram.from_dict(data)
+            existing = merged_histograms.get(key)
+            if existing is None:
+                merged_histograms[key] = incoming
+            else:
+                existing.merge(incoming)
+    return {
+        "labels": merged_labels or {},
+        "counters": dict(sorted(merged_counters.items())),
+        "gauges": dict(sorted(merged_gauges.items())),
+        "histograms": {
+            key: h.as_dict() for key, h in sorted(merged_histograms.items())
+        },
+    }
+
+
+def _prom_series(key: str, constant_labels: Mapping[str, str]) -> str:
+    """Fold registry-level constant labels into a series key."""
+    if not constant_labels:
+        return key
+    rendered = ",".join(
+        f'{k}="{constant_labels[k]}"' for k in sorted(constant_labels)
+    )
+    if key.endswith("}"):
+        return f"{key[:-1]},{rendered}}}"
+    return f"{key}{{{rendered}}}"
+
+
+def render_prometheus(snapshot: Mapping) -> str:
+    """Render a snapshot dict in Prometheus text exposition format."""
+    labels = snapshot.get("labels", {})
+    lines: List[str] = []
+    for key, value in snapshot.get("counters", {}).items():
+        lines.append(f"{_prom_series(key, labels)} {value}")
+    for key, value in snapshot.get("gauges", {}).items():
+        lines.append(f"{_prom_series(key, labels)} {value}")
+    for key, data in snapshot.get("histograms", {}).items():
+        name = key.split("{", 1)[0]
+        suffix = key[len(name):]
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += count
+            bucket = _prom_series(f"{name}_bucket{suffix}", labels)
+            if bucket.endswith("}"):
+                bucket = f'{bucket[:-1]},le="{bound}"}}'
+            else:
+                bucket = f'{bucket}{{le="{bound}"}}'
+            lines.append(f"{bucket} {cumulative}")
+        bucket = _prom_series(f"{name}_bucket{suffix}", labels)
+        if bucket.endswith("}"):
+            bucket = f'{bucket[:-1]},le="+Inf"}}'
+        else:
+            bucket = f'{bucket}{{le="+Inf"}}'
+        lines.append(f"{bucket} {data['count']}")
+        lines.append(f"{_prom_series(f'{name}_sum{suffix}', labels)} {data['sum']}")
+        lines.append(f"{_prom_series(f'{name}_count{suffix}', labels)} {data['count']}")
+    return "\n".join(lines) + "\n"

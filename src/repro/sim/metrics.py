@@ -218,8 +218,62 @@ class AlertConfusion:
 
 @dataclass
 class MetricSet:
-    """Everything a simulation run collects besides the oracle tallies."""
+    """Everything a simulation run collects besides the oracle tallies.
+
+    When a :class:`~repro.obs.MetricsRegistry` is attached
+    (:meth:`bind_registry`), the same observations additionally feed
+    registry instruments under the live runtime's naming conventions —
+    ``repro_sim_delivery_latency_ms`` (histogram),
+    ``repro_sim_pending_depth`` (histogram of sampled depths), and the
+    confusion-cell counters — so a simulated run exports series directly
+    comparable with a deployed node's.  Use the ``observe_*`` methods
+    rather than poking the summaries so both sinks stay in step.
+    """
 
     latency: StreamingSummary = field(default_factory=StreamingSummary)
     pending: StreamingSummary = field(default_factory=StreamingSummary)
     alerts: AlertConfusion = field(default_factory=AlertConfusion)
+    registry: Optional[object] = None
+
+    def bind_registry(self, registry) -> None:
+        """Mirror every observation into ``registry`` (``repro.obs``)."""
+        from repro.obs.registry import DEFAULT_TIME_BOUNDS_MS
+
+        self.registry = registry
+        self._latency_hist = registry.histogram(
+            "repro_sim_delivery_latency_ms", bounds=DEFAULT_TIME_BOUNDS_MS
+        )
+        self._pending_hist = registry.histogram(
+            "repro_sim_pending_depth",
+            bounds=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+        )
+        deliveries = registry.counter("repro_sim_deliveries_total")
+        fired = registry.counter("repro_sim_alerts_total")
+        late_missed = registry.counter("repro_sim_alerts_late_missed_total")
+        false_positives = registry.counter("repro_sim_alert_false_positives_total")
+        alert_rate = registry.gauge("repro_sim_alert_rate")
+
+        def collect() -> None:
+            deliveries.set(self.alerts.total)
+            fired.set(self.alerts.alerts)
+            late_missed.set(self.alerts.late_missed)
+            false_positives.set(self.alerts.false_positives)
+            alert_rate.set(self.alerts.alert_rate)
+
+        registry.register_collector(collect)
+
+    def observe_latency(self, latency_ms: float) -> None:
+        """Record one send→deliver latency (simulated milliseconds)."""
+        self.latency.observe(latency_ms)
+        if self.registry is not None:
+            self._latency_hist.observe(latency_ms)
+
+    def observe_pending(self, depth: int) -> None:
+        """Record one pending-queue depth sample."""
+        self.pending.observe(depth)
+        if self.registry is not None:
+            self._pending_hist.observe(depth)
+
+    def observe_alert(self, alert: bool, verdict: DeliveryVerdict) -> None:
+        """Tally one (alert, oracle verdict) pair."""
+        self.alerts.observe(alert, verdict)

@@ -182,6 +182,12 @@ class SimulationConfig:
             ``naive`` (always the reference full-rescan drain; same
             delivery order, kept for differential testing and perf
             baselines).
+        metrics_path: when set, the run binds a
+            :class:`repro.obs.MetricsRegistry` (labels ``mode="sim"``)
+            to its metric set and appends one JSONL snapshot line to this
+            path when the run finishes — the same format the live
+            runtime's exporter writes, so ``repro stats`` and the CI
+            sanity gates can read either.
         adaptive_k_interval_ms: enable *adaptive K* (an extension beyond
             the paper): every node periodically re-estimates the
             concurrency X from its own delivery rate and, when the
@@ -215,6 +221,7 @@ class SimulationConfig:
     recovery_period_ms: float = 2_000.0
     recovery_log_size: int = 4096
     engine: str = "auto"
+    metrics_path: Optional[str] = None
     adaptive_k_interval_ms: Optional[float] = None
 
     def validate(self) -> None:
@@ -359,6 +366,10 @@ class _Run(DisseminationContext):
         self._membership = MembershipView()
         self._nodes: Dict[int, SimNode] = {}
         self._metrics = MetricSet()
+        if config.metrics_path is not None:
+            from repro.obs import MetricsRegistry
+
+            self._metrics.bind_registry(MetricsRegistry(labels={"mode": "sim"}))
         self._assigner = self._make_assigner()
         self._effective_r = self._effective_vector_size()
         self._global_key_sum = np.zeros(self._effective_r, dtype=np.int64)
@@ -597,12 +608,12 @@ class _Run(DisseminationContext):
             classified = self._oracle.classify_delivery(
                 node_id, record.message.message_id, now
             )
-            self._metrics.alerts.observe(record.alert, classified.verdict)
+            self._metrics.observe_alert(record.alert, classified.verdict)
             alert_fired = alert_fired or record.alert
             if log is not None:
                 log.record(record.message)
             if self._config.track_latency:
-                self._metrics.latency.observe(classified.latency_ms)
+                self._metrics.observe_latency(classified.latency_ms)
             if application is not None:
                 application.on_deliver(node_id, record, classified.verdict, now)
         if (
@@ -616,7 +627,7 @@ class _Run(DisseminationContext):
             self._sim.schedule(
                 self._config.recovery_delay_ms, self._handle_recovery, node_id
             )
-        self._metrics.pending.observe(endpoint.pending_count)
+        self._metrics.observe_pending(endpoint.pending_count)
 
     def _handle_adaptive_k(self, node_id: int) -> None:
         """Periodic re-dimensioning: re-estimate X, re-draw keys if the
@@ -746,7 +757,17 @@ class _Run(DisseminationContext):
         self._sim.run()
         self._track_population()
         wall = _time.perf_counter() - started
-        return self._build_result(wall)
+        result = self._build_result(wall)
+        if self._config.metrics_path is not None:
+            self._export_metrics()
+        return result
+
+    def _export_metrics(self) -> None:
+        """Append one end-of-run registry snapshot (JSONL, exporter format)."""
+        from repro.obs import JsonlExporter
+
+        with JsonlExporter(self._config.metrics_path) as exporter:
+            exporter.export(self._metrics.registry.snapshot(), ts=self._sim.now)
 
     def _build_result(self, wall_seconds: float) -> SimulationResult:
         delivered_remote = self._oracle.totals.deliveries

@@ -178,3 +178,103 @@ class TestNodeCommand:
     def test_bad_listen_spec_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["node", "--listen", "no-port", "--count", "0"])
+
+
+class TestStatsCommand:
+    def _export(self, tmp_path, name="m.jsonl"):
+        from repro.obs import JsonlExporter, MetricsRegistry
+
+        registry = MetricsRegistry(labels={"node": "a"})
+        registry.counter("repro_endpoint_sent_total").inc(5)
+        registry.gauge("repro_pending_depth").set(2.0)
+        registry.histogram(
+            "repro_delivery_wait_seconds", bounds=(0.01, 0.1)
+        ).observe(0.05)
+        path = tmp_path / name
+        with JsonlExporter(path) as exporter:
+            exporter.export(registry.snapshot(), ts=3.0)
+        return path
+
+    def test_renders_tables(self, capsys, tmp_path):
+        path = self._export(tmp_path)
+        code, out = run_cli(capsys, "stats", str(path))
+        assert code == 0
+        assert "node=a" in out
+        assert "repro_endpoint_sent_total" in out
+        assert "repro_pending_depth" in out
+        assert "repro_delivery_wait_seconds" in out
+        assert "p95" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        path = self._export(tmp_path)
+        code, out = run_cli(capsys, "stats", str(path), "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["counters"]["repro_endpoint_sent_total"] == 5
+
+    def test_prometheus_output(self, capsys, tmp_path):
+        path = self._export(tmp_path)
+        code, out = run_cli(capsys, "stats", str(path), "--prometheus")
+        assert code == 0
+        assert 'repro_endpoint_sent_total{node="a"} 5' in out
+        assert 'le="+Inf"' in out
+
+    def test_merges_multiple_files(self, capsys, tmp_path):
+        first = self._export(tmp_path, "a.jsonl")
+        second = self._export(tmp_path, "b.jsonl")
+        code, out = run_cli(capsys, "stats", str(first), str(second), "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["counters"]["repro_endpoint_sent_total"] == 10
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        code = main(["stats", str(tmp_path / "absent.jsonl")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "absent.jsonl" in captured.err
+
+    def test_empty_file_fails_cleanly(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code = main(["stats", str(empty)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no complete snapshot" in captured.err
+
+
+class TestMetricsFlags:
+    def test_simulate_exports_snapshot(self, capsys, tmp_path):
+        from repro.obs import last_snapshot
+
+        path = tmp_path / "sim.jsonl"
+        code, out = run_cli(
+            capsys,
+            "simulate", "--nodes", "10", "--r", "30", "--k", "3",
+            "--lambda-ms", "500", "--duration-ms", "3000", "--seed", "2",
+            "--metrics-path", str(path),
+        )
+        assert code == 0
+        snapshot = last_snapshot(path)
+        assert snapshot is not None
+        assert snapshot["labels"] == {"mode": "sim"}
+        assert snapshot["counters"]["repro_sim_deliveries_total"] > 0
+        histogram = snapshot["histograms"]["repro_sim_delivery_latency_ms"]
+        assert histogram["count"] > 0
+
+    def test_node_reports_detector_and_exports_metrics(self, capsys, tmp_path):
+        path = tmp_path / "node.jsonl"
+        code, out = run_cli(
+            capsys,
+            "node", "--id", "solo", "--count", "2",
+            "--interval", "0.01", "--duration", "0.1",
+            "--metrics-path", str(path), "--metrics-interval", "0.03",
+            "--metrics-port", "0",
+        )
+        assert code == 0
+        assert "detector: checks=" in out
+        assert "alert_rate=" in out
+        assert "metrics: http://127.0.0.1:" in out
+        # The exported file round-trips through the stats renderer.
+        code, out = run_cli(capsys, "stats", str(path))
+        assert code == 0
+        assert "repro_endpoint_sent_total" in out

@@ -1,0 +1,281 @@
+"""Unit tests for the observability layer (``repro.obs``).
+
+Covers the registry primitives (counter / gauge / histogram semantics,
+series identity, collector sync), snapshot merging, the Prometheus text
+rendering, the JSONL exporter round-trip (including torn trailing
+lines), the trace ring, and the HTTP scrape endpoint.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlExporter,
+    MetricsHttpServer,
+    MetricsRegistry,
+    TraceRing,
+    last_snapshot,
+    merge_snapshots,
+    read_snapshots,
+    render_prometheus,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative_increment(self):
+        with pytest.raises(ConfigurationError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.inc(2.5)
+        gauge.dec(0.5)
+        assert gauge.value == 12.0
+
+
+class TestHistogram:
+    def test_bucketing_is_value_le_bound(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            histogram.observe(value)
+        # <=1.0 gets 0.5 and 1.0; <=10.0 gets 5.0 and 10.0; +Inf gets 11.0.
+        assert histogram.counts == [2, 2, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(27.5)
+        assert histogram.mean == pytest.approx(5.5)
+
+    def test_bounds_must_be_strictly_increasing_and_finite(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=(float("inf"),))
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=())
+
+    def test_quantiles_interpolate_within_bucket(self):
+        histogram = Histogram(bounds=(10.0, 20.0))
+        for _ in range(100):
+            histogram.observe(5.0)
+        assert 0.0 < histogram.quantile(0.5) <= 10.0
+        assert histogram.quantile(0.0) == pytest.approx(0.0)
+        assert histogram.quantile(1.0) == pytest.approx(10.0)
+        with pytest.raises(ConfigurationError):
+            histogram.quantile(1.5)
+
+    def test_overflow_quantile_reports_top_finite_bound(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == 1.0
+
+    def test_merge_requires_identical_bounds(self):
+        left = Histogram(bounds=(1.0, 2.0))
+        right = Histogram(bounds=(1.0, 2.0))
+        left.observe(0.5)
+        right.observe(1.5)
+        right.observe(9.0)
+        left.merge(right)
+        assert left.counts == [1, 1, 1]
+        assert left.count == 3
+        with pytest.raises(ConfigurationError):
+            left.merge(Histogram(bounds=(1.0, 3.0)))
+
+    def test_dict_round_trip(self):
+        histogram = Histogram(bounds=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(5.0)
+        clone = Histogram.from_dict(
+            json.loads(json.dumps(histogram.as_dict()))
+        )
+        assert clone.bounds == histogram.bounds
+        assert clone.counts == histogram.counts
+        assert clone.count == histogram.count
+        assert clone.sum == pytest.approx(histogram.sum)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("repro_x_total") is registry.counter("repro_x_total")
+        assert registry.gauge("repro_depth") is registry.gauge("repro_depth")
+        assert registry.histogram("repro_t_seconds") is registry.histogram(
+            "repro_t_seconds"
+        )
+
+    def test_labels_split_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", peer="a")
+        b = registry.counter("repro_x_total", peer="b")
+        assert a is not b
+        a.inc(3)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]['repro_x_total{peer="a"}'] == 3
+        assert snapshot["counters"]['repro_x_total{peer="b"}'] == 0
+
+    def test_cross_kind_name_reuse_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_thing")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("repro_thing")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("repro_thing")
+
+    def test_histogram_bounds_are_series_identity(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_t_seconds", bounds=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("repro_t_seconds", bounds=(1.0, 3.0))
+
+    def test_collectors_sync_external_tallies_at_snapshot(self):
+        registry = MetricsRegistry(labels={"node": "a"})
+        external = {"sent": 0}
+        mirror = registry.counter("repro_sent_total")
+        registry.register_collector(lambda: mirror.set(external["sent"]))
+        external["sent"] = 7
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["repro_sent_total"] == 7
+        assert snapshot["labels"] == {"node": "a"}
+
+
+class TestMergeSnapshots:
+    def _snapshot(self, node, sent, depth, hist_value):
+        registry = MetricsRegistry(labels={"node": node, "cluster": "test"})
+        registry.counter("repro_sent_total").inc(sent)
+        registry.gauge("repro_depth").set(depth)
+        registry.histogram("repro_t_seconds", bounds=(1.0, 2.0)).observe(hist_value)
+        return registry.snapshot()
+
+    def test_counters_sum_histograms_fold_labels_intersect(self):
+        merged = merge_snapshots(
+            [self._snapshot("a", 3, 2.0, 0.5), self._snapshot("b", 4, 1.0, 1.5)]
+        )
+        assert merged["counters"]["repro_sent_total"] == 7
+        assert merged["gauges"]["repro_depth"] == pytest.approx(3.0)
+        histogram = Histogram.from_dict(merged["histograms"]["repro_t_seconds"])
+        assert histogram.count == 2
+        assert histogram.counts == [1, 1, 0]
+        # Disagreeing labels (node identity) are erased; agreeing survive.
+        assert merged["labels"] == {"cluster": "test"}
+
+
+class TestPrometheusRendering:
+    def test_counters_gauges_and_histograms_render(self):
+        registry = MetricsRegistry(labels={"node": "a"})
+        registry.counter("repro_sent_total").inc(5)
+        registry.gauge("repro_depth").set(2.0)
+        histogram = registry.histogram("repro_t_seconds", bounds=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(9.0)
+        text = registry.render_prometheus()
+        assert 'repro_sent_total{node="a"} 5' in text
+        assert 'repro_depth{node="a"} 2.0' in text
+        assert 'repro_t_seconds_bucket{node="a",le="1.0"} 1' in text
+        assert 'repro_t_seconds_bucket{node="a",le="+Inf"} 2' in text
+        assert 'repro_t_seconds_count{node="a"} 2' in text
+        assert text.endswith("\n")
+
+    def test_render_from_plain_snapshot_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc()
+        text = render_prometheus(registry.snapshot())
+        assert "repro_x_total 1" in text
+
+
+class TestJsonlExporter:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        registry = MetricsRegistry(labels={"node": "a"})
+        registry.counter("repro_sent_total").inc(2)
+        with JsonlExporter(path) as exporter:
+            exporter.export(registry.snapshot(), ts=1.0)
+            registry.counter("repro_sent_total").inc(3)
+            exporter.export(registry.snapshot(), ts=2.0)
+            assert exporter.lines_written == 2
+        snapshots = read_snapshots(path)
+        assert [s["ts"] for s in snapshots] == [1.0, 2.0]
+        assert snapshots[-1]["counters"]["repro_sent_total"] == 5
+        assert last_snapshot(path) == snapshots[-1]
+        assert all("wall" in s for s in snapshots)
+
+    def test_append_mode_survives_reopen(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        for ts in (1.0, 2.0):
+            with JsonlExporter(path) as exporter:
+                exporter.export({"counters": {}}, ts=ts)
+        assert [s["ts"] for s in read_snapshots(path)] == [1.0, 2.0]
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        with JsonlExporter(path) as exporter:
+            exporter.export({"counters": {"repro_x_total": 1}}, ts=1.0)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"ts": 2.0, "counters": {"repro_x_')  # crash mid-write
+        snapshots = read_snapshots(path)
+        assert len(snapshots) == 1
+        assert last_snapshot(path)["ts"] == 1.0
+
+    def test_missing_file_returns_none(self, tmp_path):
+        with pytest.raises(OSError):
+            read_snapshots(tmp_path / "absent.jsonl")
+
+
+class TestTraceRing:
+    def test_ring_keeps_newest_and_counts_lifetime(self):
+        ring = TraceRing(capacity=3)
+        for i in range(5):
+            ring.emit("alert", ts=float(i), seq=i)
+        assert len(ring) == 3
+        assert ring.emitted == 5
+        assert [e["seq"] for e in ring.events()] == [2, 3, 4]
+
+    def test_kind_filter(self):
+        ring = TraceRing()
+        ring.emit("alert", ts=1.0)
+        ring.emit("quarantine", ts=2.0, peer="b")
+        alerts = ring.events(kind="alert")
+        assert len(alerts) == 1 and alerts[0]["kind"] == "alert"
+        ring.clear()
+        assert len(ring) == 0
+
+
+class TestHttpEndpoint:
+    def test_scrape_and_404(self):
+        async def scenario():
+            registry = MetricsRegistry(labels={"node": "a"})
+            registry.counter("repro_sent_total").inc(9)
+            server = MetricsHttpServer(registry, port=0)
+            await server.start()
+            assert server.port != 0
+
+            async def fetch(path):
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(
+                    f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return raw.decode()
+
+            ok = await fetch("/metrics")
+            assert ok.startswith("HTTP/1.1 200 OK")
+            assert 'repro_sent_total{node="a"} 9' in ok
+            missing = await fetch("/other")
+            assert missing.startswith("HTTP/1.1 404")
+            await server.close()
+
+        asyncio.run(scenario())

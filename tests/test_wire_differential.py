@@ -24,6 +24,8 @@ have done neither.
 
 import asyncio
 
+import pytest
+
 from repro.api import NodeConfig, create_node
 from repro.net import FaultyTransport, UdpTransport
 from repro.net.session import TransportStats
@@ -271,5 +273,51 @@ class TestObservationalEquivalence:
             assert orders["legacy"] == orders["batched"]
             for order in orders["batched"].values():
                 assert order == [("tx", i) for i in range(1, 21)]
+
+        asyncio.run(scenario())
+
+
+class TestRegistryDifferential:
+    def test_registry_wire_counters_match_transport_stats(self):
+        """The observability acceptance test: the registry-backed wire
+        series must be value-identical to the TransportStats counters the
+        pre-registry code maintained — under both wire configurations,
+        with faults active.  Both reads happen with no await in between,
+        so the event loop cannot interleave wire activity."""
+
+        RTT_FIELDS = ("rtt", "rtt_min", "rtt_max")
+
+        async def scenario():
+            import dataclasses
+
+            for wire_kwargs in (LEGACY, BATCHED):
+                names = ("a", "b", "c")
+                exchange = Exchange(names, wire_kwargs, seed=71)
+                for name in names:
+                    await exchange.boot(name)
+                for _ in range(6):
+                    for name in names:
+                        await exchange.broadcast(name)
+                    await asyncio.sleep(0.03)
+                assert await wait_for(exchange.converged)
+                for name, node in exchange.nodes.items():
+                    stats = node.transport_stats()
+                    counters = node.metrics.snapshot()["counters"]
+                    for field in dataclasses.fields(TransportStats):
+                        if field.name in RTT_FIELDS:
+                            continue
+                        key = f"repro_wire_{field.name}_total"
+                        assert counters[key] == getattr(stats, field.name), (
+                            f"{name}: {key}={counters[key]} but "
+                            f"TransportStats.{field.name}="
+                            f"{getattr(stats, field.name)} "
+                            f"(wire={wire_kwargs or 'BATCHED'})"
+                        )
+                    if stats.rtt is not None:
+                        gauges = node.metrics.snapshot()["gauges"]
+                        assert gauges["repro_wire_rtt_mean_seconds"] == (
+                            pytest.approx(stats.rtt)
+                        )
+                await exchange.close()
 
         asyncio.run(scenario())
