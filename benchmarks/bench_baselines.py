@@ -9,20 +9,27 @@ The paper situates its mechanism between the known extremes:
   every other (P_err = 1), so nearly every network reordering of
   causally related messages becomes a violation;
 * this paper (n, r, k): fixed small timestamps, interior K minimising
-  the error.
+  the error;
+* Bloom clock (m, h per event): the same covering analysis with keys
+  drawn fresh per event instead of statically per process.
 
-This benchmark runs identical traffic under all four and reports error
+This benchmark runs identical traffic under all five and reports error
 bounds, delivery latency, and wire overhead per message.  Shape
 assertions: the vector clock never errs but pays O(N) overhead; the
 (R, K) clock beats the plausible clock on errors at equal overhead; the
-Lamport clock's delivery latency dwarfs everyone's.
+Lamport clock's delivery latency dwarfs everyone's; the Bloom clock's
+measured error tracks its ``p_fp`` curve within the same order-of-
+magnitude tolerance ``check_alert_sanity.py`` uses for ``P_err``.  A
+sixth run repeats the probabilistic row on the hybrid per-sender
+delivery engine and must be counter-identical (the engines are pure
+performance reworks of Algorithm 2).
 """
 
 import dataclasses
 
 from repro.analysis.sweep import run_repeated
 from repro.analysis.tables import render_table
-from repro.core.theory import timestamp_overhead_bits
+from repro.core.theory import p_fp, timestamp_overhead_bits
 from repro.sim import GaussianDelayModel, PoissonWorkload, SimulationConfig
 
 from _common import (
@@ -37,7 +44,8 @@ R = 100
 K = 4
 TARGET_X = 25.0
 TARGET_DELIVERIES = 60_000.0
-CLOCKS = ["vector", "probabilistic", "plausible", "lamport"]
+CLOCKS = ["vector", "probabilistic", "plausible", "lamport", "bloom"]
+FP_TOLERANCE = 10.0  # same order-of-magnitude gate as check_alert_sanity
 
 
 def run_baselines():
@@ -55,15 +63,24 @@ def run_baselines():
             delay_model=GaussianDelayModel(MEAN_DELAY_MS),
             detector="none",
             duration_ms=duration,
+            track_reception_order=True,
         )
         (results[clock],) = run_repeated(config, repeats=1, seed_base=1000)
+        if clock == "probabilistic":
+            # The engine-identity pair: the reference drain and the
+            # hybrid per-sender drain on the very same traffic.
+            for engine in ("naive", "hybrid"):
+                engine_config = dataclasses.replace(config, engine=engine)
+                (results[f"probabilistic/{engine}"],) = run_repeated(
+                    engine_config, repeats=1, seed_base=1000
+                )
     return results
 
 
 def overhead_bits_for(clock: str) -> int:
     if clock == "vector":
         return timestamp_overhead_bits(N_NODES, 1)
-    if clock == "probabilistic":
+    if clock.startswith("probabilistic") or clock == "bloom":
         return timestamp_overhead_bits(R, K)
     if clock == "plausible":
         return timestamp_overhead_bits(R, 1)
@@ -107,6 +124,9 @@ def test_baselines(benchmark):
     probabilistic = results["probabilistic"]
     plausible = results["plausible"]
     lamport = results["lamport"]
+    bloom = results["bloom"]
+    naive_ref = results["probabilistic/naive"]
+    hybrid = results["probabilistic/hybrid"]
 
     # Exactness of the vector-clock baseline.
     assert vector.counters.violations == 0
@@ -125,6 +145,29 @@ def test_baselines(benchmark):
     assert overhead_bits_for("lamport") < overhead_bits_for("plausible")
     assert overhead_bits_for("plausible") <= overhead_bits_for("probabilistic")
     assert overhead_bits_for("probabilistic") < overhead_bits_for("vector")
+    # The Bloom clock's measured error must track its false-positive
+    # curve p_fp(m, h, X) — the paper's P_err with per-event keys —
+    # scaled by the measured network reordering probability P_nc, to the
+    # same order-of-magnitude tolerance check_alert_sanity.py applies.
+    predicted = bloom.measured_p_nc * p_fp(R, K, bloom.measured_concurrency)
+    assert predicted / FP_TOLERANCE <= bloom.counters.eps_max, (
+        f"bloom eps_max {bloom.counters.eps_max:.3e} implausibly below "
+        f"theory {predicted:.3e} (dead oracle?)"
+    )
+    assert bloom.counters.eps_max <= predicted * FP_TOLERANCE, (
+        f"bloom eps_max {bloom.counters.eps_max:.3e} more than "
+        f"{FP_TOLERANCE}x theory {predicted:.3e}"
+    )
+    # The hybrid engine is a drain-strategy rework, not a protocol
+    # change: same seed, same traffic, bit-identical outcome against
+    # the reference (naive) drain.
+    assert hybrid.counters == naive_ref.counters
+    assert hybrid.latency == naive_ref.latency
+    assert hybrid.sent == naive_ref.sent
+    assert hybrid.delivered_remote == naive_ref.delivered_remote
+    # The default-engine row delivers the same message set either way.
+    assert hybrid.counters.deliveries == probabilistic.counters.deliveries
+    assert hybrid.sent == probabilistic.sent
     # Everyone stays live.
     for clock, result in results.items():
         assert result.stuck_pending == 0, clock

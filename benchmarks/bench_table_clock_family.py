@@ -7,6 +7,7 @@ size, entries per process):
     vector clock     (n, n, 1)
     plausible clock  (n, r, 1)
     this paper       (n, r, k)
+    Bloom clock      (n, m, h per event)
 
 This benchmark regenerates that table augmented with the quantities the
 triplet implies: timestamp wire size (the cost axis) and the theoretical
@@ -14,11 +15,14 @@ covering probability P_err at a reference concurrency (the quality axis),
 for several system sizes.  It asserts the scaling facts the paper builds
 its case on: only the vector clock's timestamp grows with n; only the
 vector clock has zero error; among the fixed-size schemes, the (n, r, k)
-point dominates the plausible clock at the optimum K.
+point dominates the plausible clock at the optimum K.  The Bloom-clock
+column uses the family's shared covering curve (``p_fp`` == ``P_err``
+at equal parameters), making the "Bloom clock with static keys"
+reading of the paper's mechanism a checkable table identity.
 """
 
 from repro.analysis.tables import render_table
-from repro.core.theory import optimal_k_int, p_error, timestamp_overhead_bits
+from repro.core.theory import optimal_k_int, p_error, p_fp, timestamp_overhead_bits
 
 from _common import report
 
@@ -46,6 +50,11 @@ def build_table():
                 # this paper (n, r, k)
                 timestamp_overhead_bits(R, k_opt) // 8,
                 p_error(R, k_opt, REFERENCE_X),
+                # Bloom clock (n, m, h per event), at m = R, h = k_opt:
+                # same wire size (m counters + h cell indices), same
+                # covering curve — only the key-draw schedule differs.
+                timestamp_overhead_bits(R, k_opt) // 8,
+                p_fp(R, k_opt, REFERENCE_X),
             ]
         )
     return rows
@@ -66,6 +75,8 @@ def test_table_clock_family(benchmark):
             "plausible P_err",
             f"(r={R},k={k_opt}) B",
             "(r,k) P_err",
+            f"bloom(m={R},h={k_opt}) B",
+            "bloom p_fp",
         ],
         rows,
         title=f"clock family at X={REFERENCE_X} (B = timestamp bytes)",
@@ -88,3 +99,9 @@ def test_table_clock_family(benchmark):
     # smaller than the vector clock's while keeping P_err ~ 9%.
     assert by_n[100_000][3] / by_n[100_000][7] > 900
     assert by_n[100_000][8] < 0.1
+    # The Bloom clock at (m, h) = (R, k_opt) sits at the identical point
+    # of the cost/quality plane: one covering formula predicts both
+    # families, the key-draw schedule being the only difference.
+    for row in rows:
+        assert row[9] == row[7]
+        assert row[10] == row[8]

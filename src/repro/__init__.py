@@ -39,6 +39,7 @@ from repro.api import (
 )
 from repro.core import (
     BasicAlertDetector,
+    BloomCausalClock,
     CausalBroadcastEndpoint,
     DeliveryRecord,
     EntryVectorClock,
@@ -51,8 +52,15 @@ from repro.core import (
     RefinedAlertDetector,
     Timestamp,
     VectorCausalClock,
+    clock_schemes,
+    detector_names,
+    engine_names,
     optimal_k,
     p_error,
+    p_fp,
+    register_clock,
+    register_detector,
+    register_engine,
 )
 from repro.sim import SimulationConfig, SimulationResult, run_simulation
 
@@ -73,6 +81,7 @@ __all__ = [
     "PlausibleCausalClock",
     "LamportCausalClock",
     "VectorCausalClock",
+    "BloomCausalClock",
     "RandomKeyAssigner",
     "CausalBroadcastEndpoint",
     "Message",
@@ -81,7 +90,15 @@ __all__ = [
     "RefinedAlertDetector",
     "NullDetector",
     "p_error",
+    "p_fp",
     "optimal_k",
+    # the plugin registry (see DESIGN.md §9)
+    "register_clock",
+    "register_engine",
+    "register_detector",
+    "clock_schemes",
+    "engine_names",
+    "detector_names",
     # simulation entry points
     "SimulationConfig",
     "SimulationResult",

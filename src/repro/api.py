@@ -29,23 +29,20 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional, Sequence, Tuple
 
-from repro.core.clocks import (
-    EntryVectorClock,
-    LamportCausalClock,
-    PlausibleCausalClock,
-    ProbabilisticCausalClock,
-    VectorCausalClock,
-)
+from repro.core.clocks import EntryVectorClock
 from repro.core.codec import JsonPayloadCodec, MessageCodec, RawBytesPayloadCodec
-from repro.core.detector import (
-    BasicAlertDetector,
-    DeliveryErrorDetector,
-    NullDetector,
-    RefinedAlertDetector,
-)
+from repro.core.detector import DeliveryErrorDetector
 from repro.core.errors import ConfigurationError
 from repro.core.keyspace import HashKeyAssigner, KeyAssigner
-from repro.core.protocol import ENGINE_MODES, CausalBroadcastEndpoint, DeliveryRecord
+from repro.core.protocol import CausalBroadcastEndpoint, DeliveryRecord
+from repro.core.registry import (
+    ClockBuildContext,
+    clock_schemes,
+    detector_names,
+    get_clock_spec,
+    get_detector_spec,
+    get_engine_spec,
+)
 from repro.net.journal import NodeJournal
 from repro.net.liveness import LivenessPolicy
 from repro.net.node import ReliableCausalNode
@@ -61,8 +58,11 @@ __all__ = [
     "create_node",
 ]
 
-SCHEMES = ("probabilistic", "plausible", "lamport", "vector")
-DETECTORS = ("none", "basic", "refined")
+# Snapshots of the registries at import time (the built-ins).  Validation
+# resolves through the live registry (repro.core.registry), so schemes,
+# detectors and engines registered after import work verbatim.
+SCHEMES = clock_schemes()
+DETECTORS = detector_names()
 PAYLOAD_CODECS = ("json", "raw")
 
 DeliveryHandler = Callable[[DeliveryRecord], None]
@@ -78,7 +78,9 @@ class NodeConfig:
         r: vector size R (ignored by ``lamport``; equals N for ``vector``).
         k: entries per process K (``probabilistic`` only; the others fix it).
         scheme: ``probabilistic`` (n, r, k) | ``plausible`` (n, r, 1) |
-            ``lamport`` (n, 1, 1) | ``vector`` (n, n, 1).
+            ``lamport`` (n, 1, 1) | ``vector`` (n, n, 1) | ``bloom``
+            (per-event hashed keys) — or any scheme registered through
+            :func:`repro.core.registry.register_clock`.
         n: system size; required by ``scheme="vector"`` (it sizes the vector).
         detector: pre-delivery alert check — ``none`` | ``basic``
             (Algorithm 4) | ``refined`` (Algorithm 5).
@@ -86,9 +88,12 @@ class NodeConfig:
         keyspace_seed: salts the coordination-free hash key assignment,
             so disjoint deployments draw independent key sets.
         engine: pending-queue drain strategy — ``indexed`` (default, the
-            vectorised entry-indexed buffer) or ``naive`` (the reference
+            vectorised entry-indexed buffer), ``naive`` (the reference
             full-rescan drain; identical delivery order, kept for
-            differential testing).
+            differential testing), ``auto`` (naive with promotion) or
+            ``hybrid`` (per-sender seq-sorted queues) — or any engine
+            registered through
+            :func:`repro.core.registry.register_engine`.
 
     Transport and reliability (used by :func:`create_node`):
 
@@ -183,30 +188,26 @@ class NodeConfig:
     metrics_port: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.scheme not in SCHEMES:
-            raise ConfigurationError(
-                f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}"
-            )
-        if self.detector not in DETECTORS:
-            raise ConfigurationError(
-                f"unknown detector {self.detector!r}; expected one of {DETECTORS}"
-            )
+        # Strict registry validation: unknown scheme / detector / engine
+        # strings raise listing the registered names (never a silent
+        # fallback — a typo like "basci" must not pick a detector).
+        spec = get_clock_spec(self.scheme)
+        get_detector_spec(self.detector)
+        get_engine_spec(self.engine)
         if self.payload_codec not in PAYLOAD_CODECS:
             raise ConfigurationError(
                 f"unknown payload codec {self.payload_codec!r}; "
                 f"expected one of {PAYLOAD_CODECS}"
             )
-        if self.scheme == "vector" and self.n is None:
-            raise ConfigurationError('scheme="vector" needs n (the system size)')
-        if self.engine not in ENGINE_MODES:
+        if spec.needs_dense_index and self.n is None:
             raise ConfigurationError(
-                f"unknown engine {self.engine!r}; expected one of {ENGINE_MODES}"
+                f"scheme={self.scheme!r} needs n (the system size)"
             )
         if self.r <= 0:
             raise ConfigurationError(f"vector size R must be positive, got {self.r}")
         if self.k <= 0:
             raise ConfigurationError(f"key count K must be positive, got {self.k}")
-        if self.scheme == "probabilistic" and self.k > self.r:
+        if spec.fixed_k is None and spec.fixed_r is None and self.k > self.r:
             raise ConfigurationError(f"need K <= R, got K={self.k}, R={self.r}")
         if self.anti_entropy_interval < 0:
             raise ConfigurationError(
@@ -280,50 +281,45 @@ def create_clock(
 ) -> EntryVectorClock:
     """Build the configured clock-family member for ``node_id``.
 
+    Resolves the scheme through :mod:`repro.core.registry` and fills a
+    :class:`~repro.core.registry.ClockBuildContext` with what the spec's
+    capability descriptors declare it needs.
+
     Args:
         node_id: the process identity (drives hash key assignment).
         config: the node configuration.
         index: dense process index, required by ``scheme="vector"``.
         assigner: optional coordinated :class:`KeyAssigner`; when given,
             ``assigner.assign(node_id)`` replaces the hash assignment
-            (``probabilistic``/``plausible`` schemes only).
+            (key-assignment schemes only).
     """
-    if config.keys is not None:
-        keys: Sequence[int] = config.keys
-    elif assigner is not None:
-        keys = assigner.assign(node_id).keys
-    else:
-        keys = ()
-
-    if config.scheme == "probabilistic":
-        if not keys:
-            keys = _hash_keys(node_id, config, config.k)
-        return ProbabilisticCausalClock(config.r, keys)
-    if config.scheme == "plausible":
-        if not keys:
-            keys = _hash_keys(node_id, config, 1)
-        if len(keys) != 1:
-            raise ConfigurationError(
-                f'scheme="plausible" owns exactly one entry, got {tuple(keys)}'
-            )
-        return PlausibleCausalClock(config.r, keys[0])
-    if config.scheme == "lamport":
-        return LamportCausalClock()
-    # scheme == "vector": needs a dense index, not a key set.
-    if index is None:
-        raise ConfigurationError(
-            'scheme="vector" needs index= (this node\'s dense process index)'
-        )
-    return VectorCausalClock(config.n, index)
+    spec = get_clock_spec(config.scheme)
+    keys: Sequence[int] = ()
+    if spec.needs_key_assignment:
+        if config.keys is not None:
+            keys = config.keys
+        elif assigner is not None:
+            keys = assigner.assign(node_id).keys
+        else:
+            keys = _hash_keys(node_id, config, spec.fixed_k or config.k)
+    context = ClockBuildContext(
+        node_id=node_id,
+        r=config.r,
+        k=spec.fixed_k or config.k,
+        n=config.n,
+        index=index,
+        keys=tuple(int(key) for key in keys),
+    )
+    return spec.factory(context)
 
 
 def create_detector(config: NodeConfig) -> DeliveryErrorDetector:
-    """Build the configured delivery-error detector."""
-    if config.detector == "none":
-        return NullDetector()
-    if config.detector == "basic":
-        return BasicAlertDetector()
-    return RefinedAlertDetector(window=config.detector_window)
+    """Build the configured delivery-error detector.
+
+    Resolves through the detector registry: an unrecognized name raises
+    :class:`ConfigurationError` listing the registered detectors.
+    """
+    return get_detector_spec(config.detector).build(window=config.detector_window)
 
 
 def create_endpoint(
@@ -353,7 +349,7 @@ def create_endpoint(
 
 def _message_codec(config: NodeConfig) -> MessageCodec:
     payload = JsonPayloadCodec() if config.payload_codec == "json" else RawBytesPayloadCodec()
-    return MessageCodec(payload_codec=payload)
+    return MessageCodec(payload_codec=payload, scheme=config.scheme)
 
 
 async def create_node(
@@ -380,6 +376,7 @@ async def create_node(
             returning (pass False to start manually later).
     """
     config = config if config is not None else NodeConfig()
+    spec = get_clock_spec(config.scheme)
     if transport is None:
         transport = await UdpTransport.create(host=config.host, port=config.port)
     clock = create_clock(node_id, config, index=index, assigner=assigner)
@@ -413,7 +410,10 @@ async def create_node(
         engine=config.engine,
         journal=journal,
         liveness=liveness,
-        wire_delta=config.wire_delta,
+        # Delta wire encoding reconstructs sender keys from a static
+        # per-sender table; schemes that draw keys per message (bloom)
+        # cannot use it, whatever the config says.
+        wire_delta=config.wire_delta and not spec.per_message_keys,
         metrics_path=config.metrics_path,
         metrics_interval=config.metrics_interval,
         metrics_port=config.metrics_port,

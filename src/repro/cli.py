@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the common workflows without writing code:
+Seven subcommands cover the common workflows without writing code:
 
 * ``simulate``  — run one experiment and print the measurements;
 * ``sweep``     — sweep K, λ, or N and print the resulting series;
@@ -10,7 +10,14 @@ Six subcommands cover the common workflows without writing code:
 * ``node``      — run a real networked node (reliable UDP runtime),
   assembled by the :mod:`repro.api` factory;
 * ``stats``     — render metrics JSONL exports (from ``node
-  --metrics-path``, the simulator, or the metered soak) as tables.
+  --metrics-path``, the simulator, or the metered soak) as tables;
+* ``engines``   — list the registered clock schemes, delivery engines,
+  and detectors with their capability descriptors.
+
+The ``--clock``/``--engine``/``--detector`` choices are read from
+:mod:`repro.core.registry` at parser-build time, so schemes registered
+by plugins (imported before :func:`build_parser` runs) are selectable
+here without touching this module.
 
 Every command prints plain text; ``simulate --json`` emits a
 machine-readable result instead.
@@ -26,6 +33,14 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis.persistence import result_to_dict
+from repro.core.registry import (
+    clock_schemes,
+    detector_names,
+    engine_names,
+    get_clock_spec,
+    get_detector_spec,
+    get_engine_spec,
+)
 from repro.analysis.sweep import SweepPoint, sweep_parameter
 from repro.analysis.tables import render_table
 from repro.core.theory import (
@@ -105,12 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
     node.add_argument("--r", type=int, default=128)
     node.add_argument("--k", type=int, default=3)
     node.add_argument(
-        "--clock",
-        choices=("probabilistic", "plausible", "lamport", "vector"),
-        default="probabilistic",
+        "--clock", choices=clock_schemes(), default="probabilistic"
     )
     node.add_argument(
-        "--detector", choices=("none", "basic", "refined"), default="basic"
+        "--detector", choices=detector_names(), default="basic"
     )
     node.add_argument(
         "--send", default="hello", help="payload prefix for the broadcasts"
@@ -181,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit Prometheus text exposition format instead of tables",
     )
 
+    commands.add_parser(
+        "engines",
+        help="list registered clock schemes, delivery engines, and detectors",
+    )
+
     return parser
 
 
@@ -196,9 +214,7 @@ def _add_simulation_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--r", type=int, default=100)
     parser.add_argument("--k", type=int, default=4)
     parser.add_argument(
-        "--clock",
-        choices=("probabilistic", "plausible", "lamport", "vector"),
-        default="probabilistic",
+        "--clock", choices=clock_schemes(), default="probabilistic"
     )
     parser.add_argument(
         "--assigner",
@@ -215,10 +231,10 @@ def _add_simulation_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--delay-std-ms", type=float, default=20.0)
     parser.add_argument("--skew-std-ms", type=float, default=20.0)
     parser.add_argument(
-        "--detector", choices=("none", "basic", "refined"), default="basic"
+        "--detector", choices=detector_names(), default="basic"
     )
     parser.add_argument(
-        "--engine", choices=("auto", "indexed", "naive"), default="auto",
+        "--engine", choices=engine_names(), default="auto",
         help="pending-buffer drain engine for every simulated endpoint",
     )
     parser.add_argument("--seed", type=int, default=0)
@@ -351,11 +367,12 @@ def _command_node(args: argparse.Namespace) -> int:
 
     host, port = _parse_host_port(args.listen)
     peer_addresses = [_parse_host_port(peer) for peer in args.peer]
+    dense = get_clock_spec(args.clock).needs_dense_index
     config = NodeConfig(
         r=args.r,
         k=args.k,
         scheme=args.clock,
-        n=args.r if args.clock == "vector" else None,
+        n=args.r if dense else None,
         detector=args.detector,
         host=host,
         port=port,
@@ -379,7 +396,7 @@ def _command_node(args: argparse.Namespace) -> int:
                     f"<- {record.message.sender}: {record.message.payload!r}"
                     + ("  [ALERT]" if record.alert else "")
                 ),
-                index=0 if args.clock == "vector" else None,
+                index=0 if dense else None,
             )
         except OSError as exc:
             print(f"cannot bind {host}:{port}: {exc}", file=sys.stderr)
@@ -500,6 +517,57 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_engines(args: argparse.Namespace) -> int:
+    def flags(capabilities: dict) -> str:
+        on = [name for name, value in sorted(capabilities.items())
+              if value is True]
+        return ", ".join(on) if on else "-"
+
+    clock_rows = []
+    for name in clock_schemes():
+        spec = get_clock_spec(name)
+        caps = spec.capabilities()
+        clock_rows.append([
+            name,
+            caps["wire_scheme_id"],
+            caps["fixed_r"] if caps["fixed_r"] is not None else "free",
+            caps["fixed_k"] if caps["fixed_k"] is not None else "free",
+            flags({key: caps[key] for key in
+                   ("needs_dense_index", "needs_key_assignment",
+                    "per_message_keys")}),
+            spec.description,
+        ])
+    print(render_table(
+        ["clock", "wire id", "R", "K", "capabilities", "description"],
+        clock_rows, title="registered clock schemes",
+    ))
+
+    engine_rows = []
+    for name in engine_names():
+        spec = get_engine_spec(name)
+        caps = spec.capabilities()
+        engine_rows.append([
+            name,
+            "yes" if caps["buffered"] else "no",
+            "yes" if caps["auto_promote"] else "no",
+            spec.description,
+        ])
+    print(render_table(
+        ["engine", "buffered", "auto-promote", "description"],
+        engine_rows, title="registered delivery engines",
+    ))
+
+    detector_rows = [
+        [name, get_detector_spec(name).description]
+        for name in detector_names()
+    ]
+    print(render_table(
+        ["detector", "description"],
+        detector_rows, title="registered detectors",
+    ))
+    return 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "sweep": _command_sweep,
@@ -507,6 +575,7 @@ _COMMANDS = {
     "theory": _command_theory,
     "node": _command_node,
     "stats": _command_stats,
+    "engines": _command_engines,
 }
 
 

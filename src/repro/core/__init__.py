@@ -8,6 +8,7 @@ Section 5.3.
 """
 
 from repro.core.clocks import (
+    BloomCausalClock,
     DynamicVectorClock,
     EntryVectorClock,
     LamportCausalClock,
@@ -59,11 +60,32 @@ from repro.core.keyspace import (
     entry_loads,
     pairwise_overlap_counts,
 )
+from repro.core.pending import HybridBuffer, PendingBuffer
 from repro.core.protocol import (
     CausalBroadcastEndpoint,
     DeliveryRecord,
     EndpointStats,
     Message,
+)
+from repro.core.registry import (
+    ClockBuildContext,
+    ClockSpec,
+    DetectorSpec,
+    EngineSpec,
+    clock_schemes,
+    detector_names,
+    engine_names,
+    get_clock_spec,
+    get_detector_spec,
+    get_engine_spec,
+    register_clock,
+    register_detector,
+    register_engine,
+    scheme_id_of,
+    scheme_name_of,
+    unregister_clock,
+    unregister_detector,
+    unregister_engine,
 )
 from repro.core.theory import (
     expected_concurrency,
@@ -71,6 +93,7 @@ from repro.core.theory import (
     optimal_k_int,
     p_entry_covered,
     p_error,
+    p_fp,
     p_reorder_same_sender,
     p_violation_bound,
     predicted_error_series,
@@ -86,6 +109,7 @@ __all__ = [
     "LamportCausalClock",
     "VectorCausalClock",
     "DynamicVectorClock",
+    "BloomCausalClock",
     # combinatorics
     "binomial",
     "num_key_sets",
@@ -109,11 +133,33 @@ __all__ = [
     "MatrixTimestamp",
     "PointToPointMessage",
     "MatrixClockEndpoint",
+    # pending buffers
+    "PendingBuffer",
+    "HybridBuffer",
     # protocol
     "Message",
     "DeliveryRecord",
     "EndpointStats",
     "CausalBroadcastEndpoint",
+    # registry (plugin surface)
+    "ClockBuildContext",
+    "ClockSpec",
+    "EngineSpec",
+    "DetectorSpec",
+    "register_clock",
+    "register_engine",
+    "register_detector",
+    "unregister_clock",
+    "unregister_engine",
+    "unregister_detector",
+    "get_clock_spec",
+    "get_engine_spec",
+    "get_detector_spec",
+    "clock_schemes",
+    "engine_names",
+    "detector_names",
+    "scheme_id_of",
+    "scheme_name_of",
     # detectors
     "DeliveryErrorDetector",
     "NullDetector",
@@ -123,6 +169,7 @@ __all__ = [
     # theory
     "p_entry_covered",
     "p_error",
+    "p_fp",
     "optimal_k",
     "optimal_k_int",
     "predicted_error_series",

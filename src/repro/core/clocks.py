@@ -30,6 +30,7 @@ delivery test at every one of the N receivers is one ``>=``/``all`` pass.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Hashable, Iterable, Sequence, Tuple, Union
@@ -45,6 +46,7 @@ __all__ = [
     "PlausibleCausalClock",
     "LamportCausalClock",
     "VectorCausalClock",
+    "BloomCausalClock",
     "DynamicVectorClock",
 ]
 
@@ -408,6 +410,78 @@ class VectorCausalClock(EntryVectorClock):
         if not 0 <= own_index < n:
             raise ConfigurationError(f"own index {own_index} outside [0, {n})")
         super().__init__(n, (own_index,))
+
+
+class BloomCausalClock(EntryVectorClock):
+    """Ramabaja's Bloom clock as a member of the delivery framework.
+
+    An ``m``-counter vector where every *event* increments ``h`` cells
+    chosen by hashing the event — the per-event analogue of the paper's
+    static per-process key set ``f(p_i)``.  Framed in the (n, r, k)
+    design space this is the ``(n, m, h)`` point with ``f`` ranging over
+    *messages* instead of processes: message ``(owner, seq)`` draws the
+    ``h`` distinct cells ``f(owner, seq)`` from a keyed hash, stable
+    across processes, so receivers apply the unchanged Algorithm 2
+    delivery condition to whatever key set the timestamp carries.
+
+    The comparison-error analysis is the textbook Bloom-filter
+    false-positive curve (:func:`repro.core.theory.p_fp`), which is the
+    *same covering computation* as the paper's ``P_err(R, K, X)`` — the
+    families differ only in whether the ``K``/``h`` cells are drawn once
+    per process or once per event.  Per-event keys decorrelate
+    consecutive messages of one sender (a covered entry no longer stays
+    covered for that sender's whole stream), at the cost of shipping a
+    fresh key list on every message and losing the static-key delta wire
+    encoding (see ``per_message_keys`` in :mod:`repro.core.registry`).
+
+    Args:
+        m: vector size (number of Bloom counters; the family's ``R``).
+        hashes: cells incremented per event (the Bloom ``h``; plays K).
+        owner: this process's identity — part of the hash preimage, so
+            two processes never share an event's key set by accident.
+        salt: keyspace salt for disjoint deployments (mirrors
+            ``keyspace_seed``).
+    """
+
+    def __init__(
+        self, m: int, hashes: int = 4, owner: ProcessId = "", salt: int = 0
+    ) -> None:
+        if hashes <= 0:
+            raise ConfigurationError(f"hash count must be positive, got {hashes}")
+        if hashes > m:
+            raise ConfigurationError(f"need hashes <= m, got hashes={hashes}, m={m}")
+        self._hashes = hashes
+        self._owner_token = repr(owner)
+        self._salt = salt
+        self._m = m  # needed by _event_keys before the base class sets _r
+        super().__init__(m, self._event_keys(1))
+
+    @property
+    def hashes(self) -> int:
+        """Cells incremented per event (the Bloom ``h``)."""
+        return self._hashes
+
+    def _event_keys(self, seq: int) -> Tuple[int, ...]:
+        """The ``h`` distinct cells of this process's ``seq``-th event.
+
+        SHA-256 over ``(salt, owner, seq, draw)`` — like
+        :class:`~repro.core.keyspace.HashKeyAssigner`, a keyed hash
+        rather than the builtin ``hash`` so the draw is identical in
+        every process regardless of ``PYTHONHASHSEED``.
+        """
+        keys: set = set()
+        draw = 0
+        while len(keys) < self._hashes:
+            preimage = f"{self._salt}|{self._owner_token}|{seq}|{draw}".encode("utf-8")
+            digest = hashlib.sha256(preimage).digest()
+            keys.add(int.from_bytes(digest[:8], "big") % self._m)
+            draw += 1
+        return tuple(sorted(keys))
+
+    def prepare_send(self) -> Timestamp:
+        """Algorithm 1 with a per-event key set: re-draw ``f`` then stamp."""
+        self.rekey(self._event_keys(self._send_seq + 1))
+        return super().prepare_send()
 
 
 class DynamicVectorClock:

@@ -7,9 +7,15 @@ this module defines a compact, versioned binary encoding used by the
 Layout (little-endian)::
 
     magic   2B  b"PC"
-    version 1B  (currently 1)
+    version 1B  (currently 2)
     flags   1B  bit0: entries are LEB128 varints (else fixed uint32)
                 bit1: DELTA encoding (see below)
+    scheme  1B  clock-scheme id (repro.core.registry allocation): the
+                clock family that produced the timestamp.  Decoding
+                checks it against the codec's configured scheme, so
+                timestamps of different families — which share the
+                vector shape but not the delivery semantics — fail
+                loudly instead of being silently mis-applied.
     sender  u16 length + UTF-8 bytes
     seq     u64
     K       u16, then K x u32 sender keys
@@ -65,6 +71,7 @@ import numpy as np
 from repro.core.clocks import Timestamp
 from repro.core.errors import ReproError
 from repro.core.protocol import Message
+from repro.core.registry import scheme_id_of, scheme_name_of
 
 __all__ = [
     "CodecError",
@@ -86,10 +93,11 @@ __all__ = [
 ]
 
 _MAGIC = b"PC"
-_VERSION = 1
+_VERSION = 2  # v2 added the clock-scheme id byte after the flags
 _FLAG_VARINT = 0x01
 _FLAG_DELTA = 0x02
 _MAX_U32 = 0xFFFFFFFF
+_HEADER_SIZE = 5  # magic + version + flags + scheme
 
 
 class CodecError(ReproError):
@@ -202,15 +210,46 @@ class MessageCodec:
     Args:
         payload_codec: application payload serialisation (JSON by default).
         varint_entries: LEB128-compress the R entries (default True).
+        scheme: the clock scheme whose timestamps this codec carries
+            (a name registered in :mod:`repro.core.registry`).  Its wire
+            id is stamped into every encoding and checked on decode.
     """
 
     def __init__(
         self,
         payload_codec: PayloadCodec = None,
         varint_entries: bool = True,
+        scheme: str = "probabilistic",
     ) -> None:
         self._payload_codec = payload_codec if payload_codec is not None else JsonPayloadCodec()
         self._varint = varint_entries
+        self._scheme = scheme
+        self._scheme_id = scheme_id_of(scheme)
+
+    @property
+    def scheme(self) -> str:
+        """The clock scheme this codec encodes and accepts."""
+        return self._scheme
+
+    @staticmethod
+    def peek_scheme(data: bytes) -> Optional[str]:
+        """The clock scheme of an encoded message, without decoding it.
+
+        Returns the registered scheme name, or ``None`` when the id byte
+        is not (or no longer) registered locally.
+        """
+        if len(data) < _HEADER_SIZE or data[:2] != _MAGIC:
+            raise CodecError("bad magic")
+        return scheme_name_of(data[4])
+
+    def _check_scheme(self, scheme_id: int) -> None:
+        if scheme_id != self._scheme_id:
+            carried = scheme_name_of(scheme_id)
+            label = repr(carried) if carried is not None else f"id {scheme_id}"
+            raise CodecError(
+                f"message timestamp belongs to clock scheme {label}; "
+                f"this codec decodes {self._scheme!r}"
+            )
 
     def _header_parts(self, message: Message, flags: int) -> list:
         """Shared prefix (magic..keys) of the full and delta encodings."""
@@ -224,7 +263,7 @@ class MessageCodec:
             raise CodecError(f"sender keys outside uint32 wire range: {keys}")
         return [
             _MAGIC,
-            struct.pack("<BB", _VERSION, flags),
+            struct.pack("<BBB", _VERSION, flags, self._scheme_id),
             struct.pack("<H", len(sender_bytes)),
             sender_bytes,
             struct.pack("<Q", message.seq),
@@ -264,9 +303,9 @@ class MessageCodec:
         return b"".join(parts)
 
     def decode(self, data: bytes) -> Message:
-        if len(data) < 4 or data[:2] != _MAGIC:
+        if len(data) < _HEADER_SIZE or data[:2] != _MAGIC:
             raise CodecError("bad magic")
-        version, flags = struct.unpack_from("<BB", data, 2)
+        version, flags, scheme_id = struct.unpack_from("<BBB", data, 2)
         if version != _VERSION:
             raise CodecError(f"unsupported version {version}")
         if flags & _FLAG_DELTA:
@@ -274,8 +313,9 @@ class MessageCodec:
                 "delta-encoded message: use decode_delta() with the "
                 "per-link reference vector"
             )
+        self._check_scheme(scheme_id)
         varint = bool(flags & _FLAG_VARINT)
-        offset = 4
+        offset = _HEADER_SIZE
         try:
             (sender_len,) = struct.unpack_from("<H", data, offset)
             offset += 2
@@ -323,7 +363,7 @@ class MessageCodec:
         sender_bytes = str(message.sender).encode("utf-8")
         timestamp = message.timestamp
         size = (
-            4  # magic + version + flags
+            _HEADER_SIZE  # magic + version + flags + scheme
             + 2 + len(sender_bytes)
             + 8  # seq
             + 2 + 4 * len(timestamp.sender_keys)
@@ -343,7 +383,11 @@ class MessageCodec:
     @staticmethod
     def is_delta(data: bytes) -> bool:
         """True when ``data`` is a delta-encoded message datagram."""
-        return len(data) >= 4 and data[:2] == _MAGIC and bool(data[3] & _FLAG_DELTA)
+        return (
+            len(data) >= _HEADER_SIZE
+            and data[:2] == _MAGIC
+            and bool(data[3] & _FLAG_DELTA)
+        )
 
     def encode_delta(
         self, message: Message, ref_seq: int, ref_vector: np.ndarray
@@ -394,7 +438,7 @@ class MessageCodec:
         payload_bytes = self._payload_codec.encode(message.payload)
         parts = [
             _MAGIC,
-            struct.pack("<BB", _VERSION, _FLAG_VARINT | _FLAG_DELTA),
+            struct.pack("<BBB", _VERSION, _FLAG_VARINT | _FLAG_DELTA, self._scheme_id),
             struct.pack("<H", len(sender_bytes)),
             sender_bytes,
             encode_varint(message.seq),
@@ -424,14 +468,15 @@ class MessageCodec:
         """Parse a delta's magic/version/flags/sender/varint-seq; returns
         ``(sender, seq, offset_of_ref_gap)``.  Deltas diverge from the
         full encoding right after the sender field: seq is a varint."""
-        if len(data) < 4 or data[:2] != _MAGIC:
+        if len(data) < _HEADER_SIZE or data[:2] != _MAGIC:
             raise CodecError("bad magic")
-        version, flags = struct.unpack_from("<BB", data, 2)
+        version, flags, scheme_id = struct.unpack_from("<BBB", data, 2)
         if version != _VERSION:
             raise CodecError(f"unsupported version {version}")
         if not flags & _FLAG_DELTA:
             raise CodecError("not a delta-encoded message")
-        offset = 4
+        self._check_scheme(scheme_id)
+        offset = _HEADER_SIZE
         try:
             (sender_len,) = struct.unpack_from("<H", data, offset)
         except struct.error as exc:

@@ -32,6 +32,7 @@ from repro.core.clocks import EntryVectorClock, Timestamp
 from repro.core.detector import DeliveryErrorDetector, NullDetector
 from repro.core.errors import ConfigurationError
 from repro.core.pending import Frontiers, PendingBuffer, SeenFilter
+from repro.core.registry import engine_names, get_engine_spec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs is optional)
     from repro.obs.registry import MetricsRegistry
@@ -45,7 +46,11 @@ __all__ = [
     "ENGINE_MODES",
 ]
 
-ENGINE_MODES = ("indexed", "naive", "auto")
+# Snapshot of the engines registered at import time (the built-ins:
+# indexed, naive, auto, hybrid).  Validation resolves through the live
+# registry, so engines registered later work too — this tuple exists for
+# display and backwards compatibility.
+ENGINE_MODES = engine_names()
 
 # Pending depth at which engine="auto" promotes the naive drain to the
 # entry-indexed buffer.  BENCH_hotpath.json locates the crossover: at
@@ -128,15 +133,19 @@ class CausalBroadcastEndpoint:
             means the configuration is pathological (e.g. a partitioned
             sender) and raises :class:`ConfigurationError` rather than
             accumulating unbounded state.
-        engine: pending-queue drain strategy — ``"indexed"`` (default)
-            uses the vectorised, entry-indexed
+        engine: pending-queue drain strategy, resolved through
+            :mod:`repro.core.registry` — ``"indexed"`` (default) uses
+            the vectorised, entry-indexed
             :class:`~repro.core.pending.PendingBuffer`; ``"naive"`` keeps
             the original full-rescan Python loop as a reference
             implementation for differential testing; ``"auto"`` starts
             naive and promotes to the indexed buffer once the pending
             queue deepens past :data:`AUTO_PROMOTE_PENDING` (shallow
             queues are faster without the index bookkeeping; deep ones
-            need it).  Delivery order is identical across all three.
+            need it); ``"hybrid"`` keeps per-sender seq-sorted queues
+            and probes only their fronts
+            (:class:`~repro.core.pending.HybridBuffer`).  Delivery
+            order is identical across all of them.
     """
 
     def __init__(
@@ -150,20 +159,19 @@ class CausalBroadcastEndpoint:
     ) -> None:
         if max_pending is not None and max_pending <= 0:
             raise ConfigurationError(f"max_pending must be positive, got {max_pending}")
-        if engine not in ENGINE_MODES:
-            raise ConfigurationError(
-                f"engine must be one of {ENGINE_MODES}, got {engine!r}"
-            )
+        spec = get_engine_spec(engine)
         self._process_id = process_id
         self._clock = clock
         self._detector = detector if detector is not None else NullDetector()
         self._callback = deliver_callback
         self._max_pending = max_pending
         self._engine = engine
+        self._auto_promote = spec.auto_promote
         self._pending: List[Message] = []
-        self._buffer: Optional[PendingBuffer] = (
-            PendingBuffer(clock.r) if engine == "indexed" else None
+        self._buffer: Optional[Any] = (
+            spec.buffer_factory(clock.r) if spec.buffer_factory is not None else None
         )
+        self._active_engine = engine if self._buffer is not None else "naive"
         self._seen = SeenFilter()
         self.stats = EndpointStats()
         # Observability is opt-in: the hot path pays one None check until
@@ -244,15 +252,14 @@ class CausalBroadcastEndpoint:
 
     @property
     def engine(self) -> str:
-        """The configured drain strategy (``indexed``, ``naive`` or
-        ``auto``)."""
+        """The configured drain strategy (a registered engine name)."""
         return self._engine
 
     @property
     def active_engine(self) -> str:
         """The drain strategy currently executing — for ``auto``, which
         side of the promotion threshold the endpoint is on."""
-        return "indexed" if self._buffer is not None else "naive"
+        return self._active_engine
 
     @property
     def pending_count(self) -> int:
@@ -356,7 +363,7 @@ class CausalBroadcastEndpoint:
             else:
                 self._pending.append(message)
                 size = len(self._pending)
-                if self._engine == "auto" and size >= AUTO_PROMOTE_PENDING:
+                if self._auto_promote and size >= AUTO_PROMOTE_PENDING:
                     self._promote()
             if self._max_pending is not None and size > self._max_pending:
                 raise ConfigurationError(
@@ -382,6 +389,7 @@ class CausalBroadcastEndpoint:
             buffer.add(queued, queued.timestamp.adjusted, vector)
         self._pending = []
         self._buffer = buffer
+        self._active_engine = "indexed"
 
     def _drain_indexed(
         self, now: float, touched_keys: Sequence[int], delivered: List[DeliveryRecord]

@@ -40,6 +40,7 @@ __all__ = [
     "expected_concurrency",
     "p_reorder_same_sender",
     "p_violation_bound",
+    "p_fp",
     "timestamp_overhead_bits",
 ]
 
@@ -187,6 +188,35 @@ def p_violation_bound(p_nc: float, r: int, k: int, x: float) -> float:
     if not 0.0 <= p_nc <= 1.0:
         raise ConfigurationError(f"P_nc must lie in [0, 1], got {p_nc}")
     return p_nc * p_error(r, k, x)
+
+
+def p_fp(m: int, h: int, inserts: float) -> float:
+    """Bloom-clock false-positive curve: the analogue of ``P_err(R, K, X)``.
+
+    Probability that ``inserts`` concurrent events — each incrementing
+    ``h`` hashed cells of an ``m``-counter Bloom clock — cover all ``h``
+    cells of a missing event, making it look causally ordered:
+
+    .. math::
+
+        p_{fp}(m, h, X) = \\left(1 - (1 - 1/m)^{h X}\\right)^h
+
+    This is *structurally identical* to the paper's ``P_err``: both are
+    the textbook Bloom-filter covering computation, the families
+    differing only in whether the cells are drawn once per process
+    (static ``f(p_i)``) or once per event (the Bloom clock's
+    ``f(owner, seq)``).  The shared formula is why the (R, K) clock can
+    be read as "a Bloom clock with static keys", and it lets both rows
+    of the clock-family table be predicted by one curve.  Minimised at
+    ``h = ln 2 · m / X`` (:func:`optimal_k`, with ``m``, ``X`` in place
+    of ``r``, ``x``).
+
+    Args:
+        m: number of Bloom counters (the family's ``R``).
+        h: cells incremented per event (plays ``K``).
+        inserts: concurrent events during one transit (the paper's ``X``).
+    """
+    return p_error(m, h, inserts)
 
 
 def timestamp_overhead_bits(r: int, k: int, bits_per_entry: int = 32) -> int:

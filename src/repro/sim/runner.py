@@ -28,19 +28,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.clocks import (
-    EntryVectorClock,
-    LamportCausalClock,
-    PlausibleCausalClock,
-    ProbabilisticCausalClock,
-    VectorCausalClock,
-)
-from repro.core.detector import (
-    BasicAlertDetector,
-    DeliveryErrorDetector,
-    NullDetector,
-    RefinedAlertDetector,
-)
+from repro.core.clocks import EntryVectorClock
+from repro.core.detector import DeliveryErrorDetector
 from repro.core.errors import ConfigurationError
 from repro.core.keyspace import (
     BalancedLoadKeyAssigner,
@@ -51,7 +40,15 @@ from repro.core.keyspace import (
     SequentialKeyAssigner,
 )
 from repro.core.combinatorics import num_key_sets, unrank_lex
-from repro.core.protocol import ENGINE_MODES, CausalBroadcastEndpoint, Message
+from repro.core.protocol import CausalBroadcastEndpoint, Message
+from repro.core.registry import (
+    ClockBuildContext,
+    clock_schemes,
+    detector_names,
+    get_clock_spec,
+    get_detector_spec,
+    get_engine_spec,
+)
 from repro.core.theory import optimal_k_int, p_error
 from repro.sim.dissemination import DirectBroadcast, Dissemination, DisseminationContext
 from repro.sim.engine import Simulator
@@ -110,7 +107,9 @@ class NodeApplication:
     def on_leave(self, node_id: int, now: float) -> None:
         """Observe this node leaving the system."""
 
-CLOCK_MODES = ("probabilistic", "plausible", "lamport", "vector")
+# Snapshot of the clock schemes registered at import time; validation
+# resolves through the live registry, so schemes registered later work.
+CLOCK_MODES = clock_schemes()
 ASSIGNER_MODES = (
     "random",
     "random-colliding",
@@ -119,7 +118,7 @@ ASSIGNER_MODES = (
     "sequential",
     "hash",
 )
-DETECTOR_MODES = ("none", "basic", "refined")
+DETECTOR_MODES = detector_names()
 
 
 @dataclass
@@ -134,9 +133,11 @@ class SimulationConfig:
         n_nodes: initial population ``N``.
         r: vector size ``R`` (ignored for ``lamport`` and ``vector`` clocks).
         k: entries per process ``K`` (ignored unless ``probabilistic``).
-        clock: which member of the (n, r, k) family every node runs —
-            ``probabilistic`` (the paper), ``plausible`` (K=1 baseline),
-            ``lamport`` (R=1 baseline), or ``vector`` (exact baseline).
+        clock: which clock family every node runs — ``probabilistic``
+            (the paper), ``plausible`` (K=1 baseline), ``lamport`` (R=1
+            baseline), ``vector`` (exact baseline), ``bloom``
+            (per-event hashed keys), or any scheme registered through
+            :func:`repro.core.registry.register_clock`.
         key_assigner: how key sets are distributed — ``random`` (the
             paper's distributed scheme, distinct set_ids), ``random-colliding``
             (no distinctness guarantee), ``perfect``, ``sequential``, ``hash``.
@@ -178,10 +179,11 @@ class SimulationConfig:
         engine: pending-queue drain strategy for every endpoint —
             ``auto`` (default: the naive drain until the pending queue
             deepens past the promotion threshold, then the vectorised
-            entry-indexed buffer), ``indexed`` (always the buffer) or
+            entry-indexed buffer), ``indexed`` (always the buffer),
             ``naive`` (always the reference full-rescan drain; same
             delivery order, kept for differential testing and perf
-            baselines).
+            baselines), or ``hybrid`` (per-sender seq-sorted queues,
+            probing only their fronts).
         metrics_path: when set, the run binds a
             :class:`repro.obs.MetricsRegistry` (labels ``mode="sim"``)
             to its metric set and appends one JSONL snapshot line to this
@@ -228,19 +230,15 @@ class SimulationConfig:
         """Raise :class:`ConfigurationError` on inconsistent parameters."""
         if self.n_nodes < 1:
             raise ConfigurationError(f"n_nodes must be >= 1, got {self.n_nodes}")
-        if self.clock not in CLOCK_MODES:
-            raise ConfigurationError(f"clock must be one of {CLOCK_MODES}, got {self.clock!r}")
+        spec = get_clock_spec(self.clock)
         if self.key_assigner not in ASSIGNER_MODES:
             raise ConfigurationError(
                 f"key_assigner must be one of {ASSIGNER_MODES}, got {self.key_assigner!r}"
             )
-        if self.detector not in DETECTOR_MODES:
-            raise ConfigurationError(
-                f"detector must be one of {DETECTOR_MODES}, got {self.detector!r}"
-            )
-        if self.clock == "probabilistic" and not 1 <= self.k <= self.r:
+        get_detector_spec(self.detector)
+        if spec.fixed_k is None and spec.fixed_r is None and not 1 <= self.k <= self.r:
             raise ConfigurationError(f"need 1 <= K <= R, got K={self.k}, R={self.r}")
-        if self.clock in ("probabilistic", "plausible") and self.r < 1:
+        if spec.fixed_r is None and not spec.needs_dense_index and self.r < 1:
             raise ConfigurationError(f"R must be >= 1, got {self.r}")
         if self.duration_ms <= 0:
             raise ConfigurationError(f"duration_ms must be > 0, got {self.duration_ms}")
@@ -254,10 +252,7 @@ class SimulationConfig:
             raise ConfigurationError("recovery timings must be positive")
         if self.recovery_log_size <= 0:
             raise ConfigurationError("recovery_log_size must be positive")
-        if self.engine not in ENGINE_MODES:
-            raise ConfigurationError(
-                f"engine must be one of {ENGINE_MODES}, got {self.engine!r}"
-            )
+        get_engine_spec(self.engine)
         if self.adaptive_k_interval_ms is not None:
             if self.adaptive_k_interval_ms <= 0:
                 raise ConfigurationError("adaptive_k_interval_ms must be > 0")
@@ -412,18 +407,18 @@ class _Run(DisseminationContext):
     # ------------------------------------------------------------------
 
     def _effective_vector_size(self) -> int:
-        mode = self._config.clock
-        if mode == "lamport":
-            return 1
-        if mode == "vector":
+        spec = get_clock_spec(self._config.clock)
+        if spec.fixed_r is not None:
+            return spec.fixed_r
+        if spec.needs_dense_index:
             return self._capacity
         return self._config.r
 
     def _make_assigner(self) -> Optional[KeyAssigner]:
-        mode = self._config.clock
-        if mode in ("lamport", "vector"):
+        spec = get_clock_spec(self._config.clock)
+        if not spec.needs_key_assignment:
             return None
-        k = self._config.k if mode == "probabilistic" else 1
+        k = spec.fixed_k if spec.fixed_k is not None else self._config.k
         name = self._config.key_assigner
         if name == "random":
             return RandomKeyAssigner(self._config.r, k, rng=self._rng_keys)
@@ -442,28 +437,29 @@ class _Run(DisseminationContext):
         raise ConfigurationError(f"unknown key assigner {name!r}")
 
     def _make_detector(self) -> DeliveryErrorDetector:
-        mode = self._config.detector
-        if mode == "none":
-            return NullDetector()
-        if mode == "basic":
-            return BasicAlertDetector()
         window = self._config.detector_window_ms
         if window is None:
             window = 4.0 * self._delay_model.mean_delay()
-        return RefinedAlertDetector(
+        return get_detector_spec(self._config.detector).build(
             window=window, max_entries=self._config.detector_max_entries
         )
 
     def _make_clock(self, slot: int) -> Tuple[EntryVectorClock, Optional[object]]:
-        mode = self._config.clock
-        if mode == "lamport":
-            return LamportCausalClock(), None
-        if mode == "vector":
-            return VectorCausalClock(self._capacity, slot), None
-        assignment = self._assigner.assign(slot)
-        if mode == "plausible":
-            return PlausibleCausalClock(self._config.r, assignment.keys[0]), assignment
-        return ProbabilisticCausalClock(self._config.r, assignment.keys), assignment
+        spec = get_clock_spec(self._config.clock)
+        assignment = None
+        keys: Tuple[int, ...] = ()
+        if spec.needs_key_assignment:
+            assignment = self._assigner.assign(slot)
+            keys = tuple(assignment.keys)
+        context = ClockBuildContext(
+            node_id=slot,
+            r=self._effective_r if spec.needs_dense_index else self._config.r,
+            k=spec.fixed_k if spec.fixed_k is not None else self._config.k,
+            n=self._capacity,
+            index=slot,
+            keys=keys,
+        )
+        return spec.factory(context), assignment
 
     def _spawn_node(self, now: float, bootstrap: bool) -> SimNode:
         node_id = self._next_node_id

@@ -78,9 +78,15 @@ class TestSimulateCommand:
         assert membership["joins"] >= 0 and membership["leaves"] >= 0
 
     def test_clock_choices(self, capsys):
-        for clock in ("vector", "lamport", "plausible"):
+        for clock in ("vector", "lamport", "plausible", "bloom"):
             code, out = run_cli(capsys, *self.BASE, "--clock", clock, "--json")
             assert code == 0, clock
+            assert json.loads(out)["traffic"]["stuck_pending"] == 0
+
+    def test_engine_choices(self, capsys):
+        for engine in ("naive", "indexed", "hybrid"):
+            code, out = run_cli(capsys, *self.BASE, "--engine", engine, "--json")
+            assert code == 0, engine
             assert json.loads(out)["traffic"]["stuck_pending"] == 0
 
 
@@ -126,6 +132,42 @@ class TestParser:
     def test_invalid_clock_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--clock", "quantum"])
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--engine", "turbo"])
+
+    def test_choices_track_the_registry(self):
+        # Plugins registered before build_parser() become CLI choices.
+        from repro.core.pending import PendingBuffer
+        from repro.core.registry import register_engine, unregister_engine
+
+        register_engine("cli-test-engine", PendingBuffer,
+                        description="registered by test_cli")
+        try:
+            args = build_parser().parse_args(
+                ["simulate", "--engine", "cli-test-engine"]
+            )
+            assert args.engine == "cli-test-engine"
+        finally:
+            unregister_engine("cli-test-engine")
+
+
+class TestEnginesCommand:
+    def test_lists_registered_components(self, capsys):
+        code, out = run_cli(capsys, "engines")
+        assert code == 0
+        for name in ("probabilistic", "plausible", "lamport", "vector",
+                     "bloom"):
+            assert name in out
+        for name in ("indexed", "naive", "auto", "hybrid"):
+            assert name in out
+        for name in ("none", "basic", "refined"):
+            assert name in out
+        # capability descriptors surface in the listing
+        assert "needs_dense_index" in out
+        assert "per_message_keys" in out
+        assert "wire id" in out
 
 
 class TestNodeCommand:

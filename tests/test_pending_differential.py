@@ -1,9 +1,10 @@
-"""Differential test: indexed drain engine == reference naive drain.
+"""Differential test: buffered drain engines == reference naive drain.
 
-The entry-indexed :class:`~repro.core.pending.PendingBuffer` is a pure
-performance rework of Algorithm 2's delivery loop — it must be
+The entry-indexed :class:`~repro.core.pending.PendingBuffer` and the
+per-sender :class:`~repro.core.pending.HybridBuffer` are pure
+performance reworks of Algorithm 2's delivery loop — each must be
 *observationally identical* to the naive full-rescan drain kept in the
-endpoint as the reference path.  These tests run both engines over the
+endpoint as the reference path.  These tests run the engines over the
 same randomized traces (multiple causally-entangled senders, drops,
 reorders, duplicates) and assert byte-identical delivery order, alerts,
 stats, pending sets, and clock state.
@@ -152,13 +153,85 @@ class TestDifferential:
         assert indexed.pending_count == 0
 
 
+class TestHybridDifferential:
+    """The per-sender hybrid engine against the naive reference drain."""
+
+    # Same seeds as TestDifferential: the traces are engine-independent,
+    # and those seeds are known to exercise delivery.
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomized_traces_match(self, seed):
+        rng = random.Random(1000 + seed)
+        trace, assigner = make_trace(rng)
+        arrivals = arrival_schedule(rng, trace)
+        hybrid = make_receiver("hybrid", assigner)
+        naive = make_receiver("naive", assigner)
+        deliveries = assert_equivalent(hybrid, naive, arrivals)
+        assert deliveries
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_heavy_reorder_and_loss(self, seed):
+        rng = random.Random(2000 + seed)
+        trace, assigner = make_trace(rng, senders=6, rounds=10, gossip=0.9)
+        arrivals = arrival_schedule(rng, trace, loss=0.3, dup=0.2, window=25)
+        hybrid = make_receiver("hybrid", assigner)
+        naive = make_receiver("naive", assigner)
+        assert_equivalent(hybrid, naive, arrivals)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_refined_detector_alerts_match(self, seed):
+        rng = random.Random(3000 + seed)
+        trace, assigner = make_trace(rng, senders=5, rounds=8, k=1, gossip=0.5)
+        arrivals = arrival_schedule(rng, trace, loss=0.25, window=15)
+        hybrid = make_receiver("hybrid", assigner, detector_cls=RefinedAlertDetector)
+        naive = make_receiver("naive", assigner, detector_cls=RefinedAlertDetector)
+        assert_equivalent(hybrid, naive, arrivals)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_hybrid_matches_indexed(self, seed):
+        """Transitivity check: the two buffered engines also agree."""
+        rng = random.Random(8000 + seed)
+        trace, assigner = make_trace(rng, senders=5, rounds=10, gossip=0.8)
+        arrivals = arrival_schedule(rng, trace, loss=0.2, dup=0.15, window=12)
+        hybrid = make_receiver("hybrid", assigner)
+        indexed = make_receiver("indexed", assigner)
+        assert_equivalent(hybrid, indexed, arrivals)
+
+    def test_reverse_chain_probes_fronts_only(self):
+        """One sender's chain arriving in reverse: the prefix property
+        means every blocked message sits behind its queue front, so the
+        hybrid drain probes O(chain) fronts instead of O(chain²) items.
+        """
+        assigner = HashKeyAssigner(r=12, k=2)
+        sender = CausalBroadcastEndpoint(
+            "s0", ProbabilisticCausalClock(12, assigner.assign("s0").keys)
+        )
+        chain = [sender.broadcast(i) for i in range(30)]
+        arrivals = [chain[0]] + list(reversed(chain[1:]))
+        hybrid = make_receiver("hybrid", assigner, r=12)
+        naive = make_receiver("naive", assigner, r=12)
+        deliveries = assert_equivalent(hybrid, naive, arrivals)
+        assert [payload for _, payload, _ in deliveries] == list(range(30))
+        assert hybrid.pending_count == 0
+        # The 29 blocked messages all queued behind one front; deliver
+        # wakeups stay linear in the chain length.
+        buffer = hybrid._buffer
+        assert buffer.wakeups <= 4 * len(chain)
+
+
 class TestEngineOption:
     def test_engine_modes_exposed(self):
-        assert ENGINE_MODES == ("indexed", "naive", "auto")
+        assert ENGINE_MODES == ("indexed", "naive", "auto", "hybrid")
 
     def test_default_engine_is_indexed(self):
         ep = CausalBroadcastEndpoint("a", ProbabilisticCausalClock(6, (0, 1)))
         assert ep.engine == "indexed"
+
+    def test_hybrid_engine_selectable(self):
+        ep = CausalBroadcastEndpoint(
+            "a", ProbabilisticCausalClock(6, (0, 1)), engine="hybrid"
+        )
+        assert ep.engine == "hybrid"
+        assert ep.active_engine == "hybrid"
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,278 @@
+"""The pluggable clock/engine/detector registry (DESIGN.md §9).
+
+Covers the registry contract end to end: unknown names fail loudly with
+the registered alternatives, the four legacy scheme strings still build
+the exact classes they always did, a toy clock and a toy engine
+registered in-test round-trip through every assembly layer
+(``create_clock``/``create_endpoint``/``NodeConfig``/
+``SimulationConfig``), wire scheme ids stay unique, and the codec's
+scheme byte keeps timestamp families wire-distinguishable.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import (
+    DETECTORS,
+    SCHEMES,
+    NodeConfig,
+    create_clock,
+    create_detector,
+    create_endpoint,
+)
+from repro.core.clocks import (
+    BloomCausalClock,
+    LamportCausalClock,
+    PlausibleCausalClock,
+    ProbabilisticCausalClock,
+    VectorCausalClock,
+)
+from repro.core.codec import CodecError, MessageCodec
+from repro.core.errors import ConfigurationError
+from repro.core.pending import PendingBuffer
+from repro.core.protocol import CausalBroadcastEndpoint
+from repro.core.registry import (
+    ClockBuildContext,
+    clock_schemes,
+    detector_names,
+    engine_names,
+    get_clock_spec,
+    get_detector_spec,
+    get_engine_spec,
+    register_clock,
+    register_engine,
+    scheme_id_of,
+    scheme_name_of,
+    unregister_clock,
+    unregister_engine,
+)
+from repro.sim import GaussianDelayModel, PoissonWorkload, SimulationConfig, run_simulation
+
+
+@pytest.fixture
+def toy_clock():
+    """A throwaway clock scheme registered for one test."""
+    name = "toy-clock"
+    register_clock(
+        name,
+        lambda ctx: ProbabilisticCausalClock(ctx.r, ctx.keys),
+        description="test-only alias of the probabilistic clock",
+        needs_key_assignment=True,
+    )
+    yield name
+    unregister_clock(name)
+
+
+@pytest.fixture
+def toy_engine():
+    """A throwaway drain engine registered for one test."""
+    name = "toy-engine"
+    register_engine(
+        name,
+        PendingBuffer,
+        description="test-only alias of the indexed engine",
+    )
+    yield name
+    unregister_engine(name)
+
+
+class TestLookupFailures:
+    def test_unknown_clock_lists_registered(self):
+        with pytest.raises(ConfigurationError, match="probabilistic"):
+            get_clock_spec("quantum")
+
+    def test_unknown_engine_lists_registered(self):
+        with pytest.raises(ConfigurationError, match="indexed"):
+            get_engine_spec("turbo")
+
+    def test_unknown_detector_lists_registered(self):
+        with pytest.raises(ConfigurationError, match="refined"):
+            get_detector_spec("basci")
+
+    def test_detector_typo_rejected_by_factory(self):
+        """The historical bug: ``create_detector`` silently returned the
+        refined detector for any unrecognized string."""
+        # a config object carrying the typo (NodeConfig itself refuses it)
+        stub = SimpleNamespace(detector="basci", detector_window=None)
+        with pytest.raises(ConfigurationError, match="basci"):
+            create_detector(stub)
+        # the supported path: NodeConfig rejects the typo at construction
+        with pytest.raises(ConfigurationError, match="'basci'"):
+            NodeConfig(r=16, k=2, detector="basci")
+
+    def test_node_config_rejects_unknown_scheme_and_engine(self):
+        with pytest.raises(ConfigurationError, match="unknown clock"):
+            NodeConfig(r=16, k=2, scheme="quantum")
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            NodeConfig(r=16, k=2, engine="turbo")
+
+    def test_simulation_config_rejects_unknown_names(self):
+        base = dict(
+            n_nodes=4, r=16, k=2, duration_ms=100.0,
+            workload=PoissonWorkload(50.0),
+            delay_model=GaussianDelayModel(5.0, 1.0, 0.0),
+        )
+        with pytest.raises(ConfigurationError, match="unknown clock"):
+            SimulationConfig(clock="quantum", **base).validate()
+        with pytest.raises(ConfigurationError, match="unknown detector"):
+            SimulationConfig(detector="basci", **base).validate()
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            SimulationConfig(engine="turbo", **base).validate()
+
+
+class TestLegacySchemes:
+    """The four pre-registry scheme strings build the same classes."""
+
+    EXPECTED = {
+        "probabilistic": ProbabilisticCausalClock,
+        "plausible": PlausibleCausalClock,
+        "lamport": LamportCausalClock,
+        "vector": VectorCausalClock,
+        "bloom": BloomCausalClock,
+    }
+
+    @pytest.mark.parametrize("scheme,cls", sorted(EXPECTED.items()))
+    def test_create_clock_builds_exact_class(self, scheme, cls):
+        dense = get_clock_spec(scheme).needs_dense_index
+        config = NodeConfig(
+            r=16, k=2, scheme=scheme, n=8 if dense else None
+        )
+        clock = create_clock("n0", config, index=0 if dense else None)
+        assert type(clock) is cls
+
+    def test_registration_order_preserves_legacy_prefix(self):
+        assert clock_schemes()[:4] == (
+            "probabilistic", "plausible", "lamport", "vector"
+        )
+        assert engine_names()[:3] == ("indexed", "naive", "auto")
+        assert detector_names() == ("none", "basic", "refined")
+
+    def test_api_snapshots_match_registry(self):
+        assert SCHEMES == clock_schemes()
+        assert DETECTORS == detector_names()
+
+    def test_pinned_wire_scheme_ids(self):
+        assert [scheme_id_of(s) for s in
+                ("probabilistic", "plausible", "lamport", "vector", "bloom")
+                ] == [1, 2, 3, 4, 5]
+        assert scheme_name_of(3) == "lamport"
+
+
+class TestToyPlugin:
+    def test_round_trips_create_clock(self, toy_clock):
+        clock = create_clock("n0", NodeConfig(r=16, k=2, scheme=toy_clock))
+        assert isinstance(clock, ProbabilisticCausalClock)
+        assert clock.r == 16
+
+    def test_round_trips_create_endpoint(self, toy_clock, toy_engine):
+        config = NodeConfig(r=16, k=2, scheme=toy_clock, engine=toy_engine)
+        endpoint = create_endpoint("n0", config)
+        assert endpoint.engine == toy_engine
+        assert endpoint.active_engine == toy_engine
+        message = endpoint.broadcast("hello")
+        other = create_endpoint("n1", config)
+        records = other.on_receive(message)
+        assert [r.message.payload for r in records] == ["hello"]
+
+    def test_round_trips_simulation(self, toy_clock, toy_engine):
+        config = SimulationConfig(
+            n_nodes=6, r=24, k=2, clock=toy_clock, engine=toy_engine,
+            duration_ms=1500.0, workload=PoissonWorkload(120.0),
+            delay_model=GaussianDelayModel(10.0, 2.0, 0.0), seed=3,
+        )
+        result = run_simulation(config)
+        assert result.sent > 0
+        assert result.delivered_remote > 0
+        assert result.stuck_pending == 0
+
+    def test_auto_allocated_scheme_id_is_fresh(self, toy_clock):
+        allocated = scheme_id_of(toy_clock)
+        assert allocated >= 6  # ids 1..5 are pinned to the built-ins
+        assert scheme_name_of(allocated) == toy_clock
+
+    def test_duplicate_name_requires_replace(self, toy_clock):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_clock(
+                toy_clock,
+                lambda ctx: ProbabilisticCausalClock(ctx.r, ctx.keys),
+                description="dup",
+            )
+        register_clock(
+            toy_clock,
+            lambda ctx: PlausibleCausalClock(ctx.r, ctx.keys[0]),
+            description="replaced",
+            needs_key_assignment=True,
+            fixed_k=1,
+            replace=True,
+        )
+        clock = create_clock("n0", NodeConfig(r=16, k=2, scheme=toy_clock))
+        assert isinstance(clock, PlausibleCausalClock)
+
+    def test_duplicate_wire_id_rejected(self):
+        with pytest.raises(ConfigurationError, match="already allocated"):
+            register_clock(
+                "toy-collider",
+                lambda ctx: ProbabilisticCausalClock(ctx.r, ctx.keys),
+                description="collides with probabilistic",
+                needs_key_assignment=True,
+                wire_scheme_id=1,
+            )
+
+    def test_unknown_engine_error_includes_toy_name(self, toy_engine):
+        with pytest.raises(ConfigurationError, match=toy_engine):
+            CausalBroadcastEndpoint(
+                "a", ProbabilisticCausalClock(8, (0, 1)), engine="nope"
+            )
+
+
+class TestClockBuildContext:
+    def test_factory_receives_context_fields(self, toy_clock):
+        seen = {}
+
+        def probe(ctx):
+            seen["ctx"] = ctx
+            return ProbabilisticCausalClock(ctx.r, ctx.keys)
+
+        register_clock(
+            toy_clock, probe, description="probe",
+            needs_key_assignment=True, replace=True,
+        )
+        create_clock("n7", NodeConfig(r=32, k=3, scheme=toy_clock))
+        ctx = seen["ctx"]
+        assert isinstance(ctx, ClockBuildContext)
+        assert ctx.node_id == "n7"
+        assert ctx.r == 32
+        assert len(ctx.keys) == 3
+
+
+class TestCodecSchemeByte:
+    def _endpoint(self, scheme, node="a"):
+        spec = get_clock_spec(scheme)
+        config = NodeConfig(
+            r=16, k=2, scheme=scheme,
+            n=8 if spec.needs_dense_index else None,
+        )
+        return create_endpoint(
+            node, config, index=0 if spec.needs_dense_index else None
+        )
+
+    @pytest.mark.parametrize("scheme", sorted(TestLegacySchemes.EXPECTED))
+    def test_roundtrip_preserves_scheme(self, scheme):
+        codec = MessageCodec(scheme=scheme)
+        message = self._endpoint(scheme).broadcast("x")
+        data = codec.encode(message)
+        assert MessageCodec.peek_scheme(data) == scheme
+        decoded = codec.decode(data)
+        assert decoded.timestamp.sender_keys == message.timestamp.sender_keys
+
+    def test_cross_scheme_decode_rejected(self):
+        bloom_wire = MessageCodec(scheme="bloom").encode(
+            self._endpoint("bloom").broadcast("x")
+        )
+        with pytest.raises(CodecError, match="bloom"):
+            MessageCodec(scheme="probabilistic").decode(bloom_wire)
+
+    def test_peek_rejects_garbage(self):
+        with pytest.raises(CodecError):
+            MessageCodec.peek_scheme(b"nope")
