@@ -45,6 +45,7 @@ from repro.core.registry import (
 )
 from repro.net.journal import NodeJournal
 from repro.net.liveness import LivenessPolicy
+from repro.net.membership import GroupMembership, MembershipConfig
 from repro.net.node import ReliableCausalNode
 from repro.net.peer import Transport
 from repro.net.session import RetransmitPolicy
@@ -138,6 +139,26 @@ class NodeConfig:
             (retransmissions pause, broadcasts skip it) until it is
             heard from again.
 
+    Dynamic membership (used by :func:`create_node`):
+
+    Attributes:
+        membership: run the live group-view layer
+            (:class:`~repro.net.membership.GroupMembership`).  With an
+            empty ``seed_peers`` the node bootstraps a group of one;
+            otherwise :func:`create_node` joins it through the seeds
+            before returning.
+        seed_peers: ``(host, port)`` addresses of running members the
+            JOIN handshake contacts first.
+        join_timeout: seconds to wait for a JOIN_ACK before retrying.
+        join_retries: JOIN retransmissions after the first attempt.
+        join_backoff: multiplier on the join timeout per attempt.
+        evict_after: seconds a member may sit in liveness quarantine
+            before the acting coordinator evicts it from the view
+            (0 disables forced eviction; needs ``heartbeat_interval``
+            > 0 to matter, since quarantine is what ages into it).
+        view_announce_interval: seconds between the coordinator's
+            periodic VIEW re-announcements and eviction sweeps.
+
     Observability (used by :func:`create_node`):
 
     Attributes:
@@ -182,6 +203,13 @@ class NodeConfig:
     journal_fsync: bool = False
     heartbeat_interval: float = 0.0
     quarantine_after: float = 2.0
+    membership: bool = False
+    seed_peers: Tuple[Any, ...] = ()
+    join_timeout: float = 1.0
+    join_retries: int = 5
+    join_backoff: float = 2.0
+    evict_after: float = 10.0
+    view_announce_interval: float = 2.0
     detector_window: Optional[float] = None
     metrics_path: Optional[str] = None
     metrics_interval: float = 1.0
@@ -234,6 +262,14 @@ class NodeConfig:
             raise ConfigurationError(
                 f"metrics_port must lie in [0, 65535], got {self.metrics_port}"
             )
+        if self.seed_peers and not self.membership:
+            raise ConfigurationError(
+                "seed_peers given but membership=False; enable the "
+                "membership layer to join a group"
+            )
+        if self.membership:
+            # Fails fast on bad membership knobs (the layer re-checks).
+            self.membership_config()
         # Fails fast on bad reliability knobs (the session re-checks).
         self.retransmit_policy()
         if self.heartbeat_interval > 0:
@@ -258,6 +294,17 @@ class NodeConfig:
             coalesce_mtu=self.coalesce_mtu,
             flush_interval=self.flush_interval,
             ack_delay=self.ack_delay,
+        )
+
+    def membership_config(self) -> MembershipConfig:
+        """The dynamic-membership knobs as a layer config."""
+        return MembershipConfig(
+            seed_peers=tuple(self.seed_peers),
+            join_timeout=self.join_timeout,
+            join_retries=self.join_retries,
+            join_backoff=self.join_backoff,
+            evict_after=self.evict_after,
+            announce_interval=self.view_announce_interval,
         )
 
 
@@ -418,6 +465,13 @@ async def create_node(
         metrics_interval=config.metrics_interval,
         metrics_port=config.metrics_port,
     )
+    if config.membership:
+        GroupMembership(node, config.membership_config(), assigner=assigner)
     if start:
         await node.start()
+        if node.membership is not None:
+            if config.seed_peers:
+                await node.membership.join()
+            else:
+                node.membership.bootstrap()
     return node

@@ -151,6 +151,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="peer silence after which it is quarantined",
     )
     node.add_argument(
+        "--bootstrap", action="store_true",
+        help="found a new group of one (the first node; later nodes "
+             "--join it)",
+    )
+    node.add_argument(
+        "--join", action="append", default=[], metavar="HOST:PORT",
+        help="join the group through this running member (repeatable; "
+             "enables the dynamic-membership layer)",
+    )
+    node.add_argument(
+        "--join-timeout", type=float, default=1.0, metavar="SECONDS",
+        help="seconds to wait for a JOIN_ACK before retrying",
+    )
+    node.add_argument(
+        "--join-retries", type=int, default=5, metavar="N",
+        help="JOIN retransmissions after the first attempt",
+    )
+    node.add_argument(
+        "--evict-after", type=float, default=10.0, metavar="SECONDS",
+        help="quarantine age after which the coordinator evicts a member "
+             "from the view (0 disables; needs --heartbeat-interval)",
+    )
+    node.add_argument(
         "--coalesce-mtu", type=int, default=1400, metavar="BYTES",
         help="datagram budget for frame coalescing (0 sends every frame "
              "in its own datagram)",
@@ -364,9 +387,14 @@ def _command_theory(args: argparse.Namespace) -> int:
 def _command_node(args: argparse.Namespace) -> int:
     # Imported here so the simulation-only commands stay import-light.
     from repro.api import NodeConfig, create_node
+    from repro.core.errors import MembershipError
 
     host, port = _parse_host_port(args.listen)
     peer_addresses = [_parse_host_port(peer) for peer in args.peer]
+    seed_addresses = [_parse_host_port(seed) for seed in args.join]
+    if args.bootstrap and seed_addresses:
+        print("--bootstrap and --join are mutually exclusive", file=sys.stderr)
+        return 1
     dense = get_clock_spec(args.clock).needs_dense_index
     config = NodeConfig(
         r=args.r,
@@ -379,6 +407,11 @@ def _command_node(args: argparse.Namespace) -> int:
         data_dir=args.data_dir,
         heartbeat_interval=args.heartbeat_interval,
         quarantine_after=args.quarantine_after,
+        membership=args.bootstrap or bool(seed_addresses),
+        seed_peers=tuple(seed_addresses),
+        join_timeout=args.join_timeout,
+        join_retries=args.join_retries,
+        evict_after=args.evict_after,
         coalesce_mtu=args.coalesce_mtu,
         ack_delay=args.ack_delay,
         wire_delta=not args.no_wire_delta,
@@ -401,6 +434,9 @@ def _command_node(args: argparse.Namespace) -> int:
         except OSError as exc:
             print(f"cannot bind {host}:{port}: {exc}", file=sys.stderr)
             return 1
+        except MembershipError as exc:
+            print(f"cannot join the group: {exc}", file=sys.stderr)
+            return 1
         print(f"listening on {node.local_address[0]}:{node.local_address[1]} "
               f"as {args.id!r} (R={config.r}, K={config.k}, {config.scheme})")
         if node.recovered is not None:
@@ -411,6 +447,11 @@ def _command_node(args: argparse.Namespace) -> int:
         if node.metrics_server is not None:
             print(f"metrics: http://{node.metrics_server.host}:"
                   f"{node.metrics_server.port}/metrics")
+        if node.membership is not None and node.membership.view is not None:
+            view = node.membership.view
+            print(f"group view {view.view_id}: "
+                  f"{sorted(view.member_ids())} "
+                  f"(keys={list(node.endpoint.clock.own_keys)})")
         for peer in peer_addresses:
             node.add_peer(peer)
         try:
@@ -449,6 +490,9 @@ def _command_node(args: argparse.Namespace) -> int:
                 f"timestamps delta={stats.delta_sent}"
                 f"/full={stats.full_sent}"
             )
+            if node.membership is not None and node.membership.joined:
+                # Graceful goodbye; a lost LEAVE is healed by eviction.
+                await node.membership.leave()
             await node.close()
         return 0
 

@@ -88,6 +88,11 @@ __all__ = [
     "DigestFrame",
     "HeartbeatFrame",
     "BatchFrame",
+    "MemberRecord",
+    "ViewFrame",
+    "JoinFrame",
+    "JoinAckFrame",
+    "LeaveFrame",
     "Frame",
     "FrameCodec",
 ]
@@ -550,10 +555,15 @@ _TYPE_NACK = 3
 _TYPE_DIGEST = 4
 _TYPE_HEARTBEAT = 5
 _TYPE_BATCH = 6
+_TYPE_VIEW = 7
+_TYPE_JOIN = 8
+_TYPE_JOIN_ACK = 9
+_TYPE_LEAVE = 10
 
 _MAX_SACK = 64
 _MAX_NACK = 64
 _BATCH_HAS_ACK = 0x01
+_JOIN_ACK_ACCEPTED = 0x01
 
 
 @dataclass(frozen=True)
@@ -630,7 +640,90 @@ class BatchFrame:
     ack: Optional[AckFrame] = None
 
 
-Frame = Union[DataFrame, AckFrame, NackFrame, DigestFrame, HeartbeatFrame, BatchFrame]
+@dataclass(frozen=True)
+class MemberRecord:
+    """One group member as carried inside VIEW and JOIN_ACK frames.
+
+    ``address`` is whatever the transport uses to reach the member —
+    typically a ``(host, port)`` tuple; it round-trips through JSON on
+    the wire, with lists normalised back to tuples on decode.
+    """
+
+    node_id: str
+    address: Any
+    keys: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ViewFrame:
+    """A versioned group-view announcement from the acting coordinator.
+
+    ``view_id`` is strictly monotonic: receivers install a view only when
+    its id exceeds the one they hold, which makes re-announcements (the
+    loss-healing mechanism — VIEW is fire-and-forget) idempotent.
+    """
+
+    view_id: int
+    members: Tuple[MemberRecord, ...]
+
+
+@dataclass(frozen=True)
+class JoinFrame:
+    """A join request sent to a seed peer / the acting coordinator.
+
+    ``keys`` is normally empty; a rejoining node may send its previous
+    key set so the coordinator can re-adopt it instead of assigning a
+    fresh one (keeps the journal identity of a restarted node valid).
+    """
+
+    node_id: str
+    address: Any
+    keys: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class JoinAckFrame:
+    """The coordinator's reply to a JOIN.
+
+    When ``accepted``, carries everything the joiner needs before it may
+    enter the view: the clock geometry ``(r, k)``, its granted ``keys``,
+    the current membership, and a consistent state-transfer pair — the
+    coordinator's clock ``vector`` together with its *delivered*
+    per-sender ``frontiers`` (the two must be read atomically; see
+    PROTOCOL.md §9).  When rejected, ``members`` still carries the
+    current view so the joiner can re-target the acting coordinator.
+    """
+
+    accepted: bool
+    view_id: int
+    r: int
+    k: int
+    keys: Tuple[int, ...]
+    members: Tuple[MemberRecord, ...]
+    frontiers: Dict[str, Tuple[int, Tuple[int, ...]]] = field(default_factory=dict)
+    vector: Tuple[int, ...] = ()
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class LeaveFrame:
+    """A graceful goodbye; fire-and-forget (eviction is the backstop)."""
+
+    node_id: str
+
+
+Frame = Union[
+    DataFrame,
+    AckFrame,
+    NackFrame,
+    DigestFrame,
+    HeartbeatFrame,
+    BatchFrame,
+    ViewFrame,
+    JoinFrame,
+    JoinAckFrame,
+    LeaveFrame,
+]
 
 
 def _encode_ascending(values: Tuple[int, ...], base: int) -> bytes:
@@ -657,6 +750,99 @@ def _decode_ascending(data: bytes, offset: int, base: int) -> Tuple[Tuple[int, .
         previous += delta
         values.append(previous)
     return tuple(values), offset
+
+
+def _encode_short_bytes(raw: bytes) -> bytes:
+    if len(raw) > 0xFFFF:
+        raise CodecError("field longer than 65535 bytes")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def _decode_short_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
+    (length,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    if len(data) < offset + length:
+        raise CodecError("truncated length-prefixed field")
+    return data[offset : offset + length], offset + length
+
+
+def _encode_address(address: Any) -> bytes:
+    try:
+        raw = json.dumps(address, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"unencodable address {address!r}: {exc}") from exc
+    return _encode_short_bytes(raw)
+
+
+def _decode_address(data: bytes, offset: int) -> Tuple[Any, int]:
+    raw, offset = _decode_short_bytes(data, offset)
+    try:
+        return _tuplify(json.loads(raw.decode("utf-8"))), offset
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CodecError(f"malformed address field: {exc}") from exc
+
+
+def _encode_member(member: MemberRecord) -> bytes:
+    return b"".join(
+        [
+            _encode_short_bytes(member.node_id.encode("utf-8")),
+            _encode_address(member.address),
+            _encode_ascending(tuple(member.keys), -1),
+        ]
+    )
+
+
+def _decode_member(data: bytes, offset: int) -> Tuple[MemberRecord, int]:
+    node_raw, offset = _decode_short_bytes(data, offset)
+    address, offset = _decode_address(data, offset)
+    keys, offset = _decode_ascending(data, offset, -1)
+    return MemberRecord(node_id=node_raw.decode("utf-8"), address=address, keys=keys), offset
+
+
+def _encode_members(members: Tuple[MemberRecord, ...]) -> bytes:
+    if len(members) > 0xFFFF:
+        raise CodecError("view carries more than 65535 members")
+    parts = [struct.pack("<H", len(members))]
+    for member in members:
+        parts.append(_encode_member(member))
+    return b"".join(parts)
+
+
+def _decode_members(data: bytes, offset: int) -> Tuple[Tuple[MemberRecord, ...], int]:
+    (count,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    members = []
+    for _ in range(count):
+        member, offset = _decode_member(data, offset)
+        members.append(member)
+    return tuple(members), offset
+
+
+def _encode_frontiers(frontiers: Dict[str, Tuple[int, Tuple[int, ...]]]) -> bytes:
+    if len(frontiers) > 0xFFFF:
+        raise CodecError("frontier map covers more than 65535 senders")
+    parts = [struct.pack("<H", len(frontiers))]
+    for sender in sorted(frontiers):
+        contiguous, extras = frontiers[sender]
+        parts.append(_encode_short_bytes(str(sender).encode("utf-8")))
+        parts.append(struct.pack("<Q", contiguous))
+        parts.append(_encode_ascending(tuple(extras), contiguous))
+    return b"".join(parts)
+
+
+def _decode_frontiers(
+    data: bytes, offset: int
+) -> Tuple[Dict[str, Tuple[int, Tuple[int, ...]]], int]:
+    (count,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    frontiers: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
+    for _ in range(count):
+        sender_raw, offset = _decode_short_bytes(data, offset)
+        (contiguous,) = struct.unpack_from("<Q", data, offset)
+        offset += 8
+        extras, offset = _decode_ascending(data, offset, contiguous)
+        frontiers[sender_raw.decode("utf-8")] = (contiguous, extras)
+    return frontiers, offset
 
 
 class FrameCodec:
@@ -752,6 +938,51 @@ class FrameCodec:
                 parts.append(encode_varint(len(inner)))
                 parts.append(inner)
             return b"".join(parts)
+        if isinstance(frame, ViewFrame):
+            if frame.view_id < 0:
+                raise CodecError(f"negative view id {frame.view_id}")
+            return b"".join(
+                [
+                    header,
+                    struct.pack("<B", _TYPE_VIEW),
+                    struct.pack("<Q", frame.view_id),
+                    _encode_members(frame.members),
+                ]
+            )
+        if isinstance(frame, JoinFrame):
+            return b"".join(
+                [
+                    header,
+                    struct.pack("<B", _TYPE_JOIN),
+                    _encode_short_bytes(frame.node_id.encode("utf-8")),
+                    _encode_address(frame.address),
+                    _encode_ascending(tuple(frame.keys), -1),
+                ]
+            )
+        if isinstance(frame, JoinAckFrame):
+            flags = _JOIN_ACK_ACCEPTED if frame.accepted else 0
+            return b"".join(
+                [
+                    header,
+                    struct.pack("<BB", _TYPE_JOIN_ACK, flags),
+                    struct.pack("<Q", frame.view_id),
+                    struct.pack("<IH", frame.r, frame.k),
+                    _encode_ascending(tuple(frame.keys), -1),
+                    _encode_members(frame.members),
+                    _encode_frontiers(frame.frontiers),
+                    struct.pack("<I", len(frame.vector)),
+                    b"".join(encode_varint(entry) for entry in frame.vector),
+                    _encode_short_bytes(frame.reason.encode("utf-8")),
+                ]
+            )
+        if isinstance(frame, LeaveFrame):
+            return b"".join(
+                [
+                    header,
+                    struct.pack("<B", _TYPE_LEAVE),
+                    _encode_short_bytes(frame.node_id.encode("utf-8")),
+                ]
+            )
         raise CodecError(f"not a frame: {type(frame).__name__}")
 
     def decode(self, data: bytes) -> Frame:
@@ -821,6 +1052,49 @@ class FrameCodec:
                         raise CodecError("malformed BATCH inner frame")
                     frames.append(inner)
                 return BatchFrame(frames=tuple(frames), ack=ack)
+            if frame_type == _TYPE_VIEW:
+                (view_id,) = struct.unpack_from("<Q", data, offset)
+                offset += 8
+                members, offset = _decode_members(data, offset)
+                return ViewFrame(view_id=view_id, members=members)
+            if frame_type == _TYPE_JOIN:
+                node_raw, offset = _decode_short_bytes(data, offset)
+                address, offset = _decode_address(data, offset)
+                keys, offset = _decode_ascending(data, offset, -1)
+                return JoinFrame(
+                    node_id=node_raw.decode("utf-8"), address=address, keys=keys
+                )
+            if frame_type == _TYPE_JOIN_ACK:
+                (flags,) = struct.unpack_from("<B", data, offset)
+                offset += 1
+                (view_id,) = struct.unpack_from("<Q", data, offset)
+                offset += 8
+                r, k = struct.unpack_from("<IH", data, offset)
+                offset += 6
+                keys, offset = _decode_ascending(data, offset, -1)
+                members, offset = _decode_members(data, offset)
+                frontiers, offset = _decode_frontiers(data, offset)
+                (vector_len,) = struct.unpack_from("<I", data, offset)
+                offset += 4
+                vector = []
+                for _ in range(vector_len):
+                    entry, offset = decode_varint(data, offset)
+                    vector.append(entry)
+                reason_raw, offset = _decode_short_bytes(data, offset)
+                return JoinAckFrame(
+                    accepted=bool(flags & _JOIN_ACK_ACCEPTED),
+                    view_id=view_id,
+                    r=r,
+                    k=k,
+                    keys=keys,
+                    members=members,
+                    frontiers=frontiers,
+                    vector=tuple(vector),
+                    reason=reason_raw.decode("utf-8"),
+                )
+            if frame_type == _TYPE_LEAVE:
+                node_raw, offset = _decode_short_bytes(data, offset)
+                return LeaveFrame(node_id=node_raw.decode("utf-8"))
         except struct.error as exc:
             raise CodecError(f"truncated frame: {exc}") from exc
         raise CodecError(f"unknown frame type {frame_type}")

@@ -121,6 +121,37 @@ class KeyAssigner(ABC):
         self._assignments[process_id] = assignment
         return assignment
 
+    def adopt(self, process_id: ProcessId, keys: Sequence[int]) -> KeyAssignment:
+        """Register an assignment granted elsewhere (view mirroring).
+
+        The membership layer distributes assignments inside VIEW frames;
+        every member mirrors them into its local assigner with this, so
+        whoever becomes acting coordinator next holds a correct ledger.
+        Idempotent when the process already holds exactly ``keys``;
+        raises :class:`MembershipError` when it holds a different set.
+        """
+        ordered = tuple(sorted(int(entry) for entry in keys))
+        if any(not 0 <= entry < self._r for entry in ordered):
+            raise ConfigurationError(
+                f"adopted key set for {process_id!r} outside [0, {self._r}): {ordered}"
+            )
+        existing = self._assignments.get(process_id)
+        if existing is not None:
+            if existing.keys == ordered:
+                return existing
+            raise MembershipError(
+                f"process {process_id!r} already holds {existing.keys}, "
+                f"cannot adopt {ordered}"
+            )
+        try:
+            set_id = rank_lex(ordered, self._r)
+        except ConfigurationError:
+            set_id = -1
+        assignment = KeyAssignment(process_id=process_id, set_id=set_id, keys=ordered)
+        self._assignments[process_id] = assignment
+        self._on_adopt(assignment)
+        return assignment
+
     def release(self, process_id: ProcessId) -> KeyAssignment:
         """Withdraw the key set of a leaving process and return it."""
         try:
@@ -152,6 +183,9 @@ class KeyAssigner(ABC):
 
     def _on_release(self, assignment: KeyAssignment) -> None:
         """Hook for subclasses that recycle released key sets."""
+
+    def _on_adopt(self, assignment: KeyAssignment) -> None:
+        """Hook for subclasses to mark an adopted set as in use."""
 
 
 class RandomKeyAssigner(KeyAssigner):
@@ -194,6 +228,10 @@ class RandomKeyAssigner(KeyAssigner):
 
     def _on_release(self, assignment: KeyAssignment) -> None:
         self._used_ids.pop(assignment.set_id, None)
+
+    def _on_adopt(self, assignment: KeyAssignment) -> None:
+        if assignment.set_id >= 0:
+            self._used_ids[assignment.set_id] = assignment.process_id
 
 
 class SequentialKeyAssigner(KeyAssigner):
@@ -334,6 +372,12 @@ class PerfectKeyAssigner(KeyAssigner):
         else:
             self._used_sets[assignment.keys] = count - 1
 
+    def _on_adopt(self, assignment: KeyAssignment) -> None:
+        # No slot to claim (the set was picked elsewhere); just mark the
+        # set used so local picks avoid it.  _on_release tolerates the
+        # missing slot entry.
+        self._used_sets[assignment.keys] = self._used_sets.get(assignment.keys, 0) + 1
+
 
 class BalancedLoadKeyAssigner(KeyAssigner):
     """Greedy least-loaded assignment — a deliberately naive "perfect"
@@ -381,6 +425,11 @@ class BalancedLoadKeyAssigner(KeyAssigner):
         for entry in assignment.keys:
             self._loads[entry] -= 1
         self._used_sets.pop(assignment.keys, None)
+
+    def _on_adopt(self, assignment: KeyAssignment) -> None:
+        for entry in assignment.keys:
+            self._loads[entry] += 1
+        self._used_sets[assignment.keys] = assignment.process_id
 
 
 class HashKeyAssigner(KeyAssigner):

@@ -11,7 +11,9 @@ session + anti-entropy message store).  Nodes survive more than packet
 loss: :class:`NodeJournal` persists the causal state across crashes
 (WAL + snapshots), :class:`LivenessPolicy` drives a heartbeat failure
 detector that quarantines dead peers, and :class:`FaultWindow` schedules
-partitions and latency spikes for chaos testing.
+partitions and latency spikes for chaos testing.  :class:`GroupMembership`
+makes the peer set itself dynamic: a versioned live view, a JOIN/LEAVE
+handshake with state transfer, and quarantine-driven eviction.
 
 Assemble nodes with :func:`repro.api.create_node` rather than by hand.
 """
@@ -20,6 +22,7 @@ from repro.net.bus import BusTransport, LocalAsyncBus
 from repro.net.faults import FaultWindow, FaultyTransport
 from repro.net.journal import LinkState, NodeJournal, RecoveredState
 from repro.net.liveness import LivenessPolicy, PeerLivenessMonitor
+from repro.net.membership import GroupMembership, GroupView, MembershipConfig
 from repro.net.node import MessageStore, ReliableCausalNode, StoreStats
 from repro.net.peer import AsyncCausalPeer, Transport
 from repro.net.session import ReliableSession, RetransmitPolicy, TransportStats
@@ -38,6 +41,9 @@ __all__ = [
     "LinkState",
     "LivenessPolicy",
     "PeerLivenessMonitor",
+    "MembershipConfig",
+    "GroupView",
+    "GroupMembership",
     "ReliableSession",
     "RetransmitPolicy",
     "TransportStats",

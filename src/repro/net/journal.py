@@ -112,6 +112,14 @@ class RecoveredState:
             replayed delivery, alerts from the records' flags), so the
             alert *rate* survives restart accounting instead of
             resetting to a misleading zero.
+        own_keys: the clock's *effective* entry set at the crash — the
+            identity keys unless a membership rekey (join state transfer)
+            changed them; empty means "identity keys" (pre-membership
+            journals).  A restarting node rekeys its pristine clock to
+            these before restoring the vector.
+        view: the last persisted group view ``(view_id, members)`` with
+            members as ``(node_id, address, keys)`` tuples, or ``None``
+            when the node never joined a dynamic group.
     """
 
     vector: Tuple[int, ...]
@@ -125,6 +133,8 @@ class RecoveredState:
     wal_records: int = 0
     detector_checks: int = 0
     detector_alerts: int = 0
+    own_keys: Tuple[int, ...] = ()
+    view: Optional[Tuple[int, Tuple[Tuple[str, Address, Tuple[int, ...]], ...]]] = None
 
 
 class _Frontier:
@@ -203,7 +213,15 @@ class NodeJournal:
         self._dir = str(data_dir)
         self._node = str(node_id)
         self._r = int(r)
-        self._own_keys = tuple(int(k) for k in own_keys)
+        # Identity keys: the constructor-time entry set, stable across
+        # restarts (it is what _check_identity pins a directory to).
+        # _own_keys is the *effective* set — identical until a membership
+        # rekey record diverges them — and is what send-replay increments.
+        self._identity_keys = tuple(int(k) for k in own_keys)
+        self._own_keys = self._identity_keys
+        self._view: Optional[
+            Tuple[int, Tuple[Tuple[str, Address, Tuple[int, ...]], ...]]
+        ] = None
         self._interval = snapshot_interval
         self._seq_lease = seq_lease
         self._fsync = fsync
@@ -302,7 +320,7 @@ class NodeJournal:
         self._wal = open(self.wal_path, "a", encoding="utf-8")
         if fresh_wal:
             self._append({"t": "open", "node": self._node, "r": self._r,
-                          "k": list(self._own_keys)}, count=False)
+                          "k": list(self._identity_keys)}, count=False)
 
         if not had_snapshot and not replayed:
             return None
@@ -316,6 +334,8 @@ class NodeJournal:
             wal_records=replayed,
             detector_checks=self._detector_checks,
             detector_alerts=self._detector_alerts,
+            own_keys=self._own_keys,
+            view=self._view,
         )
 
     def _load_snapshot(self, vector: List[int], links: Dict[Address, LinkState]) -> bool:
@@ -360,7 +380,40 @@ class NodeJournal:
                 )
                 for sender, (seq, entries, keys) in senders.items()
             }
+        # Absent in pre-membership snapshots: .get keeps them loadable.
+        keys_now = snap.get("keys_now")
+        if keys_now is not None:
+            self._own_keys = tuple(int(k) for k in keys_now)
+        view = snap.get("view")
+        if view is not None:
+            self._view = self._view_from_json(view)
         return True
+
+    @staticmethod
+    def _view_from_json(
+        value,
+    ) -> Tuple[int, Tuple[Tuple[str, Address, Tuple[int, ...]], ...]]:
+        view_id, members = value
+        return (
+            int(view_id),
+            tuple(
+                (str(node_id), _address_from_json(address), tuple(int(k) for k in keys))
+                for node_id, address, keys in members
+            ),
+        )
+
+    @staticmethod
+    def _view_to_json(
+        view: Tuple[int, Tuple[Tuple[str, Address, Tuple[int, ...]], ...]],
+    ):
+        view_id, members = view
+        return [
+            int(view_id),
+            [
+                [str(node_id), _address_to_json(address), [int(k) for k in keys]]
+                for node_id, address, keys in members
+            ],
+        ]
 
     def _replay_wal(self, vector: List[int], own_messages: Dict[int, bytes]) -> int:
         self._max_replayed_send = 0
@@ -436,12 +489,23 @@ class NodeJournal:
             if upper > self._leases.get(address, 0):
                 self._leases[address] = upper
             return 1
+        if kind == "rekey":
+            # Membership granted a new entry set: subsequent send replays
+            # increment the new keys (the record is written before any
+            # send under the new set).
+            self._own_keys = tuple(int(k) for k in record["k"])
+            return 1
+        if kind == "view":
+            view = self._view_from_json(record["v"])
+            if self._view is None or view[0] >= self._view[0]:
+                self._view = view
+            return 1
         raise ValueError(f"unknown WAL record type {kind!r}")
 
     def _check_identity(self, record: dict, path: str) -> None:
         found = (str(record["node"]), int(record["r"]),
                  tuple(int(k) for k in record["k"]))
-        expected = (self._node, self._r, self._own_keys)
+        expected = (self._node, self._r, self._identity_keys)
         if found != expected:
             raise ConfigurationError(
                 f"journal at {path} belongs to node={found[0]!r} "
@@ -476,6 +540,61 @@ class NodeJournal:
         if alert:
             record["a"] = 1
         self._append(record)
+
+    def record_rekey(self, keys: Sequence[int]) -> None:
+        """Log a membership rekey: all later sends use the new entry set.
+
+        Written *before* the clock rekeys (WAL-before-state), so a crash
+        between the two replays sends correctly either way — no send can
+        sit between the record and the rekey.
+        """
+        self._own_keys = tuple(int(k) for k in keys)
+        self._append({"t": "rekey", "k": [int(k) for k in keys]})
+
+    def record_view(
+        self,
+        view_id: int,
+        members: Sequence[Tuple[str, Address, Sequence[int]]],
+    ) -> None:
+        """Log an installed group view so a restart rejoins consistently."""
+        view = (
+            int(view_id),
+            tuple(
+                (str(node_id), address, tuple(int(k) for k in keys))
+                for node_id, address, keys in members
+            ),
+        )
+        if self._view is not None and view[0] < self._view[0]:
+            return
+        self._view = view
+        self._append({"t": "view", "v": self._view_to_json(view)})
+
+    def record_state_transfer(
+        self,
+        keys: Sequence[int],
+        vector: Sequence[int],
+        frontiers: Frontiers,
+        links: Optional[Dict[Address, Tuple[int, int, Tuple[int, ...]]]] = None,
+    ) -> None:
+        """Persist a join state transfer atomically (joiner side).
+
+        A joiner adopts the coordinator's granted keys, clock vector and
+        delivered frontiers *before* any local traffic; folding them in
+        and writing an immediate snapshot means a crash right after the
+        join recovers to the post-transfer state instead of a blank
+        identity that would re-issue covered message ids.  Only valid on
+        a fresh journal (no deliveries recorded yet).
+        """
+        if self._delivered and tuple(self._delivered) != (self._node,):
+            raise ConfigurationError(
+                "state transfer requires a fresh journal (deliveries already recorded)"
+            )
+        self._own_keys = tuple(int(k) for k in keys)
+        for sender, (contiguous, extras) in frontiers.items():
+            self._delivered[str(sender)] = _Frontier(
+                int(contiguous), (int(e) for e in extras)
+            )
+        self.write_snapshot(vector, 0, dict(links or {}))
 
     def ensure_lease(self, address: Address, seq: int) -> None:
         """Reserve link seqs for ``address`` up to at least ``seq``.
@@ -558,7 +677,9 @@ class NodeJournal:
         snap = {
             "node": self._node,
             "r": self._r,
-            "k": list(self._own_keys),
+            "k": list(self._identity_keys),
+            "keys_now": list(self._own_keys),
+            "view": self._view_to_json(self._view) if self._view is not None else None,
             "vector": [int(v) for v in vector],
             "send_seq": int(send_seq),
             "delivered": {s: list(f.as_tuple()) for s, f in self._delivered.items()},
@@ -593,7 +714,7 @@ class NodeJournal:
         self._wal.close()
         self._wal = open(self.wal_path, "w", encoding="utf-8")
         self._append({"t": "open", "node": self._node, "r": self._r,
-                      "k": list(self._own_keys)}, count=False)
+                      "k": list(self._identity_keys)}, count=False)
         self._records_since_snapshot = 0
         self.snapshots_written += 1
         if self._snapshot_hist is not None:

@@ -34,7 +34,7 @@ on its verdicts, which keeps it trivially testable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
 
@@ -77,7 +77,9 @@ class PeerLivenessMonitor:
     def __init__(self, policy: LivenessPolicy) -> None:
         self._policy = policy
         self._last_seen: Dict[Address, float] = {}
-        self._quarantined: Set[Address] = set()
+        # address -> time the quarantine started, so the membership layer
+        # can age a quarantine into a view eviction (``overdue``).
+        self._quarantined: Dict[Address, float] = {}
         self.quarantines = 0
         self.resumes = 0
 
@@ -93,14 +95,14 @@ class PeerLivenessMonitor:
     def forget(self, address: Address) -> None:
         """Stop watching a peer entirely (removed from membership)."""
         self._last_seen.pop(address, None)
-        self._quarantined.discard(address)
+        self._quarantined.pop(address, None)
 
     def touch(self, address: Address, now: float) -> bool:
         """Record evidence of life; True when this revives a quarantined
         peer (the caller should resume it and trigger anti-entropy)."""
         self._last_seen[address] = now
         if address in self._quarantined:
-            self._quarantined.discard(address)
+            self._quarantined.pop(address, None)
             self.resumes += 1
             return True
         return False
@@ -114,7 +116,7 @@ class PeerLivenessMonitor:
             if address in self._quarantined:
                 continue
             if now - last > deadline:
-                self._quarantined.add(address)
+                self._quarantined[address] = now
                 self.quarantines += 1
                 newly.append(address)
         return newly
@@ -126,3 +128,17 @@ class PeerLivenessMonitor:
     def quarantined_peers(self) -> Tuple[Address, ...]:
         """All currently quarantined addresses."""
         return tuple(self._quarantined)
+
+    def quarantined_since(self, address: Address) -> Optional[float]:
+        """When the peer's current quarantine started (None if healthy)."""
+        return self._quarantined.get(address)
+
+    def overdue(self, now: float, age: float) -> List[Address]:
+        """Peers whose quarantine has lasted longer than ``age`` seconds —
+        the membership layer's eviction candidates.  Pure query: the
+        caller decides what to do (and calls :meth:`forget` if it evicts)."""
+        return [
+            address
+            for address, since in self._quarantined.items()
+            if now - since > age
+        ]

@@ -49,7 +49,7 @@ from repro.core.codec import MessageCodec
 from repro.core.detector import DeliveryErrorDetector, DetectorStats
 from repro.core.errors import ConfigurationError
 from repro.core.protocol import CausalBroadcastEndpoint, DeliveryRecord, EndpointStats, Message
-from repro.net.journal import NodeJournal, RecoveredState
+from repro.net.journal import NodeJournal, RecoveredState, _Frontier
 from repro.net.liveness import LivenessPolicy, PeerLivenessMonitor
 from repro.net.peer import Transport
 from repro.net.session import ReliableSession, RetransmitPolicy, TransportStats
@@ -229,6 +229,28 @@ class MessageStore:
         self._data[key] = data
         self._order.append(key)
 
+    def purge_sender(self, sender: str) -> int:
+        """Drop everything recorded for one sender (view eviction).
+
+        Removes the sender's bytes, ordering entries, and frontier
+        bookkeeping, so an evicted peer stops occupying store budget and
+        stops appearing in outgoing digests; returns the number of
+        stored encodings dropped.  Peers that still hold the departed
+        sender's messages may push a few back through anti-entropy until
+        their own views catch up — those re-adds are bounded by their
+        store limits and age out FIFO like any other traffic.
+        """
+        dropped = 0
+        for key in [key for key in self._data if key[0] == sender]:
+            del self._data[key]
+            dropped += 1
+        if dropped or sender in self._contiguous or sender in self._extras:
+            self._order = deque(key for key in self._order if key[0] != sender)
+        self._contiguous.pop(sender, None)
+        self._extras.pop(sender, None)
+        self._evicted_high.pop(sender, None)
+        return dropped
+
 
 class _DeltaTx:
     """Per-link delta-encoding sender state.
@@ -381,6 +403,23 @@ class ReliableCausalNode:
         self._delta_tx: Dict[Address, _DeltaTx] = {}
         self._delta_rx: Dict[Address, Dict[str, _DeltaRx]] = {}
         self._resync_last: Dict[Address, float] = {}
+        # View-evicted peers: address -> sender id, bounded so a long
+        # churn history cannot grow it; frames from these addresses are
+        # dropped (with one warning per address) until a re-join clears
+        # the mark.
+        self._evicted_peers: "OrderedDict[Address, str]" = OrderedDict()
+        self._stale_warned: Set[Address] = set()
+        self._stale_senders_warned: Set[str] = set()
+        self._stale_frames = 0
+        # Per-sender *delivered* coverage, maintained whether or not a
+        # journal exists: the membership layer's join state transfer
+        # pairs this with the clock vector (using the *received* store
+        # frontiers there would mark pending messages as covered and
+        # wedge the joiner).
+        self._delivered_frontiers: Dict[str, _Frontier] = {}
+        # Attached by GroupMembership.attach(); duck-typed to avoid an
+        # import cycle with repro.net.membership.
+        self.membership = None
         self.store = MessageStore(limit=store_limit)
         self.journal = journal
         self.liveness = (
@@ -411,6 +450,14 @@ class ReliableCausalNode:
             journal.bind_metrics(self.metrics)  # before open(): times replay
             self.recovered = journal.open()
         if self.recovered is not None:
+            if (
+                self.recovered.own_keys
+                and tuple(self.recovered.own_keys) != tuple(clock.own_keys)
+            ):
+                # A membership rekey (join state transfer) changed the
+                # effective entry set; the pristine clock adopts it
+                # before the vector is restored.
+                clock.rekey(self.recovered.own_keys)
             clock.restore_state(self.recovered.vector, self.recovered.send_seq)
 
         self.endpoint = CausalBroadcastEndpoint(
@@ -428,6 +475,8 @@ class ReliableCausalNode:
             # of one mark_seen() per historical message.
             self.endpoint.restore_seen(self.recovered.delivered)
             self.store.restore_frontiers(self.recovered.delivered)
+            for sender, (contiguous, extras) in self.recovered.delivered.items():
+                self._delivered_frontiers[sender] = _Frontier(contiguous, extras)
             for seq, data in self.recovered.own_messages.items():
                 self.store.restore_message(str(node_id), seq, data)
             # Restart accounting: a fresh detector resumes the crashed
@@ -446,6 +495,8 @@ class ReliableCausalNode:
                 self._handle_peer_activity if self.liveness is not None else None
             ),
             on_link_seq=(journal.ensure_lease if journal is not None else None),
+            on_membership=self._handle_membership_frame,
+            data_gate=self._data_plane_admitted,
         )
         # A reference must outlive the window in which a delta naming it
         # can still arrive; the sender's send_buffer bounds that window.
@@ -480,6 +531,7 @@ class ReliableCausalNode:
         quarantines = self.metrics.counter("repro_liveness_quarantines_total")
         resumes = self.metrics.counter("repro_liveness_resumes_total")
         suppressed = self.metrics.counter("repro_heartbeats_suppressed_total")
+        stale = self.metrics.counter("repro_stale_frames_total")
 
         def collect() -> None:
             store_evictions.set(self.store.stats.evictions)
@@ -490,6 +542,7 @@ class ReliableCausalNode:
                 quarantines.set(self.liveness.quarantines)
                 resumes.set(self.liveness.resumes)
             suppressed.set(self._heartbeats_suppressed)
+            stale.set(self._stale_frames)
 
         self.metrics.register_collector(collect)
 
@@ -524,6 +577,8 @@ class ReliableCausalNode:
                 self.metrics, port=self._metrics_port
             )
             await self.metrics_server.start()
+        if self.membership is not None:
+            self.membership.start()
         return self
 
     async def close(self) -> None:
@@ -534,6 +589,8 @@ class ReliableCausalNode:
         close taking a different path would leave the crash path
         untested in production.
         """
+        if self.membership is not None:
+            self.membership.stop()
         for task in (self._anti_entropy_task, self._liveness_task,
                      self._export_task):
             if task is not None:
@@ -567,23 +624,103 @@ class ReliableCausalNode:
     # ------------------------------------------------------------------
 
     def add_peer(self, address: Address) -> None:
-        """Start broadcasting to ``address`` (idempotent)."""
+        """Start broadcasting to ``address`` (idempotent).
+
+        Also clears any eviction mark on the address: a node that left
+        and rejoined is a member again, not a stale-frame source.
+        """
         if address not in self._peers:
             self._peers.append(address)
+        self._evicted_peers.pop(address, None)
+        self._stale_warned.discard(address)
 
     def remove_peer(self, address: Address) -> None:
-        """Stop broadcasting to ``address`` and purge its session state.
+        """Stop broadcasting to ``address`` and purge its per-peer state.
 
-        Without the purge, the peer's unacked retransmission queue and
-        per-peer stats would linger in the session forever (and its
-        pending frames would keep being retransmitted into the void).
-        Missing addresses are fine.
+        Without the purge, the peer's unacked retransmission queue,
+        per-peer stats, NACK pacing, and delta-encoding reference tables
+        would linger in the session and node forever (and its pending
+        frames would keep being retransmitted into the void).  Missing
+        addresses are fine.
         """
         if address in self._peers:
             self._peers.remove(address)
         self.session.forget(address)
         if self.liveness is not None:
             self.liveness.forget(address)
+        self._delta_tx.pop(address, None)
+        self._delta_rx.pop(address, None)
+        self._resync_last.pop(address, None)
+
+    def evict_peer(self, address: Address, sender_id: Optional[str] = None) -> None:
+        """Expel a peer from this node's runtime state (view eviction).
+
+        On top of :meth:`remove_peer`, purges the departed sender's
+        message-store bookkeeping (``sender_id``, when known) and marks
+        the address so late frames from it are dropped with a log-once
+        warning instead of silently re-creating per-peer session state.
+
+        Deliberately *not* purged: the endpoint's seen-filter entries
+        for the departed sender.  They cost O(1) per sender, and
+        dropping them would re-deliver that sender's messages if a peer
+        relays them later — correctness over a few bytes.
+        """
+        self.remove_peer(address)
+        if sender_id is not None:
+            self.store.purge_sender(str(sender_id))
+        self._evicted_peers[address] = str(sender_id) if sender_id is not None else ""
+        while len(self._evicted_peers) > 256:
+            stale_addr, _ = self._evicted_peers.popitem(last=False)
+            self._stale_warned.discard(stale_addr)
+
+    def _drop_if_evicted(self, addr: Address, kind: str) -> bool:
+        """True (and count/trace/warn-once) when ``addr`` was evicted."""
+        if addr not in self._evicted_peers:
+            return False
+        self._stale_frames += 1
+        if addr not in self._stale_warned:
+            self._stale_warned.add(addr)
+            logger.warning(
+                "dropping %s from evicted peer %r; it is no longer in the "
+                "group view (it must re-join to be heard again)",
+                kind, addr,
+            )
+        self.trace.emit("stale_frame", ts=self._now(), peer=str(addr), frame=kind)
+        # The session auto-creates per-peer state for any sender; do not
+        # let a chatty evicted peer re-grow it.
+        self.session.forget(addr)
+        return True
+
+    def _handle_membership_frame(self, frame, addr: Address) -> None:
+        if self.membership is not None:
+            self.membership.handle_frame(frame, addr)
+
+    def _sender_in_view(self, sender: str) -> bool:
+        """Whether a message's *origin* is still a group member.
+
+        Frames arriving from an evicted address are dropped earlier by
+        :meth:`_drop_if_evicted`; this guards the other door, a live
+        peer relaying a departed sender's messages after the purge.
+        Without a membership layer (or before one installs a view)
+        every sender is admitted.
+        """
+        membership = self.membership
+        if membership is None:
+            return True
+        view = membership.view
+        if view is None or str(self.node_id) == sender:
+            return True
+        if view.get(sender) is not None:
+            return True
+        return any(str(member.node_id) == sender for member in view.members)
+
+    def _data_plane_admitted(self) -> bool:
+        """Session data gate: a node with a membership layer ingests no
+        DATA/DIGEST until it is a group member.  Anything pushed at it
+        mid-JOIN (an anti-entropy round racing the handshake) would void
+        the pristine state transfer; the sender's retransmits re-offer
+        it all once the view admits us."""
+        return self.membership is None or self.membership.joined
 
     @property
     def peers(self) -> Sequence[Address]:
@@ -678,6 +815,8 @@ class ReliableCausalNode:
         ]
 
     def _handle_wire_message(self, data: bytes, addr: Address) -> None:
+        if self._drop_if_evicted(addr, "data"):
+            return
         stats = self.session.peer_stats(addr)
         if MessageCodec.is_delta(data):
             try:
@@ -717,11 +856,26 @@ class ReliableCausalNode:
                 return
             stats.full_received += 1
             full = data
+        sender = str(message.sender)
+        if not self._sender_in_view(sender):
+            # A live peer relayed state from a sender the view has since
+            # expelled (an anti-entropy round racing the purge).
+            # Admitting it would resurrect exactly the store state the
+            # eviction just removed.
+            self._stale_frames += 1
+            if sender not in self._stale_senders_warned:
+                self._stale_senders_warned.add(sender)
+                logger.warning(
+                    "dropping relayed message from departed sender %r; "
+                    "it is no longer in the group view", sender,
+                )
+            self.trace.emit("stale_sender", ts=self._now(), sender=sender)
+            return
         self._record_ref(
-            addr, str(message.sender), message.seq,
+            addr, sender, message.seq,
             message.timestamp.vector, message.timestamp.sender_keys,
         )
-        self.store.add(str(message.sender), message.seq, full)
+        self.store.add(sender, message.seq, full)
         # Every receive path funnels through here — direct sends,
         # retransmissions, and anti-entropy pushes alike — so this one
         # real timestamp covers them all (it used to default to 0.0,
@@ -767,6 +921,8 @@ class ReliableCausalNode:
         task.add_done_callback(self._heal_tasks.discard)
 
     def _handle_digest(self, frontiers: Frontiers, addr: Address) -> None:
+        if self._drop_if_evicted(addr, "digest"):
+            return
         for data in self.store.missing_for(frontiers):
             # Reliable push: goes through the normal ack/retransmit path.
             self.session.push(addr, data)
@@ -838,8 +994,12 @@ class ReliableCausalNode:
             pass
 
     def _handle_delivery(self, record: DeliveryRecord) -> None:
+        message = record.message
+        frontier = self._delivered_frontiers.get(str(message.sender))
+        if frontier is None:
+            frontier = self._delivered_frontiers[str(message.sender)] = _Frontier()
+        frontier.add(message.seq)
         if self.journal is not None:
-            message = record.message
             if record.local:
                 # WAL-before-wire: this runs inside endpoint.broadcast(),
                 # before broadcast() puts the message on any link.
@@ -877,6 +1037,21 @@ class ReliableCausalNode:
     def deliveries(self) -> List[DeliveryRecord]:
         """All deliveries so far, in order (local self-deliveries included)."""
         return list(self._deliveries)
+
+    def delivered_frontiers(self) -> Frontiers:
+        """Per-sender ``(contiguous, extras)`` coverage of everything this
+        node has *delivered* (own broadcasts included).  This — not the
+        store's received coverage — is what a join state transfer pairs
+        with the clock vector."""
+        return {
+            sender: frontier.as_tuple()
+            for sender, frontier in self._delivered_frontiers.items()
+        }
+
+    @property
+    def stale_frames(self) -> int:
+        """Frames dropped because their source was evicted from the view."""
+        return self._stale_frames
 
     def delivered_payloads(self, include_local: bool = True) -> List[Any]:
         """Payloads in delivery order."""

@@ -73,7 +73,11 @@ from repro.core.codec import (
     Frame,
     FrameCodec,
     HeartbeatFrame,
+    JoinAckFrame,
+    JoinFrame,
+    LeaveFrame,
     NackFrame,
+    ViewFrame,
     varint_size,
 )
 from repro.core.errors import ConfigurationError
@@ -86,6 +90,7 @@ MessageHandler = Callable[[bytes, Address], None]
 DigestHandler = Callable[[Dict[str, Tuple[int, Tuple[int, ...]]], Address], None]
 ActivityHandler = Callable[[Address], None]
 LinkSeqHandler = Callable[[Address, int], None]
+MembershipHandler = Callable[[Frame, Address], None]
 
 # Acked-at-first-send RTT smoothing (Jacobson/Karels constants).
 _RTT_ALPHA = 0.125
@@ -195,6 +200,8 @@ class TransportStats:
         delta_ref_misses: delta messages dropped because the reference
             vector was unknown (e.g. after a crash restart); each miss
             triggers an anti-entropy resync that re-delivers them full.
+        control_sent / control_received: membership control frames
+            (VIEW/JOIN/JOIN_ACK/LEAVE) crossing this link.
         rtt: smoothed round-trip estimate in seconds (None until the
             first clean ack of a never-retransmitted frame).
         rtt_samples: clean RTT samples folded into the estimate — the
@@ -231,6 +238,8 @@ class TransportStats:
     full_sent: int = 0
     full_received: int = 0
     delta_ref_misses: int = 0
+    control_sent: int = 0
+    control_received: int = 0
     rtt: Optional[float] = None
     rtt_samples: int = 0
     rtt_min: Optional[float] = None
@@ -382,6 +391,15 @@ class ReliableSession:
         on_link_seq: upcall ``(addr, seq)`` invoked *before* a fresh DATA
             sequence number is first transmitted, so a journal can lease
             seq ranges ahead of use (write-ahead ordering).
+        on_membership: upcall ``(frame, addr)`` for membership control
+            frames (VIEW/JOIN/JOIN_ACK/LEAVE); without it they are
+            counted and dropped.
+        data_gate: optional admission predicate for the data plane.
+            While it returns False, inbound DATA and DIGEST frames are
+            dropped *unacknowledged* (the sender's retransmit timer
+            keeps them alive); membership control and pure wire frames
+            still flow.  A node mid-JOIN uses this so no state reaches
+            its store before the handshake's state transfer lands.
         policy: retransmission tuning; defaults to :class:`RetransmitPolicy`.
         seed: seeds the jitter generator (jitter needs no determinism,
             but a fixed seed keeps tests reproducible).
@@ -394,6 +412,8 @@ class ReliableSession:
         on_digest: Optional[DigestHandler] = None,
         on_peer_activity: Optional[ActivityHandler] = None,
         on_link_seq: Optional[LinkSeqHandler] = None,
+        on_membership: Optional[MembershipHandler] = None,
+        data_gate: Optional[Callable[[], bool]] = None,
         policy: Optional[RetransmitPolicy] = None,
         seed: int = 0,
     ) -> None:
@@ -402,6 +422,8 @@ class ReliableSession:
         self._on_digest = on_digest
         self._on_peer_activity = on_peer_activity
         self._on_link_seq = on_link_seq
+        self._on_membership = on_membership
+        self._data_gate = data_gate
         self._policy = policy if policy is not None else RetransmitPolicy()
         self._codec = FrameCodec()
         self._random = random.Random(seed)
@@ -410,6 +432,7 @@ class ReliableSession:
         self._tasks: Set[asyncio.Task] = set()
         self._closed = False
         self.frame_errors = 0
+        self.gated_frames = 0
         self._rtt_histogram = None  # set by bind_metrics()
         transport.set_receiver(self._handle_datagram)
 
@@ -664,6 +687,15 @@ class ReliableSession:
         state.stats.heartbeats_sent += 1
         self._transmit(destination, state, self._codec.encode(HeartbeatFrame(count=count)))
 
+    def send_control(self, destination: Address, frame: Frame) -> None:
+        """Fire-and-forget a membership control frame (VIEW/JOIN/JOIN_ACK/
+        LEAVE).  Reliability is the membership layer's job: JOIN retries
+        with backoff, VIEW is periodically re-announced, a lost LEAVE is
+        backstopped by quarantine eviction."""
+        state = self._peer(destination)
+        state.stats.control_sent += 1
+        self._transmit(destination, state, self._codec.encode(frame))
+
     # ------------------------------------------------------------------
     # coalescing wire path
     # ------------------------------------------------------------------
@@ -808,6 +840,15 @@ class ReliableSession:
                 self._dispatch(inner, addr)
             return
         state.stats.frames_received += 1
+        if (
+            isinstance(frame, (DataFrame, DigestFrame))
+            and self._data_gate is not None
+            and not self._data_gate()
+        ):
+            # Not admitted to the data plane (e.g. mid-JOIN): drop
+            # without acking so the sender keeps the frame alive.
+            self.gated_frames += 1
+            return
         if isinstance(frame, DataFrame):
             self._on_data(state, frame, addr, now)
         elif isinstance(frame, AckFrame):
@@ -820,6 +861,10 @@ class ReliableSession:
                 self._on_digest(frame.frontiers, addr)
         elif isinstance(frame, HeartbeatFrame):
             state.stats.heartbeats_received += 1
+        elif isinstance(frame, (ViewFrame, JoinFrame, JoinAckFrame, LeaveFrame)):
+            state.stats.control_received += 1
+            if self._on_membership is not None:
+                self._on_membership(frame, addr)
 
     def _on_data(self, state: _PeerState, frame: DataFrame, addr: Address, now: float) -> None:
         if state.note_received(frame.seq):

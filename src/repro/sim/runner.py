@@ -54,6 +54,7 @@ from repro.sim.dissemination import DirectBroadcast, Dissemination, Disseminatio
 from repro.sim.engine import Simulator
 from repro.sim.membership import (
     ChurnAction,
+    ChurnEvent,
     ChurnModel,
     MembershipView,
     NoChurn,
@@ -713,14 +714,24 @@ class _Run(DisseminationContext):
             self._handle_receive((node_id, message))
         self._recovery_stats.add(repaired)
 
-    def _handle_churn(self, action: ChurnAction) -> None:
+    def _handle_churn(self, event: ChurnEvent) -> None:
+        # Tolerates bare-action callers (the pre-scripted-target API).
+        action = getattr(event, "action", event)
+        target = getattr(event, "node_id", None)
         if action is ChurnAction.JOIN:
             node = self._spawn_node(self._sim.now, bootstrap=True)
             self._schedule_next_send(node.node_id)
             return
         if len(self._membership) <= self._min_population:
             return
-        node_id = self._membership.sample(self._rng_churn)
+        if target is not None:
+            if target not in self._membership:
+                # The scripted victim already left (or never joined by
+                # this time) — a targeted leave is not retargetable.
+                return
+            node_id = target
+        else:
+            node_id = self._membership.sample(self._rng_churn)
         node = self._nodes[node_id]
         self._track_population()
         self._membership.remove(node_id)
@@ -749,7 +760,7 @@ class _Run(DisseminationContext):
         for node_id in list(self._nodes):
             self._schedule_next_send(node_id)
         for event in self._churn_events:
-            self._sim.schedule_at(event.time, self._handle_churn, event.action)
+            self._sim.schedule_at(event.time, self._handle_churn, event)
         self._sim.run()
         self._track_population()
         wall = _time.perf_counter() - started

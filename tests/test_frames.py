@@ -11,8 +11,13 @@ from repro.core.codec import (
     DigestFrame,
     FrameCodec,
     HeartbeatFrame,
+    JoinAckFrame,
+    JoinFrame,
+    LeaveFrame,
+    MemberRecord,
     MessageCodec,
     NackFrame,
+    ViewFrame,
 )
 from repro.core.protocol import Message
 from repro.core.clocks import ProbabilisticCausalClock
@@ -132,3 +137,101 @@ class TestMalformed:
         data = codec.encode(HeartbeatFrame(count=7))
         with pytest.raises(CodecError):
             codec.decode(data[:-2])
+
+
+# ----------------------------------------------------------------------
+# membership frames (VIEW / JOIN / JOIN_ACK / LEAVE)
+# ----------------------------------------------------------------------
+
+addresses = st.tuples(
+    st.text(min_size=1, max_size=20), st.integers(min_value=0, max_value=65535)
+)
+key_sets = st.lists(
+    st.integers(min_value=0, max_value=255), min_size=0, max_size=8, unique=True
+).map(sorted).map(tuple)
+members = st.lists(
+    st.tuples(st.text(min_size=1, max_size=12), addresses, key_sets),
+    max_size=6,
+    unique_by=lambda m: m[0],
+).map(lambda ms: tuple(MemberRecord(n, a, k) for n, a, k in ms))
+
+
+class TestMembershipRoundTrip:
+    @given(view_id=seqs, records=members)
+    @settings(max_examples=150, deadline=None)
+    def test_view_frame(self, view_id, records):
+        frame = ViewFrame(view_id=view_id, members=records)
+        assert codec.decode(codec.encode(frame)) == frame
+
+    @given(node_id=st.text(min_size=1, max_size=20), address=addresses,
+           keys=key_sets)
+    @settings(max_examples=150, deadline=None)
+    def test_join_frame(self, node_id, address, keys):
+        frame = JoinFrame(node_id=node_id, address=address, keys=keys)
+        assert codec.decode(codec.encode(frame)) == frame
+
+    @given(
+        accepted=st.booleans(),
+        view_id=seqs,
+        keys=key_sets,
+        records=members,
+        frontiers=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.tuples(seqs, ascending),
+            max_size=4,
+        ).map(
+            lambda d: {
+                sender: (contiguous, tuple(contiguous + delta for delta in extras))
+                for sender, (contiguous, extras) in d.items()
+            }
+        ),
+        vector=st.lists(
+            st.integers(min_value=0, max_value=2**30), max_size=32
+        ).map(tuple),
+        reason=st.text(max_size=40),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_join_ack_frame(
+        self, accepted, view_id, keys, records, frontiers, vector, reason
+    ):
+        frame = JoinAckFrame(
+            accepted=accepted, view_id=view_id, r=256, k=len(keys) or 1,
+            keys=keys, members=records, frontiers=frontiers,
+            vector=vector, reason=reason,
+        )
+        assert codec.decode(codec.encode(frame)) == frame
+
+    @given(node_id=st.text(min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_leave_frame(self, node_id):
+        frame = LeaveFrame(node_id=node_id)
+        assert codec.decode(codec.encode(frame)) == frame
+
+    def test_list_address_decodes_as_tuple(self):
+        # JSON has no tuples; decoding canonicalises to tuples so
+        # addresses stay usable as dict keys / transport targets.
+        frame = JoinFrame(node_id="n", address=["10.0.0.1", 9000], keys=())
+        decoded = codec.decode(codec.encode(frame))
+        assert decoded.address == ("10.0.0.1", 9000)
+
+
+class TestMembershipMalformed:
+    def test_truncated_view_rejected(self):
+        frame = ViewFrame(
+            view_id=3,
+            members=(MemberRecord("a", ("h", 1), (0, 1)),),
+        )
+        with pytest.raises(CodecError):
+            codec.decode(codec.encode(frame)[:-2])
+
+    def test_truncated_join_ack_rejected(self):
+        frame = JoinAckFrame(
+            accepted=True, view_id=1, r=16, k=2, keys=(0, 1),
+            members=(), frontiers={"a": (3, ())}, vector=(0,) * 16,
+        )
+        with pytest.raises(CodecError):
+            codec.decode(codec.encode(frame)[:-1])
+
+    def test_unencodable_address_rejected(self):
+        with pytest.raises(CodecError):
+            codec.encode(JoinFrame(node_id="n", address=object(), keys=()))

@@ -254,3 +254,59 @@ def test_random_assigner_invariants(r, k, count, seed):
         assert all(0 <= key < r for key in keys)
         assert keys not in seen
         seen.add(keys)
+
+
+class TestAdopt:
+    """Mirroring externally granted assignments (the membership layer)."""
+
+    def test_adopt_registers_and_looks_up(self):
+        assigner = RandomKeyAssigner(16, 3)
+        assignment = assigner.adopt("remote", (5, 2, 9))
+        assert assignment.keys == (2, 5, 9)  # canonical ascending order
+        assert assigner.lookup("remote").keys == (2, 5, 9)
+        assert "remote" in assigner
+
+    def test_adopt_idempotent_same_keys(self):
+        assigner = RandomKeyAssigner(16, 3)
+        first = assigner.adopt("p", (1, 2, 3))
+        second = assigner.adopt("p", (3, 2, 1))
+        assert first == second
+        assert len(assigner) == 1
+
+    def test_adopt_conflicting_keys_rejected(self):
+        assigner = RandomKeyAssigner(16, 3)
+        assigner.adopt("p", (1, 2, 3))
+        with pytest.raises(MembershipError):
+            assigner.adopt("p", (4, 5, 6))
+
+    def test_adopt_out_of_range_rejected(self):
+        assigner = RandomKeyAssigner(16, 3)
+        with pytest.raises(ConfigurationError):
+            assigner.adopt("p", (1, 2, 16))
+
+    def test_random_adopt_blocks_the_set_id(self):
+        # After adoption the same set must not be drawn for someone else.
+        assigner = RandomKeyAssigner(4, 2)  # C(4,2) = 6 sets
+        adopted = assigner.adopt("a", (0, 1))
+        others = [assigner.assign(f"p{i}").keys for i in range(5)]
+        assert adopted.keys not in others
+
+    def test_perfect_adopt_blocks_the_set(self):
+        assigner = PerfectKeyAssigner(12, 3)
+        assigner.adopt("boot", (0, 1, 2))  # the slot-0 tile
+        granted = [assigner.assign(f"p{i}").keys for i in range(3)]
+        assert (0, 1, 2) not in granted
+
+    def test_perfect_adopt_release_tolerates_missing_slot(self):
+        assigner = PerfectKeyAssigner(12, 3)
+        assigner.adopt("ghost", (3, 4, 5))
+        released = assigner.release("ghost")  # no slot was ever claimed
+        assert released.keys == (3, 4, 5)
+        assert "ghost" not in assigner
+
+    def test_adopt_then_release_recycles(self):
+        assigner = PerfectKeyAssigner(12, 3)
+        first = assigner.assign("a")
+        assigner.release("a")
+        # LIFO slot recycling: the next grant reuses the freed slot.
+        assert assigner.assign("b").keys == first.keys

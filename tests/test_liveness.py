@@ -171,3 +171,45 @@ class TestQuarantineIntegration:
         from pathlib import Path
         with tempfile.TemporaryDirectory() as tmp:
             asyncio.run(scenario(Path(tmp)))
+
+
+class TestQuarantineAging:
+    """The eviction feeder: quarantine timestamps and the overdue query."""
+
+    def make(self):
+        return PeerLivenessMonitor(
+            LivenessPolicy(heartbeat_interval=0.1, quarantine_after=1.0)
+        )
+
+    def test_quarantined_since_records_start_time(self):
+        monitor = self.make()
+        monitor.track("a", now=0.0)
+        assert monitor.quarantined_since("a") is None
+        monitor.sweep(now=2.0)
+        assert monitor.quarantined_since("a") == 2.0
+
+    def test_touch_clears_the_timestamp(self):
+        monitor = self.make()
+        monitor.track("a", now=0.0)
+        monitor.sweep(now=2.0)
+        monitor.touch("a", now=2.5)
+        assert monitor.quarantined_since("a") is None
+
+    def test_overdue_after_age(self):
+        monitor = self.make()
+        monitor.track("a", now=0.0)
+        monitor.track("b", now=0.0)
+        monitor.sweep(now=2.0)       # both quarantined at t=2
+        monitor.touch("b", now=3.0)  # b revives
+        assert monitor.overdue(now=4.0, age=5.0) == []
+        assert monitor.overdue(now=8.0, age=5.0) == ["a"]
+
+    def test_overdue_is_a_pure_query(self):
+        monitor = self.make()
+        monitor.track("a", now=0.0)
+        monitor.sweep(now=2.0)
+        assert monitor.overdue(now=10.0, age=1.0) == ["a"]
+        # Asking again still reports it: the caller evicts and forgets.
+        assert monitor.overdue(now=10.0, age=1.0) == ["a"]
+        monitor.forget("a")
+        assert monitor.overdue(now=10.0, age=1.0) == []
