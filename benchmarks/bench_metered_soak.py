@@ -18,18 +18,26 @@ the pipeline was dead anywhere:
 The merged snapshot is written to ``results/metered_soak/merged.json``
 and the JSONL files are what CI uploads as the run artifact.  Render
 them interactively with ``python -m repro stats results/metered_soak/*.jsonl``.
+
+``--profile`` additionally runs the soak under :mod:`cProfile` (the
+sampling profilers aren't installable here) and drops both the raw
+``soak.prof`` dump and a cumulative-time text summary into the output
+directory, so every CI run ships a hot-path profile in its artifact.
 """
 
 import argparse
 import asyncio
+import cProfile
+import io
 import json
 import pathlib
+import pstats
 import shutil
 import sys
 
 from repro.api import NodeConfig, create_node
 from repro.analysis.tables import render_table
-from repro.net import FaultyTransport, UdpTransport
+from repro.net import BatchedUdpTransport, FaultyTransport
 from repro.obs import Histogram, last_snapshot, merge_snapshots
 from repro.util.rng import RandomSource
 
@@ -57,7 +65,9 @@ async def run_soak(out_dir, rounds):
     keys = {name: tuple(range(3 * i, 3 * i + 3)) for i, name in enumerate(NAMES)}
     nodes = {}
     for name in NAMES:
-        udp = await UdpTransport.create()
+        # The batched driver is the shipping default; soak (and profile)
+        # the path production nodes actually run.
+        udp = await BatchedUdpTransport.create()
         transport = FaultyTransport(
             udp, rng=RandomSource(seed=13).spawn(f"soak-{name}"), **FAULTS
         )
@@ -144,13 +154,30 @@ def main():
     parser.add_argument("--quick", action="store_true",
                         help="short CI-sized run (6 rounds)")
     parser.add_argument("--out-dir", default=str(RESULTS_DIR / "metered_soak"))
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile; write soak.prof + "
+                             "soak.profile.txt into --out-dir")
     args = parser.parse_args()
     out_dir = pathlib.Path(args.out_dir)
     if out_dir.exists():
         shutil.rmtree(out_dir)
     out_dir.mkdir(parents=True)
     rounds = 6 if args.quick else args.rounds
-    sent = asyncio.run(run_soak(out_dir, rounds))
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        sent = asyncio.run(run_soak(out_dir, rounds))
+        profiler.disable()
+        profiler.dump_stats(out_dir / "soak.prof")
+        text = io.StringIO()
+        stats = pstats.Stats(profiler, stream=text)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(40)
+        (out_dir / "soak.profile.txt").write_text(
+            text.getvalue(), encoding="utf-8"
+        )
+        print(f"profile written to {out_dir}/soak.prof (+ .profile.txt)")
+    else:
+        sent = asyncio.run(run_soak(out_dir, rounds))
     print(f"converged: {sent} messages, metrics in {out_dir}/")
     return check_merged(out_dir)
 

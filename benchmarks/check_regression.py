@@ -13,6 +13,12 @@ allocation, a lost fast path, index bookkeeping creep) lowers the ratio
 wherever it runs.  ``--absolute`` additionally gates raw deliveries/sec
 for same-machine comparisons.
 
+The small-N crossover gets its own assertion: on the n8 retransmission
+scenario neither pure engine clearly wins, so ``engine="auto"`` (the
+default) must track the *better* of the two — a fresh run where auto
+falls more than ``--max-drop`` below the best single engine means the
+promotion threshold has drifted off the crossover.
+
 ``--wire-fresh`` additionally gates a fresh ``bench_wire.py`` run
 against the committed ``BENCH_wire.json``: the batched wire path's
 datagrams-per-message and bytes-per-message *ratios* over the legacy
@@ -21,11 +27,20 @@ timings) must not fall more than ``--max-drop`` below the baseline, and
 the 0 %-loss headline must hold the acceptance floors (>= 3x fewer
 datagrams/msg, >= 2.5x fewer bytes/msg).
 
+``--ioloop-fresh`` gates a fresh ``bench_ioloop.py`` run against the
+committed ``BENCH_ioloop.json``: the batched transport's
+datagrams-per-wakeup (a within-run counter ratio — the legacy endpoint
+is definitionally 1.0/wakeup) must not fall more than ``--max-drop``
+below the baseline, and the flood headline must hold the ISSUE floor
+(>= 2x datagrams/wakeup, or >= 1.3x end-to-end throughput).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py --quick --output /tmp/fresh.json
     PYTHONPATH=src python benchmarks/bench_wire.py --quick --output /tmp/wire.json
-    python benchmarks/check_regression.py --fresh /tmp/fresh.json --wire-fresh /tmp/wire.json
+    PYTHONPATH=src python benchmarks/bench_ioloop.py --quick --output /tmp/ioloop.json
+    python benchmarks/check_regression.py --fresh /tmp/fresh.json \
+        --wire-fresh /tmp/wire.json --ioloop-fresh /tmp/ioloop.json
 """
 
 from __future__ import annotations
@@ -38,6 +53,7 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_hotpath.json"
 DEFAULT_WIRE_BASELINE = REPO_ROOT / "BENCH_wire.json"
+DEFAULT_IOLOOP_BASELINE = REPO_ROOT / "BENCH_ioloop.json"
 
 # Scenarios whose baseline speedup is below this are dominated by
 # fixed overheads, not the indexed drain; their ratio is noise-bound
@@ -49,6 +65,17 @@ GATE_SPEEDUP_FLOOR = 1.5
 WIRE_HEADLINE = "steady_r100_k2_loss0"
 WIRE_DATAGRAMS_FLOOR = 3.0
 WIRE_BYTES_FLOOR = 2.5
+
+# The small-N crossover scenario: auto (the default engine) must track
+# the better single engine here, or the promotion threshold drifted.
+AUTO_CROSSOVER = "drain_n8_r100_loss25"
+
+# The ISSUE acceptance floor for the batched I/O loop on the flood
+# headline: >= 2x datagrams per wakeup, or failing that >= 1.3x
+# end-to-end throughput over the per-datagram endpoint.
+IOLOOP_HEADLINE = "flood_r100_k2"
+IOLOOP_WAKEUP_FLOOR = 2.0
+IOLOOP_THROUGHPUT_FLOOR = 1.3
 
 
 def load(path: pathlib.Path) -> dict:
@@ -85,6 +112,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--wire-fresh", type=pathlib.Path, default=None,
         help="freshly produced bench_wire.py output (enables the wire gate)",
+    )
+    parser.add_argument(
+        "--ioloop-baseline", type=pathlib.Path, default=DEFAULT_IOLOOP_BASELINE,
+        help=f"committed ioloop baseline JSON (default {DEFAULT_IOLOOP_BASELINE})",
+    )
+    parser.add_argument(
+        "--ioloop-fresh", type=pathlib.Path, default=None,
+        help="freshly produced bench_ioloop.py output (enables the ioloop gate)",
     )
     args = parser.parse_args(argv)
     if not 0 < args.max_drop < 1:
@@ -129,6 +164,26 @@ def main(argv=None) -> int:
                     f"{dps_floor:.1f} ({base_dps:.1f} baseline)"
                 )
 
+    if AUTO_CROSSOVER in fresh:
+        # Auto vs best single engine at the small-N crossover.  Both
+        # speedups are vs naive within the same run, so their ratio is
+        # auto-time over best-single-engine-time, machine-independent.
+        crossover = fresh[AUTO_CROSSOVER]
+        auto = crossover["auto_speedup"]
+        best = max(1.0, crossover["speedup"])
+        floor = best * (1 - args.max_drop)
+        verdict = "ok" if auto >= floor else "REGRESSED"
+        print(
+            f"{AUTO_CROSSOVER:28s} auto {auto:6.2f}x vs best engine "
+            f"{best:6.2f}x (floor {floor:.2f}x)  {verdict}"
+        )
+        if auto < floor:
+            failures.append(
+                f"{AUTO_CROSSOVER}: auto engine {auto:.2f}x fell below "
+                f"{floor:.2f}x — promotion threshold off the crossover "
+                f"(best single engine {best:.2f}x)"
+            )
+
     checked = len(shared)
     if args.wire_fresh is not None:
         wire_baseline = {
@@ -168,6 +223,54 @@ def main(argv=None) -> int:
                         f"({base:.2f}x baseline)"
                     )
         checked += len(wire_shared)
+
+    if args.ioloop_fresh is not None:
+        ioloop_baseline = {
+            s["name"]: s for s in load(args.ioloop_baseline)["scenarios"]
+        }
+        ioloop_fresh = {s["name"]: s for s in load(args.ioloop_fresh)["scenarios"]}
+        ioloop_shared = [n for n in ioloop_fresh if n in ioloop_baseline]
+        if not ioloop_shared:
+            sys.exit(
+                "error: no ioloop scenarios in common between baseline and fresh run"
+            )
+        for name in ioloop_shared:
+            # The coalesced scenario barely floods (BATCH frames soak
+            # up the datagram count), so its per-wakeup ratio hovers
+            # near 1 and is noise-bound; only the flood headline gets
+            # the tight tolerance.
+            tolerance = args.max_drop
+            if name != IOLOOP_HEADLINE:
+                tolerance = min(0.95, 2 * args.max_drop)
+            base = ioloop_baseline[name]["datagrams_per_wakeup"]
+            got = ioloop_fresh[name]["datagrams_per_wakeup"]
+            floor = base * (1 - tolerance)
+            if name == IOLOOP_HEADLINE:
+                floor = max(floor, IOLOOP_WAKEUP_FLOOR)
+            ok = got >= floor
+            if name == IOLOOP_HEADLINE and not ok:
+                # The ISSUE floor is an either/or: a flood where the
+                # receiver keeps pace datagram-for-datagram can still
+                # pass on raw end-to-end throughput.
+                throughput = ioloop_fresh[name]["throughput_ratio"]
+                ok = throughput >= IOLOOP_THROUGHPUT_FLOOR
+                if ok:
+                    print(
+                        f"{name:28s} datagrams/wakeup {got:.2f} below "
+                        f"{floor:.2f}, rescued by throughput "
+                        f"{throughput:.2f}x >= {IOLOOP_THROUGHPUT_FLOOR}x"
+                    )
+            verdict = "ok" if ok else "REGRESSED"
+            print(
+                f"{name:28s} datagrams/wakeup {base:6.2f} -> {got:6.2f} "
+                f"(floor {floor:.2f})  {verdict}"
+            )
+            if not ok:
+                failures.append(
+                    f"{name}: datagrams/wakeup {got:.2f} fell below "
+                    f"{floor:.2f} ({base:.2f} baseline)"
+                )
+        checked += len(ioloop_shared)
 
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)

@@ -49,7 +49,7 @@ from repro.net.membership import GroupMembership, MembershipConfig
 from repro.net.node import ReliableCausalNode
 from repro.net.peer import Transport
 from repro.net.session import RetransmitPolicy
-from repro.net.udp import UdpTransport
+from repro.net.udp import BatchedUdpTransport, UdpTransport
 
 __all__ = [
     "NodeConfig",
@@ -65,6 +65,7 @@ __all__ = [
 SCHEMES = clock_schemes()
 DETECTORS = detector_names()
 PAYLOAD_CODECS = ("json", "raw")
+IO_MODES = ("batched", "legacy", "mmsg")
 
 DeliveryHandler = Callable[[DeliveryRecord], None]
 
@@ -101,6 +102,17 @@ class NodeConfig:
     Attributes:
         host: bind address for the default UDP transport.
         port: bind port (0 picks an ephemeral port).
+        io_mode: how the default UDP transport drives the socket —
+            ``batched`` (default: one non-blocking socket draining up to
+            ``rx_batch`` datagrams per event-loop wakeup and flushing
+            sends in per-tick bursts), ``legacy`` (the per-datagram
+            asyncio endpoint), or ``mmsg`` (batched plus an experimental
+            ``sendmmsg(2)`` burst path where the platform supports it).
+            Ignored when an explicit ``transport`` is passed.
+        rx_batch: receive-batch budget — max datagrams drained per
+            wakeup (``batched``/``mmsg`` modes).
+        tx_batch: send-burst budget — max datagrams written per flush
+            pass (``batched``/``mmsg`` modes).
         payload_codec: application payload wire format: ``json`` | ``raw``.
         ack_timeout: initial retransmit timeout in seconds.
         backoff_factor: exponential backoff multiplier per retransmission.
@@ -185,6 +197,9 @@ class NodeConfig:
     engine: str = "indexed"
     host: str = "127.0.0.1"
     port: int = 0
+    io_mode: str = "batched"
+    rx_batch: int = 32
+    tx_batch: int = 32
     payload_codec: str = "json"
     ack_timeout: float = 0.05
     backoff_factor: float = 2.0
@@ -227,6 +242,14 @@ class NodeConfig:
                 f"unknown payload codec {self.payload_codec!r}; "
                 f"expected one of {PAYLOAD_CODECS}"
             )
+        if self.io_mode not in IO_MODES:
+            raise ConfigurationError(
+                f"unknown io_mode {self.io_mode!r}; expected one of {IO_MODES}"
+            )
+        if self.rx_batch <= 0:
+            raise ConfigurationError(f"rx_batch must be positive, got {self.rx_batch}")
+        if self.tx_batch <= 0:
+            raise ConfigurationError(f"tx_batch must be positive, got {self.tx_batch}")
         if spec.needs_dense_index and self.n is None:
             raise ConfigurationError(
                 f"scheme={self.scheme!r} needs n (the system size)"
@@ -425,7 +448,16 @@ async def create_node(
     config = config if config is not None else NodeConfig()
     spec = get_clock_spec(config.scheme)
     if transport is None:
-        transport = await UdpTransport.create(host=config.host, port=config.port)
+        if config.io_mode == "legacy":
+            transport = await UdpTransport.create(host=config.host, port=config.port)
+        else:
+            transport = await BatchedUdpTransport.create(
+                host=config.host,
+                port=config.port,
+                rx_batch=config.rx_batch,
+                tx_batch=config.tx_batch,
+                mmsg=config.io_mode == "mmsg",
+            )
     clock = create_clock(node_id, config, index=index, assigner=assigner)
     journal = None
     if config.data_dir is not None:

@@ -189,6 +189,21 @@ def build_parser() -> argparse.ArgumentParser:
              "delta-compressed wire path)",
     )
     node.add_argument(
+        "--io-mode", choices=("batched", "legacy", "mmsg"), default="batched",
+        help="UDP socket driver: 'batched' drains many datagrams per "
+             "event-loop wakeup, 'legacy' uses the per-datagram asyncio "
+             "endpoint, 'mmsg' adds a sendmmsg(2) burst path where "
+             "available",
+    )
+    node.add_argument(
+        "--rx-batch", type=int, default=32, metavar="N",
+        help="max datagrams drained per wakeup (batched/mmsg modes)",
+    )
+    node.add_argument(
+        "--tx-batch", type=int, default=32, metavar="N",
+        help="max datagrams written per send burst (batched/mmsg modes)",
+    )
+    node.add_argument(
         "--metrics-path", default=None, metavar="FILE",
         help="append periodic metrics snapshots (JSONL) to FILE; "
              "render later with `repro stats FILE`",
@@ -415,6 +430,9 @@ def _command_node(args: argparse.Namespace) -> int:
         coalesce_mtu=args.coalesce_mtu,
         ack_delay=args.ack_delay,
         wire_delta=not args.no_wire_delta,
+        io_mode=args.io_mode,
+        rx_batch=args.rx_batch,
+        tx_batch=args.tx_batch,
         metrics_path=args.metrics_path,
         metrics_interval=args.metrics_interval,
         metrics_port=args.metrics_port,

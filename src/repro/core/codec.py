@@ -57,6 +57,23 @@ container datagram coalescing several frames, with an optional
 piggybacked cumulative ACK).  Frames use a distinct magic (``b"PF"``)
 so a receiver can dispatch between raw messages and session frames on
 the first two bytes.
+
+**Zero-copy decode.**  Every decode entry point accepts any buffer —
+``bytes``, ``bytearray`` or ``memoryview`` — and avoids copying where
+the result is only *read*: a decoded :class:`DataFrame` payload and the
+inner elements of a :class:`BatchFrame` are lazy slices of the input
+buffer (for a ``memoryview`` input, sub-views that share its memory).
+Small human-readable fields (sender ids, addresses) and application
+payloads always materialise to owned ``bytes``/objects, so nothing a
+:class:`~repro.core.protocol.Message` holds aliases the input buffer.
+
+The lifetime rule is the receive callback's: a transport that recycles
+receive buffers (``BatchedUdpTransport``) only guarantees a view until
+the callback returns.  Any encoded datagram that must outlive the
+callback — e.g. the full encodings the node journals and re-serves for
+anti-entropy — must pass through :func:`retain`, which copies a view
+into owned bytes (and is a no-op for ``bytes`` input).  DESIGN.md §7
+documents the ownership contract end to end.
 """
 
 from __future__ import annotations
@@ -74,7 +91,10 @@ from repro.core.protocol import Message
 from repro.core.registry import scheme_id_of, scheme_name_of
 
 __all__ = [
+    "Buffer",
     "CodecError",
+    "CodecCounters",
+    "retain",
     "PayloadCodec",
     "JsonPayloadCodec",
     "RawBytesPayloadCodec",
@@ -104,9 +124,71 @@ _FLAG_DELTA = 0x02
 _MAX_U32 = 0xFFFFFFFF
 _HEADER_SIZE = 5  # magic + version + flags + scheme
 
+#: Anything the decode paths accept: owned bytes or a borrowed view.
+Buffer = Union[bytes, bytearray, memoryview]
+
 
 class CodecError(ReproError):
     """Raised on malformed wire data or unencodable payloads."""
+
+
+class CodecCounters:
+    """Allocation/copy tallies for the zero-copy decode path.
+
+    Plain slotted integers bumped inline (no obs dependency — the node
+    syncs them into :mod:`repro.obs` counters through a pull collector,
+    so the hot path never touches the registry).  ``*_views`` count
+    decoded results that alias the input buffer (no copy);
+    ``retained_bytes`` counts what :func:`retain` had to materialise at
+    the journal boundary.
+    """
+
+    __slots__ = (
+        "frames_decoded",
+        "batch_inner_views",
+        "data_payload_views",
+        "messages_decoded",
+        "deltas_decoded",
+        "payload_bytes_in",
+        "retain_copies",
+        "retain_noops",
+        "retained_bytes",
+    )
+
+    def __init__(self) -> None:
+        self.frames_decoded = 0
+        self.batch_inner_views = 0
+        self.data_payload_views = 0
+        self.messages_decoded = 0
+        self.deltas_decoded = 0
+        self.payload_bytes_in = 0
+        self.retain_copies = 0
+        self.retain_noops = 0
+        self.retained_bytes = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def retain(data: Buffer, counters: Optional[CodecCounters] = None) -> bytes:
+    """Copy a borrowed view into owned bytes; identity for ``bytes``.
+
+    The journal-boundary rule: receive-path views are only valid until
+    the transport callback returns (the buffer ring is recycled), so any
+    datagram stored past the callback — the node's message store, the
+    WAL, retransmit queues — must be retained first.  ``bytes`` input is
+    returned as-is (CPython ``bytes(b)`` is the same object), so the
+    legacy copying transports pay nothing.
+    """
+    if type(data) is bytes:
+        if counters is not None:
+            counters.retain_noops += 1
+        return data
+    owned = bytes(data)
+    if counters is not None:
+        counters.retain_copies += 1
+        counters.retained_bytes += len(owned)
+    return owned
 
 
 def encode_varint(value: int) -> bytes:
@@ -124,7 +206,7 @@ def encode_varint(value: int) -> bytes:
             return bytes(out)
 
 
-def decode_varint(data: bytes, offset: int) -> Tuple[int, int]:
+def decode_varint(data: Buffer, offset: int) -> Tuple[int, int]:
     """Decode a LEB128 varint at ``offset``; returns (value, new_offset)."""
     result = 0
     shift = 0
@@ -158,7 +240,9 @@ class PayloadCodec:
     def encode(self, payload: Any) -> bytes:
         raise NotImplementedError
 
-    def decode(self, data: bytes) -> Any:
+    def decode(self, data: Buffer) -> Any:
+        """Decode a payload.  ``data`` may be a borrowed view; the result
+        must not alias it (payloads materialise at delivery)."""
         raise NotImplementedError
 
 
@@ -178,11 +262,11 @@ class JsonPayloadCodec(PayloadCodec):
         except (TypeError, ValueError) as exc:
             raise CodecError(f"payload is not JSON-encodable: {exc}") from exc
 
-    def decode(self, data: bytes) -> Any:
-        if not data:
+    def decode(self, data: Buffer) -> Any:
+        if not len(data):
             return None
         try:
-            return _tuplify(json.loads(data.decode("utf-8")))
+            return _tuplify(json.loads(bytes(data).decode("utf-8")))
         except (ValueError, UnicodeDecodeError) as exc:
             raise CodecError(f"malformed JSON payload: {exc}") from exc
 
@@ -205,8 +289,10 @@ class RawBytesPayloadCodec(PayloadCodec):
             raise CodecError(f"raw codec needs bytes, got {type(payload).__name__}")
         return bytes(payload)
 
-    def decode(self, data: bytes) -> Any:
-        return data
+    def decode(self, data: Buffer) -> Any:
+        # Materialise: raw payloads are handed to the application, which
+        # must never see a view into a recycled receive buffer.
+        return bytes(data)
 
 
 class MessageCodec:
@@ -230,6 +316,7 @@ class MessageCodec:
         self._varint = varint_entries
         self._scheme = scheme
         self._scheme_id = scheme_id_of(scheme)
+        self.counters = CodecCounters()
 
     @property
     def scheme(self) -> str:
@@ -237,7 +324,7 @@ class MessageCodec:
         return self._scheme
 
     @staticmethod
-    def peek_scheme(data: bytes) -> Optional[str]:
+    def peek_scheme(data: Buffer) -> Optional[str]:
         """The clock scheme of an encoded message, without decoding it.
 
         Returns the registered scheme name, or ``None`` when the id byte
@@ -307,7 +394,7 @@ class MessageCodec:
         parts.append(payload_bytes)
         return b"".join(parts)
 
-    def decode(self, data: bytes) -> Message:
+    def decode(self, data: Buffer) -> Message:
         if len(data) < _HEADER_SIZE or data[:2] != _MAGIC:
             raise CodecError("bad magic")
         version, flags, scheme_id = struct.unpack_from("<BBB", data, 2)
@@ -324,9 +411,9 @@ class MessageCodec:
         try:
             (sender_len,) = struct.unpack_from("<H", data, offset)
             offset += 2
-            sender = data[offset : offset + sender_len].decode("utf-8")
             if len(data) < offset + sender_len:
                 raise CodecError("truncated sender")
+            sender = bytes(data[offset : offset + sender_len]).decode("utf-8")
             offset += sender_len
             (seq,) = struct.unpack_from("<Q", data, offset)
             offset += 8
@@ -353,6 +440,9 @@ class MessageCodec:
         except struct.error as exc:
             raise CodecError(f"truncated message: {exc}") from exc
 
+        counters = self.counters
+        counters.messages_decoded += 1
+        counters.payload_bytes_in += payload_len
         vector = np.asarray(entries, dtype=np.int64)
         vector.flags.writeable = False
         timestamp = Timestamp(vector=vector, sender_keys=tuple(int(k) for k in keys), seq=seq)
@@ -386,7 +476,7 @@ class MessageCodec:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def is_delta(data: bytes) -> bool:
+    def is_delta(data: Buffer) -> bool:
         """True when ``data`` is a delta-encoded message datagram."""
         return (
             len(data) >= _HEADER_SIZE
@@ -460,7 +550,7 @@ class MessageCodec:
         parts.append(payload_bytes)
         return b"".join(parts)
 
-    def delta_header(self, data: bytes) -> Tuple[str, int, int]:
+    def delta_header(self, data: Buffer) -> Tuple[str, int, int]:
         """Peek ``(sender, seq, ref_seq)`` of a delta datagram without
         decoding it (the caller resolves the reference first)."""
         sender, seq, offset = self._decode_delta_prefix(data)
@@ -469,7 +559,7 @@ class MessageCodec:
             raise CodecError(f"delta reference gap {gap} outside (0, seq]")
         return sender, seq, seq - gap
 
-    def _decode_delta_prefix(self, data: bytes) -> Tuple[str, int, int]:
+    def _decode_delta_prefix(self, data: Buffer) -> Tuple[str, int, int]:
         """Parse a delta's magic/version/flags/sender/varint-seq; returns
         ``(sender, seq, offset_of_ref_gap)``.  Deltas diverge from the
         full encoding right after the sender field: seq is a varint."""
@@ -489,13 +579,13 @@ class MessageCodec:
         offset += 2
         if len(data) < offset + sender_len:
             raise CodecError("truncated sender")
-        sender = data[offset : offset + sender_len].decode("utf-8")
+        sender = bytes(data[offset : offset + sender_len]).decode("utf-8")
         offset += sender_len
         seq, offset = decode_varint(data, offset)
         return sender, seq, offset
 
     def decode_delta(
-        self, data: bytes, ref_vector: np.ndarray, sender_keys: Tuple[int, ...]
+        self, data: Buffer, ref_vector: np.ndarray, sender_keys: Tuple[int, ...]
     ) -> Message:
         """Reconstruct the full message from a delta and its reference.
 
@@ -536,6 +626,9 @@ class MessageCodec:
         except struct.error as exc:
             raise CodecError(f"truncated delta message: {exc}") from exc
         del ref_seq  # resolved by the caller via delta_header()
+        counters = self.counters
+        counters.deltas_decoded += 1
+        counters.payload_bytes_in += payload_len
         vector.flags.writeable = False
         timestamp = Timestamp(
             vector=vector, sender_keys=tuple(int(k) for k in sender_keys), seq=seq
@@ -566,7 +659,7 @@ _BATCH_HAS_ACK = 0x01
 _JOIN_ACK_ACCEPTED = 0x01
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataFrame:
     """A payload under a per-link sequence number (1-based, per peer)."""
 
@@ -574,7 +667,7 @@ class DataFrame:
     payload: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckFrame:
     """Cumulative + selective acknowledgement.
 
@@ -588,14 +681,14 @@ class AckFrame:
     sacks: Tuple[int, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NackFrame:
     """Explicit request to retransmit the listed link seqs (ascending)."""
 
     missing: Tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DigestFrame:
     """Anti-entropy digest: per-sender ``(sender, seq)`` frontiers.
 
@@ -608,7 +701,7 @@ class DigestFrame:
     frontiers: Dict[str, Tuple[int, Tuple[int, ...]]] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeartbeatFrame:
     """Liveness beacon: proof the sender is up even when it has no data.
 
@@ -621,7 +714,7 @@ class HeartbeatFrame:
     count: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchFrame:
     """A container datagram: several coalesced frames, one syscall.
 
@@ -629,18 +722,20 @@ class BatchFrame:
         frames: the *encoded* inner frames (each a complete ``PF`` frame;
             nesting a BATCH inside a BATCH is rejected on both ends).
             Kept as opaque bytes so a batch round-trips byte-identically
-            and the flush path never re-encodes.
+            and the flush path never re-encodes.  When decoded from a
+            ``memoryview`` these are zero-copy sub-views of the input
+            datagram — valid only for the lifetime of that buffer.
         ack: optional piggybacked cumulative+selective acknowledgement —
             the delayed-ack path folds it into an outgoing batch so
             bidirectional steady-state traffic needs no standalone ACK
             datagrams.
     """
 
-    frames: Tuple[bytes, ...]
+    frames: Tuple[Buffer, ...]
     ack: Optional[AckFrame] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemberRecord:
     """One group member as carried inside VIEW and JOIN_ACK frames.
 
@@ -654,7 +749,7 @@ class MemberRecord:
     keys: Tuple[int, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewFrame:
     """A versioned group-view announcement from the acting coordinator.
 
@@ -667,7 +762,7 @@ class ViewFrame:
     members: Tuple[MemberRecord, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinFrame:
     """A join request sent to a seed peer / the acting coordinator.
 
@@ -681,7 +776,7 @@ class JoinFrame:
     keys: Tuple[int, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinAckFrame:
     """The coordinator's reply to a JOIN.
 
@@ -705,7 +800,7 @@ class JoinAckFrame:
     reason: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeaveFrame:
     """A graceful goodbye; fire-and-forget (eviction is the backstop)."""
 
@@ -738,7 +833,7 @@ def _encode_ascending(values: Tuple[int, ...], base: int) -> bytes:
     return b"".join(parts)
 
 
-def _decode_ascending(data: bytes, offset: int, base: int) -> Tuple[Tuple[int, ...], int]:
+def _decode_ascending(data: Buffer, offset: int, base: int) -> Tuple[Tuple[int, ...], int]:
     (count,) = struct.unpack_from("<H", data, offset)
     offset += 2
     values = []
@@ -758,12 +853,13 @@ def _encode_short_bytes(raw: bytes) -> bytes:
     return struct.pack("<H", len(raw)) + raw
 
 
-def _decode_short_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
+def _decode_short_bytes(data: Buffer, offset: int) -> Tuple[bytes, int]:
     (length,) = struct.unpack_from("<H", data, offset)
     offset += 2
     if len(data) < offset + length:
         raise CodecError("truncated length-prefixed field")
-    return data[offset : offset + length], offset + length
+    # Always owned: callers keep these (ids, addresses) past the callback.
+    return bytes(data[offset : offset + length]), offset + length
 
 
 def _encode_address(address: Any) -> bytes:
@@ -774,7 +870,7 @@ def _encode_address(address: Any) -> bytes:
     return _encode_short_bytes(raw)
 
 
-def _decode_address(data: bytes, offset: int) -> Tuple[Any, int]:
+def _decode_address(data: Buffer, offset: int) -> Tuple[Any, int]:
     raw, offset = _decode_short_bytes(data, offset)
     try:
         return _tuplify(json.loads(raw.decode("utf-8"))), offset
@@ -792,7 +888,7 @@ def _encode_member(member: MemberRecord) -> bytes:
     )
 
 
-def _decode_member(data: bytes, offset: int) -> Tuple[MemberRecord, int]:
+def _decode_member(data: Buffer, offset: int) -> Tuple[MemberRecord, int]:
     node_raw, offset = _decode_short_bytes(data, offset)
     address, offset = _decode_address(data, offset)
     keys, offset = _decode_ascending(data, offset, -1)
@@ -808,7 +904,7 @@ def _encode_members(members: Tuple[MemberRecord, ...]) -> bytes:
     return b"".join(parts)
 
 
-def _decode_members(data: bytes, offset: int) -> Tuple[Tuple[MemberRecord, ...], int]:
+def _decode_members(data: Buffer, offset: int) -> Tuple[Tuple[MemberRecord, ...], int]:
     (count,) = struct.unpack_from("<H", data, offset)
     offset += 2
     members = []
@@ -831,7 +927,7 @@ def _encode_frontiers(frontiers: Dict[str, Tuple[int, Tuple[int, ...]]]) -> byte
 
 
 def _decode_frontiers(
-    data: bytes, offset: int
+    data: Buffer, offset: int
 ) -> Tuple[Dict[str, Tuple[int, Tuple[int, ...]]], int]:
     (count,) = struct.unpack_from("<H", data, offset)
     offset += 2
@@ -848,13 +944,20 @@ def _decode_frontiers(
 class FrameCodec:
     """Encodes/decodes the session frames (DATA/ACK/NACK/DIGEST/HEARTBEAT).
 
-    Stateless and symmetric; all frames start with ``b"PF"`` + version +
-    type byte, which keeps them distinguishable from message datagrams
-    (``b"PC"``) at the first two bytes — see :func:`FrameCodec.is_frame`.
+    Symmetric; all frames start with ``b"PF"`` + version + type byte,
+    which keeps them distinguishable from message datagrams (``b"PC"``)
+    at the first two bytes — see :func:`FrameCodec.is_frame`.  Decoding
+    accepts any :data:`Buffer`; DATA payloads and BATCH inner frames
+    come back as zero-copy slices of the input (see the module
+    docstring for the lifetime rule).  The only per-instance state is
+    :attr:`counters`, the allocation/copy tallies.
     """
 
+    def __init__(self) -> None:
+        self.counters = CodecCounters()
+
     @staticmethod
-    def is_frame(data: bytes) -> bool:
+    def is_frame(data: Buffer) -> bool:
         """True when ``data`` looks like a session frame (magic check)."""
         return len(data) >= 4 and data[:2] == _FRAME_MAGIC
 
@@ -985,13 +1088,16 @@ class FrameCodec:
             )
         raise CodecError(f"not a frame: {type(frame).__name__}")
 
-    def decode(self, data: bytes) -> Frame:
+    def decode(self, data: Buffer) -> Frame:
         if not self.is_frame(data):
             raise CodecError("bad frame magic")
         version, frame_type = struct.unpack_from("<BB", data, 2)
         if version != _FRAME_VERSION:
             raise CodecError(f"unsupported frame version {version}")
         offset = 4
+        counters = self.counters
+        counters.frames_decoded += 1
+        borrowed = type(data) is not bytes
         try:
             if frame_type == _TYPE_DATA:
                 (seq,) = struct.unpack_from("<Q", data, offset)
@@ -1000,6 +1106,8 @@ class FrameCodec:
                 offset += 4
                 if len(data) < offset + length:
                     raise CodecError("truncated DATA payload")
+                if borrowed:
+                    counters.data_payload_views += 1
                 return DataFrame(seq=seq, payload=data[offset : offset + length])
             if frame_type == _TYPE_ACK:
                 (cumulative,) = struct.unpack_from("<Q", data, offset)
@@ -1020,7 +1128,7 @@ class FrameCodec:
                     offset += 2
                     if len(data) < offset + sender_len:
                         raise CodecError("truncated digest sender")
-                    sender = data[offset : offset + sender_len].decode("utf-8")
+                    sender = bytes(data[offset : offset + sender_len]).decode("utf-8")
                     offset += sender_len
                     (contiguous,) = struct.unpack_from("<Q", data, offset)
                     offset += 8
@@ -1051,6 +1159,8 @@ class FrameCodec:
                     if not self.is_frame(inner) or inner[3] == _TYPE_BATCH:
                         raise CodecError("malformed BATCH inner frame")
                     frames.append(inner)
+                if borrowed:
+                    counters.batch_inner_views += len(frames)
                 return BatchFrame(frames=tuple(frames), ack=ack)
             if frame_type == _TYPE_VIEW:
                 (view_id,) = struct.unpack_from("<Q", data, offset)

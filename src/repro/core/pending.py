@@ -76,6 +76,21 @@ class PendingBuffer:
         initial_capacity: starting number of slots.
     """
 
+    __slots__ = (
+        "_r",
+        "_capacity",
+        "_adjusted",
+        "_items",
+        "_arrival",
+        "_entries",
+        "_free",
+        "_waiting",
+        "_count",
+        "_arrival_counter",
+        "wakeups",
+        "spurious_wakeups",
+    )
+
     def __init__(self, r: int, initial_capacity: int = 16) -> None:
         if r <= 0:
             raise ConfigurationError(f"vector size R must be positive, got {r}")
@@ -328,6 +343,16 @@ class HybridBuffer:
         r: vector size R (checked against nothing here, kept for
             interface parity with :class:`PendingBuffer`).
     """
+
+    __slots__ = (
+        "_r",
+        "_queues",
+        "_slots",
+        "_next_slot",
+        "_arrival_counter",
+        "wakeups",
+        "spurious_wakeups",
+    )
 
     def __init__(self, r: int) -> None:
         if r <= 0:

@@ -53,17 +53,22 @@ __all__ = [
 ENGINE_MODES = engine_names()
 
 # Pending depth at which engine="auto" promotes the naive drain to the
-# entry-indexed buffer.  BENCH_hotpath.json locates the crossover: at
-# depth ~8 the index bookkeeping costs ~13%, by depth ~32 it wins 3.6x;
-# 24 keeps shallow queues on the cheap path and promotes well before
-# the naive full-rescan drain's O(P*R) passes dominate.
-AUTO_PROMOTE_PENDING = 24
+# entry-indexed buffer.  Re-profiled after the hot dataclasses grew
+# __slots__ (which cheapened the indexed path's attribute traffic): on
+# the n8 retransmission trace a threshold of 32 lets auto beat BOTH
+# pure engines (~1.3x vs naive — shallow phases stay on the cheap
+# drain, the deep mid-trace queue gets the index), while at n32/n64
+# the queue blows past any threshold in this range immediately, so the
+# 3.5-6.5x deep-queue speedups are unaffected.  24 sat on the noisy
+# edge of the crossover; check_regression.py now asserts auto >= best
+# single engine on the n8 scenario.
+AUTO_PROMOTE_PENDING = 32
 
 ProcessId = Hashable
 MessageId = Tuple[ProcessId, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """A broadcast message: payload plus the paper's control information.
 
@@ -86,7 +91,7 @@ class Message:
         return (self.sender, self.seq)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveryRecord:
     """One delivery handed to the application layer.
 

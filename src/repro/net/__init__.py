@@ -26,7 +26,7 @@ from repro.net.membership import GroupMembership, GroupView, MembershipConfig
 from repro.net.node import MessageStore, ReliableCausalNode, StoreStats
 from repro.net.peer import AsyncCausalPeer, Transport
 from repro.net.session import ReliableSession, RetransmitPolicy, TransportStats
-from repro.net.udp import UdpTransport
+from repro.net.udp import BatchedUdpTransport, IoStats, UdpTransport
 
 __all__ = [
     "Transport",
@@ -34,6 +34,8 @@ __all__ = [
     "LocalAsyncBus",
     "BusTransport",
     "UdpTransport",
+    "BatchedUdpTransport",
+    "IoStats",
     "FaultWindow",
     "FaultyTransport",
     "NodeJournal",

@@ -45,7 +45,7 @@ from typing import Any, Callable, Deque, Dict, Hashable, Iterator, List, Optiona
 import numpy as np
 
 from repro.core.clocks import EntryVectorClock
-from repro.core.codec import MessageCodec
+from repro.core.codec import CodecCounters, MessageCodec, retain
 from repro.core.detector import DeliveryErrorDetector, DetectorStats
 from repro.core.errors import ConfigurationError
 from repro.core.protocol import CausalBroadcastEndpoint, DeliveryRecord, EndpointStats, Message
@@ -519,6 +519,12 @@ class ReliableCausalNode:
                     )
         self._transport = transport
         self.session.bind_metrics(self.metrics)
+        # Batched transports export their own I/O tallies (per-wakeup
+        # datagram histogram, burst counters); duck-typed so wrappers
+        # (FaultyTransport) pass the call through to the real socket.
+        transport_bind = getattr(transport, "bind_metrics", None)
+        if transport_bind is not None:
+            transport_bind(self.metrics)
         self._bind_node_metrics()
 
     def _bind_node_metrics(self) -> None:
@@ -532,6 +538,14 @@ class ReliableCausalNode:
         resumes = self.metrics.counter("repro_liveness_resumes_total")
         suppressed = self.metrics.counter("repro_heartbeats_suppressed_total")
         stale = self.metrics.counter("repro_stale_frames_total")
+        # Zero-copy codec tallies: the message codec (this node's) and
+        # the session's frame codec each keep slotted ints; export their
+        # sum per field as repro_codec_*_total.
+        codec_names = type(self._codec.counters).__slots__
+        codec_counters = {
+            name: self.metrics.counter(f"repro_codec_{name}_total")
+            for name in codec_names
+        }
 
         def collect() -> None:
             store_evictions.set(self.store.stats.evictions)
@@ -543,6 +557,12 @@ class ReliableCausalNode:
                 resumes.set(self.liveness.resumes)
             suppressed.set(self._heartbeats_suppressed)
             stale.set(self._stale_frames)
+            message_tallies = self._codec.counters
+            frame_tallies = self.session.codec_counters
+            for name, counter in codec_counters.items():
+                counter.set(
+                    getattr(message_tallies, name) + getattr(frame_tallies, name)
+                )
 
         self.metrics.register_collector(collect)
 
@@ -738,6 +758,13 @@ class ReliableCausalNode:
         return self._transport
 
     @property
+    def codec_counters(self) -> "CodecCounters":
+        """Zero-copy tallies for this node's message codec (``retain``
+        copies at the journal boundary, delta decodes); the frame-level
+        view counts live on :attr:`ReliableSession.codec_counters`."""
+        return self._codec.counters
+
+    @property
     def local_address(self) -> Address:
         """The transport's bound address (where peers should send).
 
@@ -855,7 +882,11 @@ class ReliableCausalNode:
                 self._note_decode_error(addr)
                 return
             stats.full_received += 1
-            full = data
+            # Journal boundary: the store (and through it the WAL and
+            # anti-entropy re-serves) keeps the encoding past this
+            # callback, so a borrowed receive-ring view must become
+            # owned bytes here.  No-op for the copying transports.
+            full = retain(data, self._codec.counters)
         sender = str(message.sender)
         if not self._sender_in_view(sender):
             # A live peer relayed state from a sender the view has since

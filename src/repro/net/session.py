@@ -284,7 +284,7 @@ class TransportStats:
         return merged
 
 
-@dataclass
+@dataclass(slots=True)
 class _Pending:
     """One unacknowledged frame awaiting ack or retransmission."""
 
@@ -434,7 +434,19 @@ class ReliableSession:
         self.frame_errors = 0
         self.gated_frames = 0
         self._rtt_histogram = None  # set by bind_metrics()
+        # Batched-transport fast paths, detected on the transport's
+        # *class* deliberately: FaultyTransport proxies unknown attribute
+        # reads to its inner transport via __getattr__, and resolving
+        # send_now through the proxy would silently bypass fault
+        # injection.  A wrapper that wants the fast path must define the
+        # methods itself.
+        transport_cls = type(transport)
+        self._transport_send_now = (
+            transport.send_now if hasattr(transport_cls, "send_now") else None
+        )
         transport.set_receiver(self._handle_datagram)
+        if hasattr(transport_cls, "set_batch_receiver"):
+            transport.set_batch_receiver(self._handle_datagram_batch)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -547,6 +559,12 @@ class ReliableSession:
     def policy(self) -> RetransmitPolicy:
         """The active retransmission policy."""
         return self._policy
+
+    @property
+    def codec_counters(self):
+        """The frame codec's allocation/copy tallies
+        (:class:`repro.core.codec.CodecCounters`)."""
+        return self._codec.counters
 
     def link_states(self) -> Dict[Address, Tuple[int, int, Tuple[int, ...]]]:
         """Per-peer link-sequence state for journal snapshots.
@@ -786,6 +804,16 @@ class ReliableSession:
         state.stats.bytes_sent += len(data)
         state.stats.frames_sent += frames
         state.last_send = asyncio.get_running_loop().time()
+        if self._transport_send_now is not None:
+            # Batched transport: enqueue synchronously, no task per
+            # datagram — the transport flushes the tick's sends in one
+            # burst.  Oversize rejection matches the async path, where
+            # the failed task's exception was swallowed by _reap.
+            try:
+                self._transport_send_now(addr, data)
+            except ConfigurationError:
+                pass
+            return
         self._post(self._transport.send(addr, data))
 
     def flush(self, address: Optional[Address] = None) -> None:
@@ -803,6 +831,19 @@ class ReliableSession:
     # ------------------------------------------------------------------
     # receiving
     # ------------------------------------------------------------------
+
+    def _handle_datagram_batch(self, batch) -> None:
+        """One receive upcall for a whole wakeup's worth of datagrams.
+
+        The batch entries are borrowed views into the transport's buffer
+        ring; everything below (frame dispatch, the node's intake) runs
+        synchronously inside this call, and anything stored long-term is
+        copied at the journal boundary (``codec.retain``), so no view
+        escapes the callback.
+        """
+        handle = self._handle_datagram
+        for data, addr in batch:
+            handle(data, addr)
 
     def _handle_datagram(self, data: bytes, addr: Address) -> None:
         if self._on_peer_activity is not None:

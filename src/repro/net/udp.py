@@ -1,25 +1,50 @@
-"""UDP transport: real datagrams for the causal broadcast peer.
+"""UDP transports: real datagrams for the causal broadcast peer.
 
-Binds an asyncio datagram endpoint (loopback by default) and ships
-encoded messages to explicit ``(host, port)`` peer addresses.  UDP is
-fire-and-forget — exactly the unreliable substrate the paper mentions
-when motivating the recent-messages list of Algorithm 5 — so deployments
-layer :class:`repro.net.session.ReliableSession` (acks, NACK-driven
-retransmission, anti-entropy) on top; the protocol endpoint's duplicate
-suppression absorbs any retransmissions that slip through anyway.
+Two implementations share the wire format and the
+:class:`~repro.net.peer.Transport` interface:
+
+* :class:`UdpTransport` — the straightforward asyncio datagram endpoint.
+  One event-loop wakeup and one ``recvfrom`` syscall per datagram in,
+  one ``sendto`` per datagram out.
+* :class:`BatchedUdpTransport` — a non-blocking socket registered
+  directly with the event loop.  On readable it drains up to
+  ``rx_batch`` datagrams in one wakeup (``recvfrom_into`` over a ring of
+  preallocated buffers — zero allocation per datagram) and hands the
+  whole batch to one receiver callback as borrowed ``memoryview`` s; on
+  send it queues datagrams and flushes them in a tight ``sendto`` burst
+  once per loop tick (sendmmsg-style batching at the Python level, with
+  an optional real ``sendmmsg(2)`` fast path behind the ``mmsg`` flag).
+
+**Buffer lifetime.**  The views a batched receive callback sees alias
+the transport's reusable ring; they are valid only until the callback
+returns.  Consumers that keep datagram bytes past the callback (the
+node's store/journal, retransmit queues) must copy first —
+:func:`repro.core.codec.retain` is the blessed choke point.  See
+DESIGN.md §7.
+
+UDP is fire-and-forget — exactly the unreliable substrate the paper
+mentions when motivating the recent-messages list of Algorithm 5 — so
+deployments layer :class:`repro.net.session.ReliableSession` (acks,
+NACK-driven retransmission, anti-entropy) on top; the protocol
+endpoint's duplicate suppression absorbs any retransmissions that slip
+through anyway.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Optional, Tuple
+import socket
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
+from repro.core.codec import Buffer
 from repro.core.errors import ConfigurationError
 from repro.net.peer import Transport
 
-__all__ = ["UdpTransport"]
+__all__ = ["UdpTransport", "BatchedUdpTransport", "IoStats"]
 
 HostPort = Tuple[str, int]
+Batch = List[Tuple[Buffer, HostPort]]
 
 # Conservative bound: stay under the common 64 KiB UDP datagram ceiling.
 # The session's ``coalesce_mtu`` (frame-coalescing budget) must stay at
@@ -89,3 +114,425 @@ class UdpTransport(Transport):
         # restart rebinds the same port immediately, and the datagram
         # transport only closes on a later loop iteration.
         await self._protocol.closed
+
+
+# ----------------------------------------------------------------------
+# Syscall-batched transport
+# ----------------------------------------------------------------------
+
+# recvfrom_into needs room for the largest datagram the kernel may hand
+# us; a short buffer silently truncates (UDP discards the excess).
+_RX_BUFFER_SIZE = 65_535
+
+
+class IoStats:
+    """Per-transport I/O tallies (plain slotted ints, no obs dependency).
+
+    ``rx_wakeups`` counts readable events that yielded at least one
+    datagram; ``rx_datagrams / rx_wakeups`` is the batching win the
+    ioloop benchmark gates on.  ``rx_budget_exhausted`` counts wakeups
+    that hit the ``rx_batch`` budget with data still queued (the loop
+    re-fires — level-triggered — so nothing is lost, but a high rate
+    means the budget is the bottleneck).  ``tx_mmsg_datagrams`` counts
+    datagrams that left via real ``sendmmsg(2)`` bursts.
+    """
+
+    __slots__ = (
+        "rx_wakeups",
+        "rx_datagrams",
+        "rx_bytes",
+        "rx_batch_max",
+        "rx_budget_exhausted",
+        "tx_flushes",
+        "tx_datagrams",
+        "tx_bytes",
+        "tx_batch_max",
+        "tx_blocked",
+        "tx_mmsg_calls",
+        "tx_mmsg_datagrams",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _SendmmsgBurst:
+    """ctypes binding for ``sendmmsg(2)``: many datagrams, one syscall.
+
+    Linux + AF_INET only; any failure to construct or to resolve a
+    destination disables the fast path for good and the caller falls
+    back to the Python-level ``sendto`` burst.  Addresses must be
+    dotted-quad IPv4 (``inet_aton``); hostnames punt to the fallback.
+    """
+
+    def __init__(self, fd: int) -> None:
+        import ctypes
+        import ctypes.util
+
+        libc_name = ctypes.util.find_library("c")
+        if libc_name is None:
+            raise OSError("no libc")
+        libc = ctypes.CDLL(libc_name, use_errno=True)
+        self._sendmmsg = libc.sendmmsg  # AttributeError when unsupported
+        self._ctypes = ctypes
+        self._fd = fd
+
+        class SockaddrIn(ctypes.Structure):
+            _fields_ = [
+                ("sin_family", ctypes.c_uint16),
+                ("sin_port", ctypes.c_uint16),
+                ("sin_addr", ctypes.c_uint32),
+                ("sin_zero", ctypes.c_char * 8),
+            ]
+
+        class Iovec(ctypes.Structure):
+            _fields_ = [
+                ("iov_base", ctypes.c_void_p),
+                ("iov_len", ctypes.c_size_t),
+            ]
+
+        class Msghdr(ctypes.Structure):
+            _fields_ = [
+                ("msg_name", ctypes.c_void_p),
+                ("msg_namelen", ctypes.c_uint32),
+                ("msg_iov", ctypes.POINTER(Iovec)),
+                ("msg_iovlen", ctypes.c_size_t),
+                ("msg_control", ctypes.c_void_p),
+                ("msg_controllen", ctypes.c_size_t),
+                ("msg_flags", ctypes.c_int),
+            ]
+
+        class Mmsghdr(ctypes.Structure):
+            _fields_ = [("msg_hdr", Msghdr), ("msg_len", ctypes.c_uint32)]
+
+        self._SockaddrIn = SockaddrIn
+        self._Iovec = Iovec
+        self._Mmsghdr = Mmsghdr
+
+    def send(self, entries: List[Tuple[HostPort, bytes]]) -> int:
+        """Send ``entries`` in one syscall; returns how many went out.
+
+        Raises ``OSError``/``ValueError`` on anything unexpected — the
+        caller treats that as "disable the fast path", not as loss (the
+        unsent tail stays queued).
+        """
+        ctypes = self._ctypes
+        count = len(entries)
+        addrs = (self._SockaddrIn * count)()
+        iovecs = (self._Iovec * count)()
+        msgs = (self._Mmsghdr * count)()
+        keepalive = []
+        for index, ((host, port), data) in enumerate(entries):
+            packed = socket.inet_aton(host)  # ValueError on hostnames
+            addr = addrs[index]
+            addr.sin_family = socket.AF_INET
+            addr.sin_port = socket.htons(port)
+            addr.sin_addr = int.from_bytes(packed, "little")
+            payload = ctypes.create_string_buffer(bytes(data), len(data))
+            keepalive.append(payload)
+            iovecs[index].iov_base = ctypes.cast(payload, ctypes.c_void_p)
+            iovecs[index].iov_len = len(data)
+            hdr = msgs[index].msg_hdr
+            hdr.msg_name = ctypes.cast(ctypes.pointer(addr), ctypes.c_void_p)
+            hdr.msg_namelen = ctypes.sizeof(addr)
+            hdr.msg_iov = ctypes.pointer(iovecs[index])
+            hdr.msg_iovlen = 1
+        sent = self._sendmmsg(self._fd, msgs, count, 0)
+        if sent < 0:
+            errno = ctypes.get_errno()
+            raise OSError(errno, "sendmmsg failed")
+        return sent
+
+
+class BatchedUdpTransport(Transport):
+    """A non-blocking UDP socket draining many datagrams per wakeup.
+
+    Use :meth:`create` (async) to construct.  Two receive modes:
+
+    * :meth:`set_batch_receiver` — one callback per readable event with
+      the whole batch ``[(view, addr), ...]``; the views are borrowed
+      (see the module docstring).
+    * :meth:`set_receiver` — per-datagram compatibility callback.
+
+    Sends queue through :meth:`send_now` (synchronous, no task churn)
+    and flush in one burst per loop tick, bounded by ``tx_batch`` per
+    pass; the ``Transport.send`` coroutine delegates to it.
+
+    Args:
+        rx_batch: max datagrams drained per readable wakeup.
+        tx_batch: max datagrams written per flush pass.
+        mmsg: try a real ``sendmmsg(2)`` burst (Linux/AF_INET); falls
+            back to the ``sendto`` loop silently anywhere it can't work.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        loop: asyncio.AbstractEventLoop,
+        rx_batch: int = 32,
+        tx_batch: int = 32,
+        mmsg: bool = False,
+    ) -> None:
+        if rx_batch <= 0:
+            raise ConfigurationError(f"rx_batch must be positive, got {rx_batch}")
+        if tx_batch <= 0:
+            raise ConfigurationError(f"tx_batch must be positive, got {tx_batch}")
+        self._sock = sock
+        self._loop = loop
+        self._rx_batch = rx_batch
+        self._tx_batch = tx_batch
+        self._rx_buffers = [bytearray(_RX_BUFFER_SIZE) for _ in range(rx_batch)]
+        self._receiver: Optional[Callable[[Buffer, HostPort], None]] = None
+        self._batch_receiver: Optional[Callable[[Batch], None]] = None
+        self._tx_queue: Deque[Tuple[HostPort, bytes]] = deque()
+        self._tx_scheduled = False
+        self._tx_writer_armed = False
+        self._closed = False
+        name = sock.getsockname()
+        self._local_address: HostPort = (name[0], name[1])
+        self.io_stats = IoStats()
+        self._rx_histogram = None  # per-wakeup datagram distribution
+        self._mmsg: Optional[_SendmmsgBurst] = None
+        if mmsg and sock.family == socket.AF_INET:
+            try:
+                self._mmsg = _SendmmsgBurst(sock.fileno())
+            except (OSError, AttributeError):  # pragma: no cover - platform
+                self._mmsg = None
+        loop.add_reader(sock.fileno(), self._on_readable)
+
+    @classmethod
+    async def create(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        rx_batch: int = 32,
+        tx_batch: int = 32,
+        mmsg: bool = False,
+    ) -> "BatchedUdpTransport":
+        """Bind a non-blocking socket; ``port=0`` picks an ephemeral port."""
+        loop = asyncio.get_running_loop()
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            sock.setblocking(False)
+            sock.bind((host, port))
+        except BaseException:
+            sock.close()
+            raise
+        return cls(sock, loop, rx_batch=rx_batch, tx_batch=tx_batch, mmsg=mmsg)
+
+    @property
+    def local_address(self) -> HostPort:
+        """The bound ``(host, port)``; stays readable after close()."""
+        return self._local_address
+
+    @property
+    def mmsg_active(self) -> bool:
+        """Whether the ``sendmmsg(2)`` fast path is armed."""
+        return self._mmsg is not None
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+
+    def set_receiver(self, callback: Callable[[Buffer, HostPort], None]) -> None:
+        self._receiver = callback
+
+    def set_batch_receiver(self, callback: Callable[[Batch], None]) -> None:
+        """Install a whole-batch callback (preferred over per-datagram).
+
+        The callback's views are only valid until it returns — the
+        buffer ring is recycled on the next readable event.
+        """
+        self._batch_receiver = callback
+
+    def _on_readable(self) -> None:
+        sock = self._sock
+        buffers = self._rx_buffers
+        budget = self._rx_batch
+        batch: Batch = []
+        total_bytes = 0
+        count = 0
+        while count < budget:
+            try:
+                nbytes, addr = sock.recvfrom_into(buffers[count])
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                # e.g. ECONNREFUSED bounced back on some platforms; the
+                # datagram is gone either way, keep draining.
+                continue
+            batch.append((memoryview(buffers[count])[:nbytes], (addr[0], addr[1])))
+            total_bytes += nbytes
+            count += 1
+        if not batch:
+            return
+        stats = self.io_stats
+        stats.rx_wakeups += 1
+        stats.rx_datagrams += count
+        stats.rx_bytes += total_bytes
+        if count > stats.rx_batch_max:
+            stats.rx_batch_max = count
+        if count == budget:
+            # Level-triggered readiness re-fires the callback for the
+            # remainder; the budget only bounds per-wakeup latency.
+            stats.rx_budget_exhausted += 1
+        if self._rx_histogram is not None:
+            self._rx_histogram.observe(count)
+        if self._batch_receiver is not None:
+            self._batch_receiver(batch)
+        elif self._receiver is not None:
+            receiver = self._receiver
+            for view, sender in batch:
+                receiver(view, sender)
+        # Invalidate escaped views? No — the contract is documented and
+        # cheap; releasing would force a per-datagram allocation again.
+
+    # ------------------------------------------------------------------
+    # send path
+    # ------------------------------------------------------------------
+
+    def send_now(self, destination: HostPort, data: bytes) -> None:
+        """Queue a datagram for the next flush burst (synchronous).
+
+        The session calls this instead of spawning one task per
+        datagram; all sends of a loop tick leave in one tight burst.
+        """
+        if len(data) > _MAX_DATAGRAM:
+            raise ConfigurationError(
+                f"datagram of {len(data)} bytes exceeds the {_MAX_DATAGRAM} B "
+                "UDP bound; shrink R or the payload, or use a stream transport"
+            )
+        if self._closed:
+            return
+        self._tx_queue.append((destination, bytes(data)))
+        if not self._tx_scheduled and not self._tx_writer_armed:
+            self._tx_scheduled = True
+            self._loop.call_soon(self._flush_tx)
+
+    async def send(self, destination: HostPort, data: bytes) -> None:
+        self.send_now(destination, data)
+
+    def _flush_tx(self) -> None:
+        self._tx_scheduled = False
+        if self._closed:
+            self._tx_queue.clear()
+            return
+        queue = self._tx_queue
+        if not queue:
+            return
+        stats = self.io_stats
+        stats.tx_flushes += 1
+        budget = self._tx_batch
+        sent = 0
+        blocked = False
+        if self._mmsg is not None and len(queue) > 1:
+            burst = list(queue)[:budget]
+            try:
+                done = self._mmsg.send(burst)
+            except (OSError, ValueError):
+                # Unresolvable address or platform refusal: drop to the
+                # sendto loop permanently (the queue is untouched).
+                self._mmsg = None
+            else:
+                for _ in range(done):
+                    entry = queue.popleft()
+                    stats.tx_bytes += len(entry[1])
+                sent += done
+                stats.tx_mmsg_calls += 1
+                stats.tx_mmsg_datagrams += done
+                blocked = done == 0
+        if not blocked:
+            sock = self._sock
+            while queue and sent < budget:
+                destination, data = queue[0]
+                try:
+                    sock.sendto(data, destination)
+                except (BlockingIOError, InterruptedError):
+                    blocked = True
+                    break
+                except OSError:
+                    queue.popleft()  # unreachable peer: drop, UDP semantics
+                    continue
+                queue.popleft()
+                sent += 1
+                stats.tx_bytes += len(data)
+        stats.tx_datagrams += sent
+        if sent > stats.tx_batch_max:
+            stats.tx_batch_max = sent
+        if not queue:
+            return
+        if blocked:
+            stats.tx_blocked += 1
+            if not self._tx_writer_armed:
+                self._tx_writer_armed = True
+                self._loop.add_writer(self._sock.fileno(), self._on_writable)
+        elif not self._tx_scheduled:
+            # Budget exhausted with queue left: yield to the loop (let
+            # reads interleave) and continue next tick.
+            self._tx_scheduled = True
+            self._loop.call_soon(self._flush_tx)
+
+    def _on_writable(self) -> None:
+        self._loop.remove_writer(self._sock.fileno())
+        self._tx_writer_armed = False
+        self._flush_tx()
+
+    # ------------------------------------------------------------------
+    # observability / lifecycle
+    # ------------------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Export the I/O tallies through a ``repro.obs`` registry.
+
+        Counters are pull-style (synced from :class:`IoStats` by a
+        collector at snapshot time); only the per-wakeup batch-size
+        histogram is push-style, one ``observe()`` per wakeup — not per
+        datagram.
+        """
+        self._rx_histogram = registry.histogram(
+            "repro_io_rx_batch_datagrams",
+            bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        )
+        names = (
+            "rx_wakeups",
+            "rx_datagrams",
+            "rx_bytes",
+            "rx_budget_exhausted",
+            "tx_flushes",
+            "tx_datagrams",
+            "tx_bytes",
+            "tx_blocked",
+            "tx_mmsg_calls",
+            "tx_mmsg_datagrams",
+        )
+        counters = {name: registry.counter(f"repro_io_{name}_total") for name in names}
+        rx_peak = registry.gauge("repro_io_rx_batch_peak")
+        tx_peak = registry.gauge("repro_io_tx_batch_peak")
+
+        def collect() -> None:
+            stats = self.io_stats
+            for name, counter in counters.items():
+                counter.set(getattr(stats, name))
+            rx_peak.set(stats.rx_batch_max)
+            tx_peak.set(stats.tx_batch_max)
+
+        registry.register_collector(collect)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        fd = self._sock.fileno()
+        if fd >= 0:
+            self._loop.remove_reader(fd)
+            if self._tx_writer_armed:
+                self._loop.remove_writer(fd)
+                self._tx_writer_armed = False
+        self._tx_queue.clear()
+        # Raw close releases the port synchronously — a crash-recovery
+        # restart may rebind immediately.
+        self._sock.close()

@@ -92,8 +92,13 @@ class Exchange:
 
         return callback
 
+    async def _create_transport(self, port):
+        # Overridden by the I/O-loop differential suite to run the same
+        # script over the batched socket driver.
+        return await UdpTransport.create(port=port)
+
     async def boot(self, name, port=0):
-        udp = await UdpTransport.create(port=port)
+        udp = await self._create_transport(port)
         transport = FaultyTransport(
             udp,
             rng=RandomSource(seed=self.seed).spawn(f"wire-{name}"),
