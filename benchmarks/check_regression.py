@@ -34,6 +34,13 @@ is definitionally 1.0/wakeup) must not fall more than ``--max-drop``
 below the baseline, and the flood headline must hold the ISSUE floor
 (>= 2x datagrams/wakeup, or >= 1.3x end-to-end throughput).
 
+``--overlay-fresh`` gates a fresh ``bench_overlay.py`` run against the
+committed ``BENCH_overlay.json``: the overlay's max per-node
+datagrams/msg must stay flat (within 1.5x per doubling of N) while the
+mesh's grows near-linearly (>= 1.6x per doubling) — both within-run
+counter ratios, machine-independent — and per-scenario overlay costs
+must not exceed the baseline by more than ``--max-drop``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py --quick --output /tmp/fresh.json
@@ -47,6 +54,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import pathlib
 import sys
 
@@ -54,6 +62,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_hotpath.json"
 DEFAULT_WIRE_BASELINE = REPO_ROOT / "BENCH_wire.json"
 DEFAULT_IOLOOP_BASELINE = REPO_ROOT / "BENCH_ioloop.json"
+DEFAULT_OVERLAY_BASELINE = REPO_ROOT / "BENCH_overlay.json"
 
 # Scenarios whose baseline speedup is below this are dominated by
 # fixed overheads, not the indexed drain; their ratio is noise-bound
@@ -76,6 +85,13 @@ AUTO_CROSSOVER = "drain_n8_r100_loss25"
 IOLOOP_HEADLINE = "flood_r100_k2"
 IOLOOP_WAKEUP_FLOOR = 2.0
 IOLOOP_THROUGHPUT_FLOOR = 1.3
+
+# The overlay ISSUE acceptance: as N doubles at fixed fanout, the
+# overlay's max per-node datagrams/msg stays within this factor per
+# doubling, while the mesh's (definitionally N-1 at the origin) grows
+# by at least the linear floor per doubling.
+OVERLAY_FLAT_CEILING = 1.5
+MESH_LINEAR_FLOOR = 1.6
 
 
 def load(path: pathlib.Path) -> dict:
@@ -120,6 +136,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--ioloop-fresh", type=pathlib.Path, default=None,
         help="freshly produced bench_ioloop.py output (enables the ioloop gate)",
+    )
+    parser.add_argument(
+        "--overlay-baseline", type=pathlib.Path, default=DEFAULT_OVERLAY_BASELINE,
+        help=f"committed overlay baseline JSON (default {DEFAULT_OVERLAY_BASELINE})",
+    )
+    parser.add_argument(
+        "--overlay-fresh", type=pathlib.Path, default=None,
+        help="freshly produced bench_overlay.py output (enables the overlay gate)",
     )
     args = parser.parse_args(argv)
     if not 0 < args.max_drop < 1:
@@ -271,6 +295,83 @@ def main(argv=None) -> int:
                     f"{floor:.2f} ({base:.2f} baseline)"
                 )
         checked += len(ioloop_shared)
+
+    if args.overlay_fresh is not None:
+        overlay_fresh = load(args.overlay_fresh)
+        overlay_baseline = {
+            s["name"]: s for s in load(args.overlay_baseline)["scenarios"]
+        }
+
+        def per_doubling(growth_entry):
+            """Growth per doubling of N (the run may span 1+ doublings)."""
+            doublings = math.log2(
+                growth_entry["n_high"] / growth_entry["n_low"]
+            )
+            if doublings <= 0:
+                return None
+            return growth_entry["datagrams_growth"] ** (1 / doublings)
+
+        for mode, check in (
+            ("overlay", lambda g: g <= OVERLAY_FLAT_CEILING),
+            ("mesh", lambda g: g >= MESH_LINEAR_FLOOR),
+        ):
+            entry = overlay_fresh["headline"][f"{mode}_growth"]
+            rate = per_doubling(entry)
+            if rate is None:
+                failures.append(
+                    f"overlay bench: {mode} run spans a single swarm size "
+                    f"(n={entry['n_low']}); cannot gate scaling"
+                )
+                continue
+            bound = (
+                f"<= {OVERLAY_FLAT_CEILING}x" if mode == "overlay"
+                else f">= {MESH_LINEAR_FLOOR}x"
+            )
+            verdict = "ok" if check(rate) else "REGRESSED"
+            print(
+                f"{mode + '_scaling':28s} datagrams/msg x{rate:.2f} per "
+                f"doubling over n={entry['n_low']}..{entry['n_high']} "
+                f"({bound})  {verdict}"
+            )
+            if not check(rate):
+                failures.append(
+                    f"overlay bench: {mode} max per-node datagrams/msg grew "
+                    f"{rate:.2f}x per doubling of N "
+                    f"(n={entry['n_low']}..{entry['n_high']}, bound {bound})"
+                )
+        # Baseline comparison: lower is better for a cost metric, so the
+        # gate is an upper bound.  Only overlay scenarios are gated this
+        # way — the mesh's cost is definitionally N-1 and already pinned
+        # by the linear-floor check above.  A --quick fresh run against a
+        # full baseline amortizes the per-run digest overhead over fewer
+        # messages, so mismatched run lengths get the loose tolerance
+        # (the wire gate's convention for noise-bound comparisons).
+        overlay_tolerance = args.max_drop
+        baseline_meta = load(args.overlay_baseline).get("meta", {})
+        if overlay_fresh.get("meta", {}).get("quick") != baseline_meta.get("quick"):
+            overlay_tolerance = min(0.95, 2 * args.max_drop)
+        overlay_checked = 2
+        for name, scenario in (
+            (s["name"], s) for s in overlay_fresh["scenarios"]
+        ):
+            if scenario["mode"] != "overlay" or name not in overlay_baseline:
+                continue
+            base = overlay_baseline[name]["datagrams_per_msg_max"]
+            got = scenario["datagrams_per_msg_max"]
+            ceiling = base * (1 + overlay_tolerance)
+            verdict = "ok" if got <= ceiling else "REGRESSED"
+            print(
+                f"{name:28s} datagrams/msg max {base:6.2f} -> {got:6.2f} "
+                f"(ceiling {ceiling:.2f})  {verdict}"
+            )
+            if got > ceiling:
+                failures.append(
+                    f"{name}: max per-node datagrams/msg {got:.2f} exceeded "
+                    f"{ceiling:.2f} ({base:.2f} baseline, "
+                    f"+{args.max_drop:.0%} tolerance)"
+                )
+            overlay_checked += 1
+        checked += overlay_checked
 
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)

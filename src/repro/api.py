@@ -47,6 +47,7 @@ from repro.net.journal import NodeJournal
 from repro.net.liveness import LivenessPolicy
 from repro.net.membership import GroupMembership, MembershipConfig
 from repro.net.node import ReliableCausalNode
+from repro.net.overlay import DEFAULT_MAX_HOPS, PartialView
 from repro.net.peer import Transport
 from repro.net.session import RetransmitPolicy
 from repro.net.udp import BatchedUdpTransport, UdpTransport
@@ -66,6 +67,7 @@ SCHEMES = clock_schemes()
 DETECTORS = detector_names()
 PAYLOAD_CODECS = ("json", "raw")
 IO_MODES = ("batched", "legacy", "mmsg")
+DISSEMINATION_MODES = ("mesh", "overlay")
 
 DeliveryHandler = Callable[[DeliveryRecord], None]
 
@@ -151,6 +153,25 @@ class NodeConfig:
             (retransmissions pause, broadcasts skip it) until it is
             heard from again.
 
+    Dissemination (used by :func:`create_node`):
+
+    Attributes:
+        dissemination: how broadcasts spread — ``mesh`` (the default:
+            one reliable unicast per peer, exact but O(N) per
+            broadcast at the origin) or ``overlay`` (bounded-fanout
+            relay gossip over a partial view: O(fanout) per node per
+            broadcast, anti-entropy heals the probabilistic tail).
+        fanout: relay targets per push (``overlay`` only).
+        view_size: bound on the gossip-maintained partial view
+            (``overlay`` only; must be >= ``fanout``).
+        piggyback_size: view entries sampled into each outgoing relay
+            envelope for membership gossip (``overlay`` only).
+        merge_probability: chance a received piggybacked sample is
+            folded into the view — the lpbcast throttle against
+            rich-get-richer view collapse (``overlay`` only).
+        relay_max_hops: forwarding cutoff for relay envelopes
+            (``overlay`` only; a healthy wave needs ~log_fanout(N)).
+
     Dynamic membership (used by :func:`create_node`):
 
     Attributes:
@@ -213,6 +234,12 @@ class NodeConfig:
     anti_entropy_interval: float = 0.5
     store_limit: int = 8192
     max_pending: Optional[int] = None
+    dissemination: str = "mesh"
+    fanout: int = 3
+    view_size: int = 12
+    piggyback_size: int = 3
+    merge_probability: float = 0.25
+    relay_max_hops: int = DEFAULT_MAX_HOPS
     data_dir: Optional[str] = None
     journal_snapshot_interval: int = 256
     journal_fsync: bool = False
@@ -246,6 +273,14 @@ class NodeConfig:
             raise ConfigurationError(
                 f"unknown io_mode {self.io_mode!r}; expected one of {IO_MODES}"
             )
+        if self.dissemination not in DISSEMINATION_MODES:
+            raise ConfigurationError(
+                f"unknown dissemination {self.dissemination!r}; "
+                f"expected one of {DISSEMINATION_MODES}"
+            )
+        if self.dissemination == "overlay":
+            # Fails fast on bad overlay knobs (the view re-checks).
+            self.build_overlay("__validate__")
         if self.rx_batch <= 0:
             raise ConfigurationError(f"rx_batch must be positive, got {self.rx_batch}")
         if self.tx_batch <= 0:
@@ -317,6 +352,17 @@ class NodeConfig:
             coalesce_mtu=self.coalesce_mtu,
             flush_interval=self.flush_interval,
             ack_delay=self.ack_delay,
+        )
+
+    def build_overlay(self, node_id: Hashable) -> PartialView:
+        """The overlay knobs as a fresh partial view for ``node_id``."""
+        return PartialView(
+            local_id=node_id,
+            fanout=self.fanout,
+            view_size=self.view_size,
+            piggyback_size=self.piggyback_size,
+            merge_probability=self.merge_probability,
+            max_hops=self.relay_max_hops,
         )
 
     def membership_config(self) -> MembershipConfig:
@@ -489,6 +535,11 @@ async def create_node(
         engine=config.engine,
         journal=journal,
         liveness=liveness,
+        overlay=(
+            config.build_overlay(node_id)
+            if config.dissemination == "overlay"
+            else None
+        ),
         # Delta wire encoding reconstructs sender keys from a static
         # per-sender table; schemes that draw keys per message (bloom)
         # cannot use it, whatever the config says.

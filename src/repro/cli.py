@@ -204,6 +204,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="max datagrams written per send burst (batched/mmsg modes)",
     )
     node.add_argument(
+        "--dissemination", choices=("mesh", "overlay"), default="mesh",
+        help="how broadcasts spread: 'mesh' unicasts to every peer, "
+             "'overlay' pushes to --fanout targets drawn from a bounded "
+             "partial view and lets receivers relay (scales past the "
+             "mesh; anti-entropy heals the probabilistic tail)",
+    )
+    node.add_argument(
+        "--fanout", type=int, default=3, metavar="N",
+        help="relay targets per push (overlay dissemination only)",
+    )
+    node.add_argument(
+        "--view-size", type=int, default=12, metavar="N",
+        help="bound on the gossip-maintained partial view (overlay "
+             "dissemination only; must be >= --fanout)",
+    )
+    node.add_argument(
         "--metrics-path", default=None, metavar="FILE",
         help="append periodic metrics snapshots (JSONL) to FILE; "
              "render later with `repro stats FILE`",
@@ -433,6 +449,9 @@ def _command_node(args: argparse.Namespace) -> int:
         io_mode=args.io_mode,
         rx_batch=args.rx_batch,
         tx_batch=args.tx_batch,
+        dissemination=args.dissemination,
+        fanout=args.fanout,
+        view_size=args.view_size,
         metrics_path=args.metrics_path,
         metrics_interval=args.metrics_interval,
         metrics_port=args.metrics_port,
@@ -508,6 +527,16 @@ def _command_node(args: argparse.Namespace) -> int:
                 f"timestamps delta={stats.delta_sent}"
                 f"/full={stats.full_sent}"
             )
+            if node.overlay is not None:
+                overlay = node.overlay
+                print(
+                    f"overlay: pushes={overlay.stats.relay_pushes} "
+                    f"first-intake={overlay.stats.relay_first_intake} "
+                    f"duplicates={overlay.stats.relay_duplicates} "
+                    f"forwarded={overlay.stats.relay_forwarded} "
+                    f"view={len(overlay)}/{overlay.view_size} "
+                    f"diversity={overlay.sample_diversity():.2f}"
+                )
             if node.membership is not None and node.membership.joined:
                 # Graceful goodbye; a lost LEAVE is healed by eviction.
                 await node.membership.leave()

@@ -113,6 +113,7 @@ __all__ = [
     "JoinFrame",
     "JoinAckFrame",
     "LeaveFrame",
+    "RelayFrame",
     "Frame",
     "FrameCodec",
 ]
@@ -652,9 +653,12 @@ _TYPE_VIEW = 7
 _TYPE_JOIN = 8
 _TYPE_JOIN_ACK = 9
 _TYPE_LEAVE = 10
+_TYPE_RELAY = 11
 
 _MAX_SACK = 64
 _MAX_NACK = 64
+_MAX_HOPS = 255
+_MAX_RELAY_SAMPLE = 255
 _BATCH_HAS_ACK = 0x01
 _JOIN_ACK_ACCEPTED = 0x01
 
@@ -807,6 +811,38 @@ class LeaveFrame:
     node_id: str
 
 
+@dataclass(frozen=True, slots=True)
+class RelayFrame:
+    """A gossip dissemination envelope (overlay mode, PROTOCOL.md §10).
+
+    Wraps one complete message encoding (the ``PC`` bytes) so relayers
+    forward it verbatim — encode once at the origin, fan out everywhere.
+    ``(origin, seq)`` duplicates the inner header so receivers can dedup
+    against the SeenFilter watermark *without* decoding the payload.
+
+    Attributes:
+        origin: sender id of the wrapped message.
+        seq: the origin's per-sender sequence number.
+        hops: relay depth; 0 at the origin, +1 per forward, capped at
+            255 on the wire (the overlay enforces a far smaller bound).
+        sent_at: the origin's event-loop timestamp at first push.  Only
+            comparable where origin and receiver share a clock (the
+            process-local swarms); used for coverage-latency histograms
+            and carried as a plain f64 diagnostic otherwise.
+        sample: piggybacked partial-view sample — the lpbcast-style
+            membership gossip receivers probabilistically merge.
+        payload: the encoded message (zero-copy sub-view when decoded
+            from a borrowed buffer; same lifetime rule as DATA).
+    """
+
+    origin: str
+    seq: int
+    hops: int
+    sample: Tuple[MemberRecord, ...] = ()
+    payload: Buffer = b""
+    sent_at: float = 0.0
+
+
 Frame = Union[
     DataFrame,
     AckFrame,
@@ -818,6 +854,7 @@ Frame = Union[
     JoinFrame,
     JoinAckFrame,
     LeaveFrame,
+    RelayFrame,
 ]
 
 
@@ -961,19 +998,35 @@ class FrameCodec:
         """True when ``data`` looks like a session frame (magic check)."""
         return len(data) >= 4 and data[:2] == _FRAME_MAGIC
 
+    @staticmethod
+    def encode_data_body(payload: Buffer) -> bytes:
+        """The seq-independent tail of a DATA frame (length + payload).
+
+        A fan-out sends the *same* payload to every peer; only the 8-byte
+        per-link seq in the header differs.  Callers build this body once
+        and stamp per-peer headers with :meth:`encode_data_with_body`, so
+        an N-peer broadcast packs the payload a single time.
+        """
+        return struct.pack("<I", len(payload)) + payload
+
+    @staticmethod
+    def encode_data_with_body(seq: int, body: bytes) -> bytes:
+        """Complete a DATA frame from a shared :meth:`encode_data_body`."""
+        if seq < 0:
+            raise CodecError(f"negative link seq {seq}")
+        return b"".join(
+            [
+                _FRAME_MAGIC,
+                struct.pack("<BBQ", _FRAME_VERSION, _TYPE_DATA, seq),
+                body,
+            ]
+        )
+
     def encode(self, frame: Frame) -> bytes:
         header = _FRAME_MAGIC + struct.pack("<B", _FRAME_VERSION)
         if isinstance(frame, DataFrame):
-            if frame.seq < 0:
-                raise CodecError(f"negative link seq {frame.seq}")
-            return b"".join(
-                [
-                    header,
-                    struct.pack("<B", _TYPE_DATA),
-                    struct.pack("<Q", frame.seq),
-                    struct.pack("<I", len(frame.payload)),
-                    frame.payload,
-                ]
+            return self.encode_data_with_body(
+                frame.seq, self.encode_data_body(frame.payload)
             )
         if isinstance(frame, AckFrame):
             sacks = tuple(frame.sacks)[:_MAX_SACK]
@@ -1084,6 +1137,24 @@ class FrameCodec:
                     header,
                     struct.pack("<B", _TYPE_LEAVE),
                     _encode_short_bytes(frame.node_id.encode("utf-8")),
+                ]
+            )
+        if isinstance(frame, RelayFrame):
+            if frame.seq < 0:
+                raise CodecError(f"negative relay seq {frame.seq}")
+            if not 0 <= frame.hops <= _MAX_HOPS:
+                raise CodecError(f"relay hop count {frame.hops} out of range")
+            if len(frame.sample) > _MAX_RELAY_SAMPLE:
+                raise CodecError("relay view sample larger than 255 entries")
+            return b"".join(
+                [
+                    header,
+                    struct.pack("<B", _TYPE_RELAY),
+                    _encode_short_bytes(frame.origin.encode("utf-8")),
+                    struct.pack("<QBd", frame.seq, frame.hops, frame.sent_at),
+                    _encode_members(tuple(frame.sample)),
+                    struct.pack("<I", len(frame.payload)),
+                    frame.payload,
                 ]
             )
         raise CodecError(f"not a frame: {type(frame).__name__}")
@@ -1205,6 +1276,29 @@ class FrameCodec:
             if frame_type == _TYPE_LEAVE:
                 node_raw, offset = _decode_short_bytes(data, offset)
                 return LeaveFrame(node_id=node_raw.decode("utf-8"))
+            if frame_type == _TYPE_RELAY:
+                origin_raw, offset = _decode_short_bytes(data, offset)
+                seq, hops, sent_at = struct.unpack_from("<QBd", data, offset)
+                offset += 17
+                sample, offset = _decode_members(data, offset)
+                (length,) = struct.unpack_from("<I", data, offset)
+                offset += 4
+                if len(data) < offset + length:
+                    raise CodecError("truncated RELAY payload")
+                if borrowed:
+                    counters.data_payload_views += 1
+                try:
+                    origin = origin_raw.decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    raise CodecError(f"malformed relay origin: {exc}") from exc
+                return RelayFrame(
+                    origin=origin,
+                    seq=seq,
+                    hops=hops,
+                    sent_at=sent_at,
+                    sample=sample,
+                    payload=data[offset : offset + length],
+                )
         except struct.error as exc:
             raise CodecError(f"truncated frame: {exc}") from exc
         raise CodecError(f"unknown frame type {frame_type}")

@@ -13,7 +13,10 @@ loss: :class:`NodeJournal` persists the causal state across crashes
 detector that quarantines dead peers, and :class:`FaultWindow` schedules
 partitions and latency spikes for chaos testing.  :class:`GroupMembership`
 makes the peer set itself dynamic: a versioned live view, a JOIN/LEAVE
-handshake with state transfer, and quarantine-driven eviction.
+handshake with state transfer, and quarantine-driven eviction.  For
+swarms too large for a full mesh, :class:`PartialView` bounds the
+dissemination cost: broadcasts ride bounded-fanout RELAY gossip over a
+partial view instead of N−1 unicasts (``dissemination="overlay"``).
 
 Assemble nodes with :func:`repro.api.create_node` rather than by hand.
 """
@@ -24,6 +27,7 @@ from repro.net.journal import LinkState, NodeJournal, RecoveredState
 from repro.net.liveness import LivenessPolicy, PeerLivenessMonitor
 from repro.net.membership import GroupMembership, GroupView, MembershipConfig
 from repro.net.node import MessageStore, ReliableCausalNode, StoreStats
+from repro.net.overlay import OverlayStats, PartialView
 from repro.net.peer import AsyncCausalPeer, Transport
 from repro.net.session import ReliableSession, RetransmitPolicy, TransportStats
 from repro.net.udp import BatchedUdpTransport, IoStats, UdpTransport
@@ -52,4 +56,6 @@ __all__ = [
     "MessageStore",
     "StoreStats",
     "ReliableCausalNode",
+    "PartialView",
+    "OverlayStats",
 ]

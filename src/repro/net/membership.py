@@ -56,7 +56,7 @@ from __future__ import annotations
 import asyncio
 import logging
 from dataclasses import dataclass
-from typing import Hashable, Optional, Set, Tuple
+from typing import Hashable, List, Optional, Set, Tuple
 
 from repro.core.codec import (
     Frame,
@@ -459,9 +459,8 @@ class GroupMembership:
             return
         frame = LeaveFrame(node_id=self.node_id)
         for attempt in range(_LEAVE_BURST):
-            for member in self._view.members:
-                if member.node_id != self.node_id:
-                    self._node.session.send_control(member.address, frame)
+            for address in self._announce_targets():
+                self._node.session.send_control(address, frame)
             self._node.session.flush()
             # The flushed datagrams ride background send tasks; yield so
             # they reach the wire before a typical ``leave(); close()``
@@ -499,6 +498,20 @@ class GroupMembership:
         if self._view is not None and frame.view_id <= self._view.view_id:
             return
         self._install(GroupView(frame.view_id, frame.members), persist=True)
+        # Overlay mode: announcements gossip like data.  A strictly
+        # newer view is forwarded once to this node's push targets —
+        # installed duplicates fail the view_id check above, so the
+        # wave is infect-and-die, same as RELAY envelopes.
+        self._forward_control(frame, exclude=(addr,))
+
+    def _forward_control(self, frame: Frame, exclude: Tuple[Address, ...] = ()) -> None:
+        node = self._node
+        if node.overlay is None:
+            return
+        for address in node.overlay.push_targets(
+            exclude=exclude, live_filter=node._overlay_live
+        ):
+            node.session.send_control(address, frame)
 
     def _on_join(self, frame: JoinFrame, addr: Address) -> None:
         if not self.joined or self._view is None:
@@ -600,6 +613,10 @@ class GroupMembership:
         self._node.trace.emit(
             "member_left", ts=self._node._now(), member=frame.node_id
         )
+        # Overlay mode: a LEAVE heard for the first time is forwarded so
+        # it reaches the acting coordinator even when the leaver's
+        # bounded view did not include it (dedup via _leave_noted).
+        self._forward_control(frame, exclude=(addr,))
         # Only the acting coordinator rewrites the view; everyone else
         # waits for its announcement (eviction is the backstop if the
         # coordinator itself is the leaver's victim).
@@ -639,13 +656,30 @@ class GroupMembership:
         self._install(GroupView(self._view.view_id + 1, remaining), persist=True)
         self._announce()
 
+    def _announce_targets(self) -> List[Address]:
+        """Where coordinator announcements (and LEAVE bursts) go.
+
+        Mesh mode: every member directly — O(N) control datagrams.
+        Overlay mode: the bounded partial view; receivers gossip newer
+        views onward (see :meth:`_on_view`), so coverage is the relay
+        wave's, not the coordinator's fanout."""
+        node = self._node
+        if node.overlay is not None and len(node.overlay) > 0:
+            return node.overlay.digest_targets(live_filter=node._overlay_live)
+        if self._view is None:
+            return []
+        return [
+            member.address
+            for member in self._view.members
+            if member.node_id != self.node_id
+        ]
+
     def _announce(self) -> None:
         if self._view is None:
             return
         frame = ViewFrame(view_id=self._view.view_id, members=self._view.members)
-        for member in self._view.members:
-            if member.node_id != self.node_id:
-                self._node.session.send_control(member.address, frame)
+        for address in self._announce_targets():
+            self._node.session.send_control(address, frame)
 
     # ------------------------------------------------------------------
     # view installation

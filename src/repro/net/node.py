@@ -37,7 +37,9 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import random
 import time
+import zlib
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -45,12 +47,13 @@ from typing import Any, Callable, Deque, Dict, Hashable, Iterator, List, Optiona
 import numpy as np
 
 from repro.core.clocks import EntryVectorClock
-from repro.core.codec import CodecCounters, MessageCodec, retain
+from repro.core.codec import CodecCounters, MessageCodec, RelayFrame, retain
 from repro.core.detector import DeliveryErrorDetector, DetectorStats
 from repro.core.errors import ConfigurationError
 from repro.core.protocol import CausalBroadcastEndpoint, DeliveryRecord, EndpointStats, Message
 from repro.net.journal import NodeJournal, RecoveredState, _Frontier
 from repro.net.liveness import LivenessPolicy, PeerLivenessMonitor
+from repro.net.overlay import PartialView
 from repro.net.peer import Transport
 from repro.net.session import ReliableSession, RetransmitPolicy, TransportStats
 from repro.obs import JsonlExporter, MetricsHttpServer, MetricsRegistry, TraceRing
@@ -340,6 +343,14 @@ class ReliableCausalNode:
             acked own message (O(K) wire bytes instead of O(R)); False
             restores the always-full-vector PR-1 encoding.  Incoming
             deltas are decoded regardless of this knob.
+        overlay: optional :class:`~repro.net.overlay.PartialView`; when
+            given, the node disseminates in **overlay mode** — each
+            broadcast is pushed as a RELAY envelope to ``fanout`` peers
+            from the bounded partial view (relayed onward by receivers,
+            infect-and-die), anti-entropy digests and heartbeats go to
+            the view instead of the full peer list, and per-node wire
+            cost stops growing with cluster size.  ``None`` (default)
+            keeps the full-mesh dissemination.
         metrics: the node's :class:`~repro.obs.MetricsRegistry`; created
             automatically (with a ``node=<id>`` label) when not given —
             every node is observable, the instruments cost nothing until
@@ -370,6 +381,7 @@ class ReliableCausalNode:
         journal: Optional[NodeJournal] = None,
         liveness: Optional[LivenessPolicy] = None,
         wire_delta: bool = True,
+        overlay: Optional[PartialView] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace: Optional[TraceRing] = None,
         metrics_path: Optional[str] = None,
@@ -391,6 +403,12 @@ class ReliableCausalNode:
         self._deliveries: List[DeliveryRecord] = []
         self._decode_errors = 0
         self._anti_entropy_interval = anti_entropy_interval
+        # Digest rounds are spread uniformly over [0.5, 1.5) x interval
+        # (mean preserved): a swarm of nodes started together must not
+        # fire synchronized digest storms every interval forever.
+        self._anti_entropy_rng = random.Random(
+            zlib.crc32(str(node_id).encode("utf-8")) ^ 0x5EED
+        )
         self._anti_entropy_task: Optional[asyncio.Task] = None
         self._liveness_task: Optional[asyncio.Task] = None
         self._heal_tasks: Set[asyncio.Task] = set()
@@ -426,6 +444,7 @@ class ReliableCausalNode:
             PeerLivenessMonitor(liveness) if liveness is not None else None
         )
         self._liveness_policy = liveness
+        self.overlay = overlay
 
         # Observability: every node owns a registry (collectors are free
         # until snapshotted) and a trace ring; the exporter and HTTP
@@ -496,6 +515,7 @@ class ReliableCausalNode:
             ),
             on_link_seq=(journal.ensure_lease if journal is not None else None),
             on_membership=self._handle_membership_frame,
+            on_relay=(self._handle_relay if overlay is not None else None),
             data_gate=self._data_plane_admitted,
         )
         # A reference must outlive the window in which a delta naming it
@@ -525,6 +545,23 @@ class ReliableCausalNode:
         transport_bind = getattr(transport, "bind_metrics", None)
         if transport_bind is not None:
             transport_bind(self.metrics)
+        self._relay_hops_histogram = None
+        self._relay_latency_histogram = None
+        if overlay is not None:
+            try:
+                overlay.set_local_address(self.local_address)
+            except ConfigurationError:
+                pass  # address-less transport; gossip omits the self record
+            overlay.bind_metrics(self.metrics)
+            self._relay_hops_histogram = self.metrics.histogram(
+                "repro_relay_hops",
+                bounds=(1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0),
+            )
+            # Origin clock vs local clock: only meaningful where the two
+            # share a time base (process-local swarms) — see PROTOCOL §10.
+            self._relay_latency_histogram = self.metrics.histogram(
+                "repro_relay_coverage_seconds"
+            )
         self._bind_node_metrics()
 
     def _bind_node_metrics(self) -> None:
@@ -651,6 +688,8 @@ class ReliableCausalNode:
         """
         if address not in self._peers:
             self._peers.append(address)
+        if self.overlay is not None:
+            self.overlay.add(address)
         self._evicted_peers.pop(address, None)
         self._stale_warned.discard(address)
 
@@ -665,6 +704,8 @@ class ReliableCausalNode:
         """
         if address in self._peers:
             self._peers.remove(address)
+        if self.overlay is not None:
+            self.overlay.discard(address)
         self.session.forget(address)
         if self.liveness is not None:
             self.liveness.forget(address)
@@ -796,15 +837,34 @@ class ReliableCausalNode:
         message = self.endpoint.broadcast(payload, now=self._now())
         data = self._codec.encode(message)
         self.store.add(str(message.sender), message.seq, data)
+        if self.overlay is not None:
+            # Overlay mode: one RELAY envelope to `fanout` view targets;
+            # the receivers' relays and the anti-entropy backstop do the
+            # rest.  Wire cost here is O(fanout), not O(N).
+            self.overlay.stats.relay_pushes += 1
+            self._relay_push(
+                str(message.sender), message.seq, data,
+                hops=0, sent_at=self._now(),
+            )
+            return message
+        # Mesh mode: the payload body is packed once and shared across
+        # every per-peer DATA frame — only the link-seq header differs.
+        body = self.session.data_body(data)
         await asyncio.gather(
             *(
-                self._send_message(address, message, data)
+                self._send_message(address, message, data, body)
                 for address in self._live_peers()
             )
         )
         return message
 
-    async def _send_message(self, address: Address, message: Message, full: bytes) -> None:
+    async def _send_message(
+        self,
+        address: Address,
+        message: Message,
+        full: bytes,
+        body: Optional[bytes] = None,
+    ) -> None:
         """Send one broadcast over one link, delta-encoded when a
         reference is established (falls back to ``full`` otherwise)."""
         wire = full
@@ -828,7 +888,9 @@ class ReliableCausalNode:
             stats.full_sent += 1
         else:
             stats.delta_sent += 1
-        link_seq = await self.session.send(address, wire)
+        link_seq = await self.session.send(
+            address, wire, shared_body=(body if wire is full else None)
+        )
         if tx is not None and wire is full:
             tx.inflight[link_seq] = (message.seq, message.timestamp.vector)
 
@@ -840,6 +902,101 @@ class ReliableCausalNode:
             for address in self._peers
             if not self.liveness.is_quarantined(address)
         ]
+
+    # ------------------------------------------------------------------
+    # overlay dissemination (PROTOCOL.md §10)
+    # ------------------------------------------------------------------
+
+    def _overlay_live(self, address: Address) -> bool:
+        """Push-target filter: never relay at evicted or quarantined
+        addresses (their copy arrives via anti-entropy on return)."""
+        if address in self._evicted_peers:
+            return False
+        if self.liveness is not None and self.liveness.is_quarantined(address):
+            return False
+        return True
+
+    def _relay_push(
+        self,
+        origin: str,
+        seq: int,
+        payload: bytes,
+        hops: int,
+        sent_at: float,
+        exclude: Tuple[Address, ...] = (),
+    ) -> int:
+        """Encode one RELAY envelope and push it to ``fanout`` targets.
+
+        Used for both origin pushes (``hops=0``) and forwards; the
+        envelope is serialized once however many targets it fans out to.
+        """
+        overlay = self.overlay
+        targets = overlay.push_targets(exclude=exclude, live_filter=self._overlay_live)
+        if not targets:
+            return 0
+        frame = RelayFrame(
+            origin=origin,
+            seq=seq,
+            hops=hops,
+            sent_at=sent_at,
+            sample=overlay.gossip_sample(),
+            payload=payload,
+        )
+        return self.session.send_relay(targets, frame)
+
+    def _handle_relay(self, frame: RelayFrame, addr: Address) -> None:
+        """Intake one RELAY envelope: merge the view sample, dedup on
+        the envelope header, deliver, and forward on first intake only
+        (infect-and-die)."""
+        if self._drop_if_evicted(addr, "relay"):
+            return
+        overlay = self.overlay
+        if overlay is None:
+            return
+        overlay.merge_sample(frame.sample)
+        message_id = (frame.origin, frame.seq)
+        if self.endpoint.has_seen(message_id):
+            # The SeenFilter absorbs gossip redundancy without paying
+            # for a payload decode — the envelope header is enough.
+            overlay.stats.relay_duplicates += 1
+            return
+        if not self._sender_in_view(frame.origin):
+            self._stale_frames += 1
+            self.trace.emit("stale_sender", ts=self._now(), sender=frame.origin)
+            return
+        try:
+            message = self._codec.decode(frame.payload)
+        except Exception:
+            self._note_decode_error(addr)
+            return
+        if (str(message.sender), message.seq) != message_id:
+            # Envelope header contradicting its payload: corrupt or
+            # forged; believing the header would poison the SeenFilter.
+            self._note_decode_error(addr)
+            return
+        # Journal boundary: the envelope payload may be a borrowed view
+        # (batched receive ring); the store and any forward outlive it.
+        full = retain(frame.payload, self._codec.counters)
+        now = self._now()
+        overlay.stats.relay_first_intake += 1
+        if self._relay_hops_histogram is not None:
+            self._relay_hops_histogram.observe(float(frame.hops))
+        if self._relay_latency_histogram is not None and frame.sent_at > 0.0:
+            latency = now - frame.sent_at
+            if latency >= 0.0:
+                # Negative deltas mean origin and receiver do not share
+                # a clock; the histogram only tracks comparable pairs.
+                self._relay_latency_histogram.observe(latency)
+        self.store.add(frame.origin, message.seq, full)
+        self.endpoint.on_receive(message, now=now)
+        if frame.hops < overlay.max_hops:
+            sent = self._relay_push(
+                frame.origin, frame.seq, full,
+                hops=frame.hops + 1, sent_at=frame.sent_at,
+                exclude=(addr,),
+            )
+            if sent:
+                overlay.stats.relay_forwarded += 1
 
     def _handle_wire_message(self, data: bytes, addr: Address) -> None:
         if self._drop_if_evicted(addr, "data"):
@@ -958,11 +1115,26 @@ class ReliableCausalNode:
             # Reliable push: goes through the normal ack/retransmit path.
             self.session.push(addr, data)
 
+    def _anti_entropy_targets(self) -> List[Address]:
+        """Digest destinations: the full peer list in mesh mode, the
+        bounded partial view in overlay mode (each node heals with
+        O(view_size) peers; transitivity covers the rest of the swarm)."""
+        if self.overlay is not None:
+            return self.overlay.digest_targets(live_filter=self._overlay_live)
+        return self._live_peers()
+
     async def _anti_entropy_loop(self) -> None:
         while True:
-            await asyncio.sleep(self._anti_entropy_interval)
+            # Jittered: uniform over [0.5, 1.5) x interval, mean
+            # preserved.  A fixed timer would have a co-started swarm
+            # digesting in lockstep — N^2 datagrams in one tick, idle
+            # the rest of the interval.
+            await asyncio.sleep(
+                self._anti_entropy_interval
+                * (0.5 + self._anti_entropy_rng.random())
+            )
             frontiers = self.store.frontiers()
-            for address in self._live_peers():
+            for address in self._anti_entropy_targets():
                 try:
                     await self.session.send_digest(address, frontiers)
                 except Exception:
@@ -976,7 +1148,11 @@ class ReliableCausalNode:
             await asyncio.sleep(interval)
             now = loop.time()
             self._heartbeat_count += 1
-            for address in list(self._peers):
+            beacon_targets = (
+                self.overlay.addresses() if self.overlay is not None
+                else list(self._peers)
+            )
+            for address in beacon_targets:
                 # Heartbeats flow to quarantined peers too: that is what
                 # resolves a mutual quarantine once the partition lifts.
                 self.liveness.track(address, now)

@@ -77,6 +77,7 @@ from repro.core.codec import (
     JoinFrame,
     LeaveFrame,
     NackFrame,
+    RelayFrame,
     ViewFrame,
     varint_size,
 )
@@ -91,6 +92,7 @@ DigestHandler = Callable[[Dict[str, Tuple[int, Tuple[int, ...]]], Address], None
 ActivityHandler = Callable[[Address], None]
 LinkSeqHandler = Callable[[Address, int], None]
 MembershipHandler = Callable[[Frame, Address], None]
+RelayHandler = Callable[[RelayFrame, Address], None]
 
 # Acked-at-first-send RTT smoothing (Jacobson/Karels constants).
 _RTT_ALPHA = 0.125
@@ -202,6 +204,9 @@ class TransportStats:
             triggers an anti-entropy resync that re-delivers them full.
         control_sent / control_received: membership control frames
             (VIEW/JOIN/JOIN_ACK/LEAVE) crossing this link.
+        relay_sent / relay_received: overlay RELAY envelopes crossing
+            this link (fire-and-forget gossip pushes; anti-entropy is
+            the loss backstop, so they are never retransmitted).
         rtt: smoothed round-trip estimate in seconds (None until the
             first clean ack of a never-retransmitted frame).
         rtt_samples: clean RTT samples folded into the estimate — the
@@ -240,6 +245,8 @@ class TransportStats:
     delta_ref_misses: int = 0
     control_sent: int = 0
     control_received: int = 0
+    relay_sent: int = 0
+    relay_received: int = 0
     rtt: Optional[float] = None
     rtt_samples: int = 0
     rtt_min: Optional[float] = None
@@ -394,6 +401,10 @@ class ReliableSession:
         on_membership: upcall ``(frame, addr)`` for membership control
             frames (VIEW/JOIN/JOIN_ACK/LEAVE); without it they are
             counted and dropped.
+        on_relay: upcall ``(frame, addr)`` for overlay RELAY envelopes;
+            without it they are counted and dropped (a mesh-mode node
+            receiving strays from an overlay peer stays unaffected —
+            anti-entropy still carries the messages).
         data_gate: optional admission predicate for the data plane.
             While it returns False, inbound DATA and DIGEST frames are
             dropped *unacknowledged* (the sender's retransmit timer
@@ -413,6 +424,7 @@ class ReliableSession:
         on_peer_activity: Optional[ActivityHandler] = None,
         on_link_seq: Optional[LinkSeqHandler] = None,
         on_membership: Optional[MembershipHandler] = None,
+        on_relay: Optional[RelayHandler] = None,
         data_gate: Optional[Callable[[], bool]] = None,
         policy: Optional[RetransmitPolicy] = None,
         seed: int = 0,
@@ -423,6 +435,7 @@ class ReliableSession:
         self._on_peer_activity = on_peer_activity
         self._on_link_seq = on_link_seq
         self._on_membership = on_membership
+        self._on_relay = on_relay
         self._data_gate = data_gate
         self._policy = policy if policy is not None else RetransmitPolicy()
         self._codec = FrameCodec()
@@ -660,11 +673,30 @@ class ReliableSession:
     # sending
     # ------------------------------------------------------------------
 
-    async def send(self, destination: Address, payload: bytes) -> int:
+    @staticmethod
+    def data_body(payload: bytes) -> bytes:
+        """Pre-pack the seq-independent part of a DATA frame once.
+
+        A broadcast fan-out sends the same payload to every peer; only
+        the per-link seq in the header differs.  The node layer builds
+        this body once per broadcast and passes it to every
+        :meth:`send`, so an N-peer fan-out packs the payload a single
+        time instead of N times.
+        """
+        return FrameCodec.encode_data_body(payload)
+
+    async def send(
+        self,
+        destination: Address,
+        payload: bytes,
+        shared_body: Optional[bytes] = None,
+    ) -> int:
         """Reliably send ``payload``; returns the link sequence number.
 
         Suspends (backpressure) while ``destination`` already has
         ``policy.send_buffer`` unacknowledged frames in flight.
+        ``shared_body`` is an optional pre-packed :meth:`data_body` of
+        the same payload, shared across a fan-out.
         """
         state = self._peer(destination)
         while len(state.unacked) >= self._policy.send_buffer:
@@ -675,7 +707,9 @@ class ReliableSession:
         if self._on_link_seq is not None:
             # Write-ahead: the journal leases the seq before it hits the wire.
             self._on_link_seq(destination, seq)
-        frame = self._codec.encode(DataFrame(seq=seq, payload=payload))
+        if shared_body is None:
+            shared_body = FrameCodec.encode_data_body(payload)
+        frame = FrameCodec.encode_data_with_body(seq, shared_body)
         now = asyncio.get_running_loop().time()
         timeout = state.rto()
         state.unacked[seq] = _Pending(
@@ -713,6 +747,24 @@ class ReliableSession:
         state = self._peer(destination)
         state.stats.control_sent += 1
         self._transmit(destination, state, self._codec.encode(frame))
+
+    def send_relay(self, destinations: List[Address], frame: RelayFrame) -> int:
+        """Encode a RELAY envelope once and push it to every destination.
+
+        Fire-and-forget, like digests: a lost push is healed by the
+        other relay copies and ultimately by anti-entropy, so relays
+        never enter the ack/retransmit machinery (an overlay of N nodes
+        would otherwise rebuild exactly the per-peer session cost the
+        overlay exists to avoid).  Returns the number of pushes.
+        """
+        if not destinations:
+            return 0
+        data = self._codec.encode(frame)
+        for destination in destinations:
+            state = self._peer(destination)
+            state.stats.relay_sent += 1
+            self._transmit(destination, state, data)
+        return len(destinations)
 
     # ------------------------------------------------------------------
     # coalescing wire path
@@ -882,7 +934,7 @@ class ReliableSession:
             return
         state.stats.frames_received += 1
         if (
-            isinstance(frame, (DataFrame, DigestFrame))
+            isinstance(frame, (DataFrame, DigestFrame, RelayFrame))
             and self._data_gate is not None
             and not self._data_gate()
         ):
@@ -902,6 +954,10 @@ class ReliableSession:
                 self._on_digest(frame.frontiers, addr)
         elif isinstance(frame, HeartbeatFrame):
             state.stats.heartbeats_received += 1
+        elif isinstance(frame, RelayFrame):
+            state.stats.relay_received += 1
+            if self._on_relay is not None:
+                self._on_relay(frame, addr)
         elif isinstance(frame, (ViewFrame, JoinFrame, JoinAckFrame, LeaveFrame)):
             state.stats.control_received += 1
             if self._on_membership is not None:
