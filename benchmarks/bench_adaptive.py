@@ -1,0 +1,261 @@
+"""Adaptive clock-sizing epochs under a 10x offered-concurrency ramp.
+
+Section 5.3 dimensions K once, from a guess of the in-flight concurrency
+X; Figures 4-5 show how P_err(R, K, X) takes off when traffic outgrows
+that guess.  This benchmark replays exactly that failure mode and shows
+the runtime controller (``repro.net.adaptive``, DESIGN.md §11) closing
+the loop:
+
+* **static arm** — K frozen at the geometry that was optimal at the
+  bottom of the ramp (the paper's provision-once deployment);
+* **adaptive arm** — after each segment the *same* decision core the
+  live node runs (:class:`ConcurrencyEstimator` +
+  :class:`EpochPlanner`) folds the segment's cumulative telemetry into
+  a Little's-law X̂ and, when the measured alert rate breaches the
+  target band, re-tiles K to ``optimal_k_int(R, X̂)`` — modelling the
+  coordinator's epoch bump.  A level that triggered a re-tile is run
+  again at the corrected geometry (the controller converging at the new
+  operating point); only the settled run is scored.
+
+Offered concurrency ramps 10x (X = 1 → 10 at the paper's 100 ms
+delay).  The claim under test: the adaptive arm's settled alert rate
+stays inside the band across the whole ramp while the static arm leaves
+it — the acceptance criterion of the self-tuning issue.  Results land
+in ``BENCH_adaptive.json`` at the repo root; ``check_adaptive.py``
+gates the same run in CI.
+
+Usage::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_adaptive.py           # full
+    PYTHONPATH=src:benchmarks python benchmarks/bench_adaptive.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from _common import (
+    MEAN_DELAY_MS,
+    lambda_for_concurrency,
+    report,
+    run_duration,
+    series_chart,
+)
+from repro.analysis.tables import render_table
+from repro.core.theory import optimal_k_int, p_error
+from repro.net.adaptive import (
+    AdaptivePolicy,
+    ConcurrencyEstimator,
+    EpochPlanner,
+    TelemetrySample,
+)
+from repro.sim import PoissonWorkload, SimulationConfig, run_simulation
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_adaptive.json"
+
+N_NODES = 24
+R = 40
+K_MAX = 12
+BAND = (0.0, 0.15)
+X_START = 1.0
+
+# Offered-concurrency levels (X at the paper's 100 ms mean delay) and
+# the per-segment delivery budget.  The top of the ramp is chosen so the
+# *optimal* geometry still fits the band (P_err at the optimum ~2^-K_opt):
+# any higher and no controller could satisfy the target.
+FULL = ((1.0, 2.0, 4.0, 7.0, 10.0), 5000)
+QUICK = ((1.0, 4.0, 10.0), 2000)
+
+# A level re-runs after an accepted re-tile so the settled geometry is
+# what gets scored; the hysteresis guard converges this in one step.
+MAX_ATTEMPTS = 3
+
+
+def _segment(x: float, k: int, target_deliveries: int, seed: int) -> "SimulationResult":
+    lam = lambda_for_concurrency(N_NODES, x)
+    config = SimulationConfig(
+        n_nodes=N_NODES,
+        r=R,
+        k=k,
+        workload=PoissonWorkload(lam),
+        duration_ms=run_duration(target_deliveries, N_NODES, lam),
+        seed=seed,
+        detector="basic",
+    )
+    return run_simulation(config)
+
+
+def run_arm(
+    adaptive: bool,
+    levels: Sequence[float],
+    target_deliveries: int,
+    seed: int,
+    band: Tuple[float, float] = BAND,
+) -> List[Dict[str, object]]:
+    """Run one arm of the ramp; returns one dict per executed segment.
+
+    The adaptive arm drives the exact decision core a live node runs:
+    segment telemetry is folded into cumulative per-node counters (the
+    shape a node's own registry exports), sampled, differenced by the
+    estimator, and judged by the planner.  ``settled=True`` marks the
+    run that scores a level (the last attempt at it).
+    """
+    k = optimal_k_int(R, X_START, k_max=K_MAX)
+    policy = AdaptivePolicy(
+        interval=1.0, band=band, k_max=K_MAX, cooldown=0.0, min_window=20
+    )
+    estimator = ConcurrencyEstimator(min_window=policy.min_window)
+    planner = EpochPlanner(R, policy)
+    # Prime the estimator so the very first segment already yields a window.
+    estimator.update(TelemetrySample(now=0.0, delivered_total=0.0, wait_sum=0.0, wait_count=0.0))
+    # Cumulative per-node telemetry, counter semantics — what one node's
+    # registry would show (the sim aggregates the group, so divide by N).
+    t_cum = delivered_cum = wait_cum = alerts_cum = checks_cum = 0.0
+
+    segments: List[Dict[str, object]] = []
+    for level_index, x in enumerate(levels):
+        for attempt in range(MAX_ATTEMPTS):
+            result = _segment(x, k, target_deliveries, seed + 31 * level_index + attempt)
+            t_cum += result.sim_time_ms / 1000.0
+            delivered_cum += result.delivered_remote
+            wait_cum += result.latency.get("mean", 0.0) / 1000.0 * result.delivered_remote
+            alerts_cum += result.alerts.alerts
+            checks_cum += result.alerts.total
+            window = estimator.update(
+                TelemetrySample(
+                    now=t_cum,
+                    delivered_total=delivered_cum / N_NODES,
+                    wait_sum=wait_cum / N_NODES,
+                    wait_count=delivered_cum / N_NODES,
+                    alerts_total=alerts_cum / N_NODES,
+                    checks_total=checks_cum / N_NODES,
+                )
+            )
+            verdict = planner.decide(k, window, t_cum) if adaptive else None
+            segments.append(
+                {
+                    "x_offered": x,
+                    "x_measured": round(result.measured_concurrency, 2),
+                    "x_estimate": round(window.x_estimate, 2) if window else None,
+                    "k": k,
+                    "deliveries": result.delivered_remote,
+                    "alert_rate": round(result.alerts.alert_rate, 6),
+                    "predicted_p_err": round(p_error(R, k, result.measured_concurrency), 6),
+                    "eps_max": round(result.eps_max, 6),
+                    "retiled_to": verdict,
+                    "settled": verdict is None,
+                }
+            )
+            if verdict is None:
+                break
+            planner.record_bump(t_cum)
+            k = verdict
+    return segments
+
+
+def settled(segments: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    return [segment for segment in segments if segment["settled"]]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 3 ramp levels and a smaller delivery budget",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"result JSON path (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    levels, target = QUICK if args.quick else FULL
+    started = time.perf_counter()
+    adaptive_segments = run_arm(True, levels, target, args.seed)
+    static_segments = run_arm(False, levels, target, args.seed)
+    wall = time.perf_counter() - started
+
+    adaptive_settled = settled(adaptive_segments)
+    band_high = BAND[1]
+    adaptive_max = max(s["alert_rate"] for s in adaptive_settled)
+    static_max = max(s["alert_rate"] for s in static_segments)
+    retiles = sum(1 for s in adaptive_segments if s["retiled_to"] is not None)
+    final_k = adaptive_settled[-1]["k"]
+
+    headers = ["arm", "X offered", "X meas", "K", "deliveries",
+               "alert rate", "P_err(R,K,X)", "in band"]
+    rows = []
+    for arm, segs in (("adaptive", adaptive_settled), ("static", static_segments)):
+        for s in segs:
+            rows.append([
+                arm, f"{s['x_offered']:.1f}", f"{s['x_measured']:.1f}",
+                s["k"], s["deliveries"], f"{s['alert_rate']:.4f}",
+                f"{s['predicted_p_err']:.4f}",
+                "yes" if s["alert_rate"] <= band_high else "NO",
+            ])
+    table = render_table(
+        headers, rows,
+        title=f"10x concurrency ramp, R={R}, N={N_NODES}, "
+              f"band high={band_high} (settled segments)",
+    )
+    chart = series_chart(
+        "measured alert rate vs offered concurrency",
+        {
+            "adaptive": [(s["x_offered"], s["alert_rate"]) for s in adaptive_settled],
+            "static": [(s["x_offered"], s["alert_rate"]) for s in static_segments],
+            "band high": [(x, band_high) for x in levels],
+        },
+        x_label="offered concurrency X",
+        log_y=False,
+    )
+    verdict = (
+        f"adaptive max settled alert rate: {adaptive_max:.4f} "
+        f"({'inside' if adaptive_max <= band_high else 'OUTSIDE'} the band)\n"
+        f"static   max alert rate:         {static_max:.4f} "
+        f"({static_max / band_high:.1f}x the band ceiling)\n"
+        f"re-tiles: {retiles} (K {optimal_k_int(R, X_START, k_max=K_MAX)} -> {final_k}), "
+        f"wall {wall:.1f}s"
+    )
+    report("bench_adaptive", table + "\n\n" + chart + "\n\n" + verdict)
+
+    payload = {
+        "meta": {
+            "quick": args.quick,
+            "seed": args.seed,
+            "python": platform.python_version(),
+            "n_nodes": N_NODES,
+            "r": R,
+            "k_max": K_MAX,
+            "band": list(BAND),
+            "mean_delay_ms": MEAN_DELAY_MS,
+            "levels": list(levels),
+            "target_deliveries": target,
+            "wall_seconds": round(wall, 2),
+        },
+        "headline": {
+            "adaptive_max_settled_alert_rate": adaptive_max,
+            "static_max_alert_rate": static_max,
+            "band_high": band_high,
+            "adaptive_within_band": adaptive_max <= band_high,
+            "static_within_band": static_max <= band_high,
+            "retiles": retiles,
+            "final_k": final_k,
+        },
+        "adaptive": adaptive_segments,
+        "static": static_segments,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

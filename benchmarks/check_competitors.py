@@ -12,16 +12,15 @@ Three independent checks, one exit code:
 
 2. **Engine equivalence** — the same probabilistic-clock traffic run
    under the ``naive``, ``indexed``, and ``hybrid`` drain engines with
-   one seed.  ``hybrid`` must be *bit-identical* to the naive reference
-   (counters, totals, latency statistics) — the ISSUE's oracle
-   differential requirement.  ``indexed`` must deliver the identical
-   message totals and stay live; its oracle counters are compared
-   loosely because the indexed drain's wave order is known to diverge
-   from the reference by a hair on this workload (measured on the seed
-   commit, predating the registry: 340 vs 342 violations out of 21k
-   deliveries — both orders are causally valid, the eps oracle just
-   brackets them differently).  Every run must stay live (no stuck
-   pending, no undelivered messages).
+   one seed.  ``hybrid`` and ``indexed`` must both be *bit-identical*
+   to the naive reference (counters, totals, latency statistics) — the
+   ISSUE's oracle differential requirement.  The indexed drain's
+   historical hair of divergence on this workload (340 vs 342
+   violations out of 21k deliveries on the seed commit) was a missed
+   wakeup — local sends increment the node's own keys without telling
+   the entry index — fixed by ``PendingBuffer.notify_increment``, so
+   the gate is exact identity for every engine.  Every run must stay
+   live (no stuck pending, no undelivered messages).
 
 3. **Clock-family table identity** — regenerates the Section 2 design
    table (``bench_table_clock_family.build_table``) and checks the
@@ -106,13 +105,11 @@ def check_engine_equivalence(args, failures):
             )
         if engine == "naive":
             continue
-        # hybrid: full bit-identity with the reference drain; indexed:
-        # identical delivered set only (see the module docstring for the
-        # pre-existing wave-order divergence of its oracle counters).
-        if engine == "hybrid":
-            fields = ("counters", "sent", "delivered_remote", "latency")
-        else:
-            fields = ("sent", "delivered_remote")
+        # Full bit-identity with the reference drain for every engine:
+        # counters (the oracle's per-delivery verdicts), totals, and the
+        # latency summary, which is order-sensitive through delivery
+        # timing.  Identical values here mean identical delivery order.
+        fields = ("counters", "sent", "delivered_remote", "latency")
         for field in fields:
             got, want = getattr(result, field), getattr(reference, field)
             if got != want:

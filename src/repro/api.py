@@ -43,6 +43,7 @@ from repro.core.registry import (
     get_detector_spec,
     get_engine_spec,
 )
+from repro.net.adaptive import AdaptiveClockController, AdaptivePolicy
 from repro.net.journal import NodeJournal
 from repro.net.liveness import LivenessPolicy
 from repro.net.membership import GroupMembership, MembershipConfig
@@ -192,6 +193,22 @@ class NodeConfig:
         view_announce_interval: seconds between the coordinator's
             periodic VIEW re-announcements and eviction sweeps.
 
+    Adaptive clock sizing (used by :func:`create_node`):
+
+    Attributes:
+        adaptive: run the self-tuning (R, K) controller
+            (:class:`~repro.net.adaptive.AdaptiveClockController`):
+            every ``adaptive_interval`` seconds the node re-estimates
+            the in-flight concurrency X from its own metrics stream,
+            and the acting coordinator renegotiates the group's K via
+            an epoch bump whenever the measured alert rate leaves
+            ``adaptive_band``.  Requires ``membership=True``.
+        adaptive_interval: seconds between controller decisions.
+        adaptive_band: ``(low, high)`` target alert-rate band (alerts
+            per delivery); inside it the controller holds.
+        adaptive_k_max: upper bound on the negotiated K.
+        adaptive_cooldown: minimum seconds between two epoch bumps.
+
     Observability (used by :func:`create_node`):
 
     Attributes:
@@ -252,6 +269,11 @@ class NodeConfig:
     join_backoff: float = 2.0
     evict_after: float = 10.0
     view_announce_interval: float = 2.0
+    adaptive: bool = False
+    adaptive_interval: float = 5.0
+    adaptive_band: Tuple[float, float] = (0.0, 0.05)
+    adaptive_k_max: int = 16
+    adaptive_cooldown: float = 30.0
     detector_window: Optional[float] = None
     metrics_path: Optional[str] = None
     metrics_interval: float = 1.0
@@ -328,6 +350,14 @@ class NodeConfig:
         if self.membership:
             # Fails fast on bad membership knobs (the layer re-checks).
             self.membership_config()
+        if self.adaptive:
+            if not self.membership:
+                raise ConfigurationError(
+                    "adaptive=True needs membership=True: epoch bumps "
+                    "are negotiated through the group view"
+                )
+            # Fails fast on bad controller knobs (the policy re-checks).
+            self.adaptive_policy()
         # Fails fast on bad reliability knobs (the session re-checks).
         self.retransmit_policy()
         if self.heartbeat_interval > 0:
@@ -363,6 +393,15 @@ class NodeConfig:
             piggyback_size=self.piggyback_size,
             merge_probability=self.merge_probability,
             max_hops=self.relay_max_hops,
+        )
+
+    def adaptive_policy(self) -> AdaptivePolicy:
+        """The adaptive clock-sizing knobs as a controller policy."""
+        return AdaptivePolicy(
+            interval=self.adaptive_interval,
+            band=tuple(self.adaptive_band),
+            k_max=self.adaptive_k_max,
+            cooldown=self.adaptive_cooldown,
         )
 
     def membership_config(self) -> MembershipConfig:
@@ -550,6 +589,8 @@ async def create_node(
     )
     if config.membership:
         GroupMembership(node, config.membership_config(), assigner=assigner)
+    if config.adaptive:
+        node.adaptive = AdaptiveClockController(node, config.adaptive_policy())
     if start:
         await node.start()
         if node.membership is not None:

@@ -174,6 +174,27 @@ def build_parser() -> argparse.ArgumentParser:
              "from the view (0 disables; needs --heartbeat-interval)",
     )
     node.add_argument(
+        "--adaptive", action="store_true",
+        help="self-tune K at runtime: re-estimate the in-flight "
+             "concurrency X from live telemetry and let the acting "
+             "coordinator renegotiate the group's clock geometry via "
+             "epoch bumps (needs --bootstrap or --join)",
+    )
+    node.add_argument(
+        "--adaptive-band", default="0:0.05", metavar="LOW:HIGH",
+        help="target alert-rate band (alerts per delivery); the "
+             "controller re-tiles K only when the measured rate "
+             "leaves it",
+    )
+    node.add_argument(
+        "--adaptive-interval", type=float, default=5.0, metavar="SECONDS",
+        help="seconds between adaptive-controller decisions",
+    )
+    node.add_argument(
+        "--adaptive-k-max", type=int, default=16, metavar="K",
+        help="upper bound on the renegotiated K",
+    )
+    node.add_argument(
         "--coalesce-mtu", type=int, default=1400, metavar="BYTES",
         help="datagram budget for frame coalescing (0 sends every frame "
              "in its own datagram)",
@@ -426,6 +447,12 @@ def _command_node(args: argparse.Namespace) -> int:
     if args.bootstrap and seed_addresses:
         print("--bootstrap and --join are mutually exclusive", file=sys.stderr)
         return 1
+    try:
+        band_low, band_high = (float(v) for v in args.adaptive_band.split(":"))
+    except ValueError:
+        print(f"--adaptive-band must be LOW:HIGH, got {args.adaptive_band!r}",
+              file=sys.stderr)
+        return 1
     dense = get_clock_spec(args.clock).needs_dense_index
     config = NodeConfig(
         r=args.r,
@@ -443,6 +470,10 @@ def _command_node(args: argparse.Namespace) -> int:
         join_timeout=args.join_timeout,
         join_retries=args.join_retries,
         evict_after=args.evict_after,
+        adaptive=args.adaptive,
+        adaptive_interval=args.adaptive_interval,
+        adaptive_band=(band_low, band_high),
+        adaptive_k_max=args.adaptive_k_max,
         coalesce_mtu=args.coalesce_mtu,
         ack_delay=args.ack_delay,
         wire_delta=not args.no_wire_delta,

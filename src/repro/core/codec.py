@@ -119,11 +119,11 @@ __all__ = [
 ]
 
 _MAGIC = b"PC"
-_VERSION = 2  # v2 added the clock-scheme id byte after the flags
+_VERSION = 3  # v2 added the clock-scheme id byte; v3 the epoch id byte
 _FLAG_VARINT = 0x01
 _FLAG_DELTA = 0x02
 _MAX_U32 = 0xFFFFFFFF
-_HEADER_SIZE = 5  # magic + version + flags + scheme
+_HEADER_SIZE = 6  # magic + version + flags + scheme + epoch
 
 #: Anything the decode paths accept: owned bytes or a borrowed view.
 Buffer = Union[bytes, bytearray, memoryview]
@@ -150,6 +150,7 @@ class CodecCounters:
         "data_payload_views",
         "messages_decoded",
         "deltas_decoded",
+        "epoch_mismatches",
         "payload_bytes_in",
         "retain_copies",
         "retain_noops",
@@ -162,6 +163,7 @@ class CodecCounters:
         self.data_payload_views = 0
         self.messages_decoded = 0
         self.deltas_decoded = 0
+        self.epoch_mismatches = 0
         self.payload_bytes_in = 0
         self.retain_copies = 0
         self.retain_noops = 0
@@ -305,6 +307,13 @@ class MessageCodec:
         scheme: the clock scheme whose timestamps this codec carries
             (a name registered in :mod:`repro.core.registry`).  Its wire
             id is stamped into every encoding and checked on decode.
+        epoch: the clock-sizing epoch this codec currently encodes; one
+            byte on the wire (mod 256) next to the scheme id.  Unlike the
+            scheme, a *mismatched* epoch is not an error — mixed-epoch
+            frames are expected while a geometry renegotiation drains
+            through the group (every message carries its sender's keys,
+            so delivery is epoch-agnostic); decode only tallies the
+            mismatch in :attr:`counters` so the transition is observable.
     """
 
     def __init__(
@@ -312,17 +321,30 @@ class MessageCodec:
         payload_codec: PayloadCodec = None,
         varint_entries: bool = True,
         scheme: str = "probabilistic",
+        epoch: int = 0,
     ) -> None:
         self._payload_codec = payload_codec if payload_codec is not None else JsonPayloadCodec()
         self._varint = varint_entries
         self._scheme = scheme
         self._scheme_id = scheme_id_of(scheme)
+        self.epoch = epoch
         self.counters = CodecCounters()
 
     @property
     def scheme(self) -> str:
         """The clock scheme this codec encodes and accepts."""
         return self._scheme
+
+    @property
+    def epoch(self) -> int:
+        """The clock-sizing epoch stamped into new encodings."""
+        return self._epoch
+
+    @epoch.setter
+    def epoch(self, value: int) -> None:
+        if value < 0:
+            raise CodecError(f"epoch must be >= 0, got {value}")
+        self._epoch = int(value)
 
     @staticmethod
     def peek_scheme(data: Buffer) -> Optional[str]:
@@ -334,6 +356,18 @@ class MessageCodec:
         if len(data) < _HEADER_SIZE or data[:2] != _MAGIC:
             raise CodecError("bad magic")
         return scheme_name_of(data[4])
+
+    @staticmethod
+    def peek_epoch(data: Buffer) -> int:
+        """The epoch id byte of an encoded message, without decoding it.
+
+        The wire carries the low 8 bits of the group epoch; with at most
+        one renegotiation in flight the receiver disambiguates against
+        its own epoch (equal mod 256 ⇒ same epoch in practice).
+        """
+        if len(data) < _HEADER_SIZE or data[:2] != _MAGIC:
+            raise CodecError("bad magic")
+        return data[5]
 
     def _check_scheme(self, scheme_id: int) -> None:
         if scheme_id != self._scheme_id:
@@ -356,7 +390,9 @@ class MessageCodec:
             raise CodecError(f"sender keys outside uint32 wire range: {keys}")
         return [
             _MAGIC,
-            struct.pack("<BBB", _VERSION, flags, self._scheme_id),
+            struct.pack(
+                "<BBBB", _VERSION, flags, self._scheme_id, self._epoch & 0xFF
+            ),
             struct.pack("<H", len(sender_bytes)),
             sender_bytes,
             struct.pack("<Q", message.seq),
@@ -398,7 +434,7 @@ class MessageCodec:
     def decode(self, data: Buffer) -> Message:
         if len(data) < _HEADER_SIZE or data[:2] != _MAGIC:
             raise CodecError("bad magic")
-        version, flags, scheme_id = struct.unpack_from("<BBB", data, 2)
+        version, flags, scheme_id, epoch = struct.unpack_from("<BBBB", data, 2)
         if version != _VERSION:
             raise CodecError(f"unsupported version {version}")
         if flags & _FLAG_DELTA:
@@ -407,6 +443,8 @@ class MessageCodec:
                 "per-link reference vector"
             )
         self._check_scheme(scheme_id)
+        if epoch != self._epoch & 0xFF:
+            self.counters.epoch_mismatches += 1
         varint = bool(flags & _FLAG_VARINT)
         offset = _HEADER_SIZE
         try:
@@ -459,7 +497,7 @@ class MessageCodec:
         sender_bytes = str(message.sender).encode("utf-8")
         timestamp = message.timestamp
         size = (
-            _HEADER_SIZE  # magic + version + flags + scheme
+            _HEADER_SIZE  # magic + version + flags + scheme + epoch
             + 2 + len(sender_bytes)
             + 8  # seq
             + 2 + 4 * len(timestamp.sender_keys)
@@ -534,7 +572,13 @@ class MessageCodec:
         payload_bytes = self._payload_codec.encode(message.payload)
         parts = [
             _MAGIC,
-            struct.pack("<BBB", _VERSION, _FLAG_VARINT | _FLAG_DELTA, self._scheme_id),
+            struct.pack(
+                "<BBBB",
+                _VERSION,
+                _FLAG_VARINT | _FLAG_DELTA,
+                self._scheme_id,
+                self._epoch & 0xFF,
+            ),
             struct.pack("<H", len(sender_bytes)),
             sender_bytes,
             encode_varint(message.seq),
@@ -566,12 +610,14 @@ class MessageCodec:
         full encoding right after the sender field: seq is a varint."""
         if len(data) < _HEADER_SIZE or data[:2] != _MAGIC:
             raise CodecError("bad magic")
-        version, flags, scheme_id = struct.unpack_from("<BBB", data, 2)
+        version, flags, scheme_id, epoch = struct.unpack_from("<BBBB", data, 2)
         if version != _VERSION:
             raise CodecError(f"unsupported version {version}")
         if not flags & _FLAG_DELTA:
             raise CodecError("not a delta-encoded message")
         self._check_scheme(scheme_id)
+        if epoch != self._epoch & 0xFF:
+            self.counters.epoch_mismatches += 1
         offset = _HEADER_SIZE
         try:
             (sender_len,) = struct.unpack_from("<H", data, offset)
@@ -642,7 +688,7 @@ class MessageCodec:
 # ----------------------------------------------------------------------
 
 _FRAME_MAGIC = b"PF"
-_FRAME_VERSION = 1
+_FRAME_VERSION = 2  # v2 added the epoch field to VIEW and JOIN_ACK
 _TYPE_DATA = 1
 _TYPE_ACK = 2
 _TYPE_NACK = 3
@@ -760,10 +806,16 @@ class ViewFrame:
     ``view_id`` is strictly monotonic: receivers install a view only when
     its id exceeds the one they hold, which makes re-announcements (the
     loss-healing mechanism — VIEW is fire-and-forget) idempotent.
+
+    ``epoch`` is the clock-sizing generation the view's key assignment
+    belongs to (see PROTOCOL.md §11): it only moves when the group
+    renegotiates its (R, K) geometry, so most view changes carry the
+    epoch unchanged while every epoch bump rides a view bump.
     """
 
     view_id: int
     members: Tuple[MemberRecord, ...]
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -802,6 +854,7 @@ class JoinAckFrame:
     frontiers: Dict[str, Tuple[int, Tuple[int, ...]]] = field(default_factory=dict)
     vector: Tuple[int, ...] = ()
     reason: str = ""
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -1097,11 +1150,13 @@ class FrameCodec:
         if isinstance(frame, ViewFrame):
             if frame.view_id < 0:
                 raise CodecError(f"negative view id {frame.view_id}")
+            if frame.epoch < 0:
+                raise CodecError(f"negative epoch {frame.epoch}")
             return b"".join(
                 [
                     header,
                     struct.pack("<B", _TYPE_VIEW),
-                    struct.pack("<Q", frame.view_id),
+                    struct.pack("<QI", frame.view_id, frame.epoch),
                     _encode_members(frame.members),
                 ]
             )
@@ -1117,11 +1172,13 @@ class FrameCodec:
             )
         if isinstance(frame, JoinAckFrame):
             flags = _JOIN_ACK_ACCEPTED if frame.accepted else 0
+            if frame.epoch < 0:
+                raise CodecError(f"negative epoch {frame.epoch}")
             return b"".join(
                 [
                     header,
                     struct.pack("<BB", _TYPE_JOIN_ACK, flags),
-                    struct.pack("<Q", frame.view_id),
+                    struct.pack("<QI", frame.view_id, frame.epoch),
                     struct.pack("<IH", frame.r, frame.k),
                     _encode_ascending(tuple(frame.keys), -1),
                     _encode_members(frame.members),
@@ -1234,10 +1291,10 @@ class FrameCodec:
                     counters.batch_inner_views += len(frames)
                 return BatchFrame(frames=tuple(frames), ack=ack)
             if frame_type == _TYPE_VIEW:
-                (view_id,) = struct.unpack_from("<Q", data, offset)
-                offset += 8
+                view_id, epoch = struct.unpack_from("<QI", data, offset)
+                offset += 12
                 members, offset = _decode_members(data, offset)
-                return ViewFrame(view_id=view_id, members=members)
+                return ViewFrame(view_id=view_id, members=members, epoch=epoch)
             if frame_type == _TYPE_JOIN:
                 node_raw, offset = _decode_short_bytes(data, offset)
                 address, offset = _decode_address(data, offset)
@@ -1248,8 +1305,8 @@ class FrameCodec:
             if frame_type == _TYPE_JOIN_ACK:
                 (flags,) = struct.unpack_from("<B", data, offset)
                 offset += 1
-                (view_id,) = struct.unpack_from("<Q", data, offset)
-                offset += 8
+                view_id, epoch = struct.unpack_from("<QI", data, offset)
+                offset += 12
                 r, k = struct.unpack_from("<IH", data, offset)
                 offset += 6
                 keys, offset = _decode_ascending(data, offset, -1)
@@ -1272,6 +1329,7 @@ class FrameCodec:
                     frontiers=frontiers,
                     vector=tuple(vector),
                     reason=reason_raw.decode("utf-8"),
+                    epoch=epoch,
                 )
             if frame_type == _TYPE_LEAVE:
                 node_raw, offset = _decode_short_bytes(data, offset)

@@ -177,6 +177,22 @@ class KeyAssigner(ABC):
     def __contains__(self, process_id: ProcessId) -> bool:
         return process_id in self._assignments
 
+    def retile(self, new_k: int) -> "KeyAssigner":
+        """A fresh, empty assigner of this class over ``(r, new_k)``.
+
+        The epoch re-tiling hook: when the group renegotiates its clock
+        geometry (see :mod:`repro.net.adaptive`), the acting coordinator
+        builds the next epoch's ledger with this and re-assigns every
+        member at the new ``K``; followers rebuild their mirror the same
+        way when a higher-epoch view arrives.  ``K`` is fixed per
+        assigner instance, so a K change is a new instance by design —
+        the old ledger stays intact until the new view is installed.
+
+        Subclasses with construction state beyond ``(r, k)`` override
+        this to carry it across (e.g. the random assigner's RNG stream).
+        """
+        return type(self)(self._r, new_k)
+
     @abstractmethod
     def _pick_keys(self, process_id: ProcessId) -> Tuple[int, ...]:
         """Choose the key set for a joining process (ascending tuple)."""
@@ -212,6 +228,12 @@ class RandomKeyAssigner(KeyAssigner):
         self._avoid_collisions = avoid_collisions
         self._total_sets = num_key_sets(r, k)
         self._used_ids: Dict[int, ProcessId] = {}
+
+    def retile(self, new_k: int) -> "RandomKeyAssigner":
+        return type(self)(
+            self._r, new_k, rng=self._rng,
+            avoid_collisions=self._avoid_collisions,
+        )
 
     def _pick_keys(self, process_id: ProcessId) -> Tuple[int, ...]:
         if self._avoid_collisions and len(self._used_ids) >= self._total_sets:
@@ -470,6 +492,12 @@ class ExplicitKeyAssigner(KeyAssigner):
                     f"explicit key set for {process_id!r} outside [0, {r}): {ordered}"
                 )
             self._mapping[process_id] = ordered
+
+    def retile(self, new_k: int) -> "KeyAssigner":
+        raise ConfigurationError(
+            "an explicit assigner prescribes fixed scenarios and cannot "
+            "re-tile to a different K"
+        )
 
     def _pick_keys(self, process_id: ProcessId) -> Tuple[int, ...]:
         try:

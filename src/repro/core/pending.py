@@ -41,10 +41,19 @@ naive pass iteration would have reached them:
 The invariant making the index sound: every pending message is
 registered under **all** of its currently-unsatisfied entries (the index
 may lag as a superset — entries only become satisfied over time — so a
-message can be woken spuriously, but never missed).  The differential
-test suite (``tests/test_pending_differential.py``) checks the
-equivalence over randomised multi-sender traces with drops, reorders and
-duplicates.
+message can be woken spuriously, but never missed).  Deliveries are not
+the only increments, though: Algorithm 1's *local send* bumps the
+sender's own keys too, and when the local key set overlaps a pending
+message's unsatisfied entries that send can complete its delivery
+condition without any delivery ever touching those entries.  The naive
+rescan picks this up for free at the next drain; the index must be told
+— :meth:`PendingBuffer.notify_increment` accumulates such out-of-band
+increments and the next drain folds them into its initial wakeup wave
+(the historical 340-vs-342 wave-order divergence against the reference
+was exactly this missed wakeup).  The differential test suite
+(``tests/test_pending_differential.py``) checks the equivalence over
+randomised multi-sender traces with drops, reorders, duplicates and
+interleaved local sends.
 """
 
 from __future__ import annotations
@@ -87,6 +96,7 @@ class PendingBuffer:
         "_waiting",
         "_count",
         "_arrival_counter",
+        "_external",
         "wakeups",
         "spurious_wakeups",
     )
@@ -108,6 +118,7 @@ class PendingBuffer:
         self._waiting: List[Set[int]] = [set() for _ in range(r)]
         self._count = 0
         self._arrival_counter = 0
+        self._external: Set[int] = set()
         # Plain ints (no obs dependency): slots examined by the wakeup
         # index, and the subset that was still blocked when rechecked.
         # The spurious/total ratio is the index's precision — the price
@@ -177,6 +188,25 @@ class PendingBuffer:
         self._capacity = new_capacity
 
     # ------------------------------------------------------------------
+    # out-of-band increments
+    # ------------------------------------------------------------------
+
+    def notify_increment(self, keys: Iterable[int]) -> None:
+        """Record vector increments that happened outside a drain.
+
+        Algorithm 1's local send bumps the sender's own keys without any
+        delivery; when those entries overlap a pending message's
+        unsatisfied set, the message may now pass the delivery condition
+        even though no future delivery will ever touch its registered
+        entries.  The accumulated keys are folded into the initial
+        wakeup wave of the next :meth:`drain` — matching the naive
+        reference, which only ever delivers during a drain but rescans
+        everything when it does.
+        """
+        if self._count:
+            self._external.update(int(key) for key in keys)
+
+    # ------------------------------------------------------------------
     # bulk check
     # ------------------------------------------------------------------
 
@@ -218,7 +248,16 @@ class PendingBuffer:
         naive multi-pass reference drain exactly (see module docstring).
         """
         delivered = 0
-        wave = self._collect(touched_keys)
+        if self._external:
+            # Fold out-of-band increments (local sends since the last
+            # drain) into the trigger's wakeup set: their slots behave
+            # exactly like wave-1 candidates, which is where the naive
+            # pass-1 rescan would find them.
+            self._external.update(int(key) for key in touched_keys)
+            wave = self._collect(self._external)
+            self._external.clear()
+        else:
+            wave = self._collect(touched_keys)
         while wave:
             self.wakeups += len(wave)
             slots = np.fromiter(wave, dtype=np.intp, count=len(wave))
@@ -404,6 +443,14 @@ class HybridBuffer:
         self._slots[slot] = _HybridSlot(item, adjusted, self._arrival_counter, sender)
         queue = self._queues.setdefault(sender, [])
         bisect.insort(queue, (int(seq), slot))
+
+    def notify_increment(self, keys: Iterable[int]) -> None:
+        """Interface parity with :meth:`PendingBuffer.notify_increment`.
+
+        A no-op: the hybrid drain re-probes **every** queue front each
+        wave regardless of which entries were touched, so out-of-band
+        increments (local sends) are picked up without bookkeeping.
+        """
 
     def drain(
         self,

@@ -323,6 +323,13 @@ class CausalBroadcastEndpoint:
         sender-side bookkeeping for it.
         """
         timestamp = self._clock.prepare_send()
+        if self._buffer is not None:
+            # Algorithm 1 just incremented this node's own keys; pending
+            # messages whose unsatisfied entries overlap them can become
+            # deliverable without any delivery touching those entries.
+            # The naive rescan sees this for free at its next drain; the
+            # entry-indexed buffer must be told (see pending.py).
+            self._buffer.notify_increment(timestamp.sender_keys)
         message = Message(
             sender=self._process_id,
             seq=timestamp.seq,

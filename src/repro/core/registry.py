@@ -167,9 +167,10 @@ class EngineSpec:
         name: the engine string users configure.
         buffer_factory: ``r -> buffer`` building the pending structure
             (must expose the :class:`~repro.core.pending.PendingBuffer`
-            interface: ``add`` / ``drain`` / ``items`` / ``__len__`` and
-            the ``wakeups`` counters); ``None`` selects the reference
-            full-rescan drain over a plain list.
+            interface: ``add`` / ``drain`` / ``notify_increment`` /
+            ``items`` / ``__len__`` and the ``wakeups`` counters);
+            ``None`` selects the reference full-rescan drain over a
+            plain list.
         auto_promote: start on the reference drain and promote to the
             indexed buffer past the promotion threshold (``auto``).
         description: one line for ``repro engines`` listings.

@@ -91,7 +91,10 @@ def optimal_k_int(r: int, x: float, k_max: int = None) -> int:
 
     Scans the integer neighbourhood (the function is unimodal in ``k``)
     rather than rounding the continuous optimum, so boundary cases
-    (``K=1`` best when ``x`` is huge) come out right.
+    (``K=1`` best when ``x`` is huge) come out right.  Unimodality also
+    means the first non-improving step ends the scan: the walk costs
+    ``O(K_opt)``, not ``O(R)`` — which matters to callers evaluating it
+    per epoch, like the adaptive clock-sizing controller.
     """
     upper = r if k_max is None else min(k_max, r)
     if upper < 1:
@@ -102,12 +105,25 @@ def optimal_k_int(r: int, x: float, k_max: int = None) -> int:
         value = p_error(r, k, x)
         if value < best_value:
             best_k, best_value = k, value
+        else:
+            # Past the minimum: P_err only grows from here on.  A tie
+            # keeps the smaller K (same choice the full scan made, since
+            # only strict improvement ever advanced it).
+            break
     return best_k
 
 
-def predicted_error_series(r: int, x: float, ks: Iterable[int]) -> List[Tuple[int, float]]:
-    """``[(k, P_err(r, k, x)), ...]`` for plotting against measurements."""
-    return [(int(k), p_error(r, int(k), x)) for k in ks]
+def predicted_error_series(
+    r: int, x: float, ks: Iterable[float]
+) -> List[Tuple[float, float]]:
+    """``[(k, P_err(r, k, x)), ...]`` for plotting against measurements.
+
+    ``ks`` may contain fractional values — :func:`p_error` accepts them
+    so the continuous optimum (≈ 3.47 for the paper's R=100, X=20) can
+    sit on the same curve as the integer grid; each ``k`` is evaluated
+    exactly as given, never truncated.
+    """
+    return [(float(k), p_error(r, float(k), x)) for k in ks]
 
 
 def expected_concurrency(

@@ -17,10 +17,23 @@ handshake with state transfer, and quarantine-driven eviction.  For
 swarms too large for a full mesh, :class:`PartialView` bounds the
 dissemination cost: broadcasts ride bounded-fanout RELAY gossip over a
 partial view instead of N−1 unicasts (``dissemination="overlay"``).
+And because the paper sizes K from a one-shot *guess* of the in-flight
+concurrency X, :class:`AdaptiveClockController` closes that loop at
+runtime: it re-estimates X from the node's own metrics stream and has
+the acting coordinator renegotiate clock-sizing *epochs* for the whole
+group (``--adaptive``).
 
 Assemble nodes with :func:`repro.api.create_node` rather than by hand.
 """
 
+from repro.net.adaptive import (
+    AdaptiveClockController,
+    AdaptivePolicy,
+    ConcurrencyEstimator,
+    EpochPlanner,
+    TelemetrySample,
+    TelemetryWindow,
+)
 from repro.net.bus import BusTransport, LocalAsyncBus
 from repro.net.faults import FaultWindow, FaultyTransport
 from repro.net.journal import LinkState, NodeJournal, RecoveredState
@@ -58,4 +71,10 @@ __all__ = [
     "ReliableCausalNode",
     "PartialView",
     "OverlayStats",
+    "AdaptivePolicy",
+    "AdaptiveClockController",
+    "ConcurrencyEstimator",
+    "EpochPlanner",
+    "TelemetrySample",
+    "TelemetryWindow",
 ]

@@ -117,9 +117,11 @@ class RecoveredState:
             changed them; empty means "identity keys" (pre-membership
             journals).  A restarting node rekeys its pristine clock to
             these before restoring the vector.
-        view: the last persisted group view ``(view_id, members)`` with
-            members as ``(node_id, address, keys)`` tuples, or ``None``
-            when the node never joined a dynamic group.
+        view: the last persisted group view ``(view_id, members, epoch)``
+            with members as ``(node_id, address, keys)`` tuples and
+            ``epoch`` the clock-sizing generation (0 for pre-epoch
+            journals), or ``None`` when the node never joined a dynamic
+            group.
     """
 
     vector: Tuple[int, ...]
@@ -134,7 +136,9 @@ class RecoveredState:
     detector_checks: int = 0
     detector_alerts: int = 0
     own_keys: Tuple[int, ...] = ()
-    view: Optional[Tuple[int, Tuple[Tuple[str, Address, Tuple[int, ...]], ...]]] = None
+    view: Optional[
+        Tuple[int, Tuple[Tuple[str, Address, Tuple[int, ...]], ...], int]
+    ] = None
 
 
 class _Frontier:
@@ -220,7 +224,7 @@ class NodeJournal:
         self._identity_keys = tuple(int(k) for k in own_keys)
         self._own_keys = self._identity_keys
         self._view: Optional[
-            Tuple[int, Tuple[Tuple[str, Address, Tuple[int, ...]], ...]]
+            Tuple[int, Tuple[Tuple[str, Address, Tuple[int, ...]], ...], int]
         ] = None
         self._interval = snapshot_interval
         self._seq_lease = seq_lease
@@ -392,27 +396,32 @@ class NodeJournal:
     @staticmethod
     def _view_from_json(
         value,
-    ) -> Tuple[int, Tuple[Tuple[str, Address, Tuple[int, ...]], ...]]:
-        view_id, members = value
+    ) -> Tuple[int, Tuple[Tuple[str, Address, Tuple[int, ...]], ...], int]:
+        # Pre-epoch records carry [view_id, members]; read them as
+        # epoch 0 (the founding geometry) so old journals stay loadable.
+        view_id, members = value[0], value[1]
+        epoch = int(value[2]) if len(value) > 2 else 0
         return (
             int(view_id),
             tuple(
                 (str(node_id), _address_from_json(address), tuple(int(k) for k in keys))
                 for node_id, address, keys in members
             ),
+            epoch,
         )
 
     @staticmethod
     def _view_to_json(
-        view: Tuple[int, Tuple[Tuple[str, Address, Tuple[int, ...]], ...]],
+        view: Tuple[int, Tuple[Tuple[str, Address, Tuple[int, ...]], ...], int],
     ):
-        view_id, members = view
+        view_id, members, epoch = view
         return [
             int(view_id),
             [
                 [str(node_id), _address_to_json(address), [int(k) for k in keys]]
                 for node_id, address, keys in members
             ],
+            int(epoch),
         ]
 
     def _replay_wal(self, vector: List[int], own_messages: Dict[int, bytes]) -> int:
@@ -555,14 +564,21 @@ class NodeJournal:
         self,
         view_id: int,
         members: Sequence[Tuple[str, Address, Sequence[int]]],
+        epoch: int = 0,
     ) -> None:
-        """Log an installed group view so a restart rejoins consistently."""
+        """Log an installed group view so a restart rejoins consistently.
+
+        ``epoch`` is the view's clock-sizing generation; restarts resume
+        on the persisted geometry (keys and epoch together), so a node
+        that crashed mid-transition rejoins stamping the right epoch.
+        """
         view = (
             int(view_id),
             tuple(
                 (str(node_id), address, tuple(int(k) for k in keys))
                 for node_id, address, keys in members
             ),
+            int(epoch),
         )
         if self._view is not None and view[0] < self._view[0]:
             return

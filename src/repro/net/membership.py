@@ -130,10 +130,24 @@ class MembershipConfig:
 
 @dataclass(frozen=True)
 class GroupView:
-    """One immutable, versioned membership: ``(view_id, members)``."""
+    """One immutable, versioned membership: ``(view_id, members, epoch)``.
+
+    ``epoch`` is the clock-sizing generation of the key assignment the
+    view carries.  It moves only when the acting coordinator re-tiles
+    the keyspace to a new ``K`` (:meth:`GroupMembership.propose_epoch`);
+    ordinary join/leave/evict view bumps keep it unchanged.  Every epoch
+    bump rides a view bump, so the view id stays the only install-order
+    authority.
+    """
 
     view_id: int
     members: Tuple[MemberRecord, ...] = ()
+    epoch: int = 0
+
+    def k(self) -> Optional[int]:
+        """The per-member key count this view's assignment tiles, or
+        None for an empty view (members are always uniform-K)."""
+        return len(self.members[0].keys) if self.members else None
 
     def get(self, node_id: str) -> Optional[MemberRecord]:
         """The member record for ``node_id``, or None."""
@@ -206,19 +220,20 @@ class GroupMembership:
         # Leaver ids already counted, so a LEAVE burst tallies once.
         self._leave_noted: Set[Hashable] = set()
         self.view_changes = 0
+        self.epoch_bumps = 0
         node.membership = self
         self.bind_metrics(node.metrics)
         # A journal-recovered node resumes the view it last installed:
-        # its peers, keys and view id survive the restart, so it rejoins
-        # consistently (and re-confirms with an idempotent JOIN).
+        # its peers, keys, view id and epoch survive the restart, so it
+        # rejoins consistently (and re-confirms with an idempotent JOIN).
         recovered = getattr(node, "recovered", None)
         if recovered is not None and recovered.view is not None:
-            view_id, members = recovered.view
+            view_id, members, epoch = recovered.view
             records = tuple(
                 MemberRecord(node_id=str(n), address=a, keys=tuple(k))
                 for n, a, k in members
             )
-            self._install(GroupView(view_id, records), persist=False)
+            self._install(GroupView(view_id, records, epoch), persist=False)
 
     # ------------------------------------------------------------------
     # introspection
@@ -233,6 +248,11 @@ class GroupMembership:
     def assigner(self) -> KeyAssigner:
         """The mirrored key-assignment ledger."""
         return self._assigner
+
+    @property
+    def epoch(self) -> int:
+        """The clock-sizing epoch of the installed view (0 before one)."""
+        return self._view.epoch if self._view is not None else 0
 
     @property
     def node_id(self) -> str:
@@ -277,6 +297,8 @@ class GroupMembership:
         leaves = registry.counter("repro_membership_leaves_total")
         evictions = registry.counter("repro_membership_evictions_total")
         changes = registry.counter("repro_membership_view_changes_total")
+        epoch = registry.gauge("repro_membership_epoch")
+        bumps = registry.counter("repro_membership_epoch_bumps_total")
 
         def collect() -> None:
             view_id.set(self._view.view_id if self._view is not None else 0)
@@ -286,6 +308,8 @@ class GroupMembership:
             leaves.set(self.leaves)
             evictions.set(self.evictions)
             changes.set(self.view_changes)
+            epoch.set(self.epoch)
+            bumps.set(self.epoch_bumps)
 
         registry.register_collector(collect)
 
@@ -396,7 +420,14 @@ class GroupMembership:
     def _complete_join(self, ack: JoinAckFrame) -> None:
         node = self._node
         clock = node.endpoint.clock
-        if ack.r != clock.r or (ack.keys and len(ack.keys) != clock.k):
+        # R is immutable group identity.  K only has to match the
+        # joiner's configuration while the group still runs its founding
+        # geometry (epoch 0, where a K mismatch means misconfiguration);
+        # once the group has renegotiated (epoch > 0) the granted keys
+        # *define* this node's K — the rekey below adopts it.
+        if ack.r != clock.r or (
+            ack.epoch == 0 and ack.keys and len(ack.keys) != clock.k
+        ):
             raise MembershipError(
                 f"group geometry (R={ack.r}, K={ack.k}) does not match "
                 f"this node's clock (R={clock.r}, K={clock.k})"
@@ -442,7 +473,10 @@ class GroupMembership:
             if node.journal is not None:
                 node.journal.record_rekey(granted)
             clock.rekey(granted)
-        self._install(GroupView(ack.view_id, ack.members), persist=True)
+            node.flush_delta_refs()
+        self._install(
+            GroupView(ack.view_id, ack.members, ack.epoch), persist=True
+        )
         self.joined = True
 
     async def leave(self) -> None:
@@ -497,7 +531,9 @@ class GroupMembership:
             return
         if self._view is not None and frame.view_id <= self._view.view_id:
             return
-        self._install(GroupView(frame.view_id, frame.members), persist=True)
+        self._install(
+            GroupView(frame.view_id, frame.members, frame.epoch), persist=True
+        )
         # Overlay mode: announcements gossip like data.  A strictly
         # newer view is forwarded once to this node's push targets —
         # installed duplicates fail the view_id check above, so the
@@ -540,7 +576,9 @@ class GroupMembership:
             node_id=frame.node_id, address=frame.address, keys=keys
         )
         new_view = GroupView(
-            self._view.view_id + 1, self._view.members + (member,)
+            self._view.view_id + 1,
+            self._view.members + (member,),
+            self._view.epoch,
         )
         # Install before acking: if we crash after the install, the
         # announced view already contains the joiner and the successor
@@ -587,6 +625,7 @@ class GroupMembership:
             frontiers=node.delivered_frontiers() if accepted else {},
             vector=clock.snapshot() if accepted else (),
             reason=reason,
+            epoch=view.epoch if view is not None else 0,
         )
         node.session.send_control(addr, frame)
         node.session.flush(addr)
@@ -653,7 +692,10 @@ class GroupMembership:
         remaining = tuple(
             member for member in self._view.members if member.node_id != node_id
         )
-        self._install(GroupView(self._view.view_id + 1, remaining), persist=True)
+        self._install(
+            GroupView(self._view.view_id + 1, remaining, self._view.epoch),
+            persist=True,
+        )
         self._announce()
 
     def _announce_targets(self) -> List[Address]:
@@ -677,9 +719,64 @@ class GroupMembership:
     def _announce(self) -> None:
         if self._view is None:
             return
-        frame = ViewFrame(view_id=self._view.view_id, members=self._view.members)
+        frame = ViewFrame(
+            view_id=self._view.view_id,
+            members=self._view.members,
+            epoch=self._view.epoch,
+        )
         for address in self._announce_targets():
             self._node.session.send_control(address, frame)
+
+    def propose_epoch(self, new_k: int) -> Optional[GroupView]:
+        """Renegotiate the group's clock geometry to ``new_k`` keys.
+
+        Coordinator-only (raises :class:`~repro.core.errors.
+        MembershipError` elsewhere).  Re-tiles the keyspace through
+        :meth:`~repro.core.keyspace.KeyAssigner.retile` — a fresh ledger
+        at the new ``K``, every member re-assigned in ``node_id`` order
+        so the outcome is deterministic for a given assigner — and
+        installs the result as a bumped view carrying ``epoch + 1``.
+        The view install rekeys the local clock; followers do the same
+        when the announcement reaches them, and in-flight messages from
+        either geometry stay deliverable because every message carries
+        its sender's keys (see :meth:`~repro.core.clocks.
+        EntryVectorClock.rekey`).
+
+        Returns the new view, or ``None`` when ``new_k`` already is the
+        current geometry (no epoch is spent on a no-op).
+        """
+        if not self.is_coordinator() or self._view is None:
+            raise MembershipError(
+                "only the acting coordinator proposes clock-sizing epochs"
+            )
+        clock = self._node.endpoint.clock
+        if not 1 <= new_k <= clock.r:
+            raise ConfigurationError(
+                f"need 1 <= K <= R, got K={new_k}, R={clock.r}"
+            )
+        if new_k == (self._view.k() or self._assigner.k):
+            return None
+        fresh = self._assigner.retile(new_k)
+        members = tuple(
+            MemberRecord(
+                node_id=member.node_id,
+                address=member.address,
+                keys=fresh.assign(member.node_id).keys,
+            )
+            for member in sorted(self._view.members, key=lambda m: m.node_id)
+        )
+        self._assigner = fresh
+        new_view = GroupView(
+            self._view.view_id + 1, members, self._view.epoch + 1
+        )
+        self.epoch_bumps += 1
+        self._node.trace.emit(
+            "epoch_proposed", ts=self._node._now(),
+            epoch=new_view.epoch, view=new_view.view_id, k=new_k,
+        )
+        self._install(new_view, persist=True)
+        self._announce()
+        return new_view
 
     # ------------------------------------------------------------------
     # view installation
@@ -700,6 +797,12 @@ class GroupMembership:
         current_ids = set(view.member_ids())
         # A re-admitted id may legitimately leave again later.
         self._leave_noted -= current_ids
+        # An epoch bump re-tiled the keyspace at a new K; the mirrored
+        # ledger is per-K, so rebuild it empty (the adopt loop below
+        # refills it from the view, which is authoritative anyway).
+        view_k = view.k()
+        if view_k is not None and view_k != self._assigner.k:
+            self._assigner = self._assigner.retile(view_k)
         # Departures first: release their keys (recycling) and purge
         # their runtime state.
         for process_id in list(self._assigner.assignments):
@@ -735,6 +838,24 @@ class GroupMembership:
                 node.add_peer(member.address)
                 if node.liveness is not None:
                     node.liveness.track(member.address, node._now())
+        # The view is authoritative over this node's own key set too: a
+        # higher-epoch view re-tiled it, so adopt the new keys before the
+        # view is persisted (WAL order: rekey, then view — replay then
+        # reproduces exactly this install).  Recovery installs
+        # (persist=False) never rekey here; the node constructor already
+        # restored the journal's own-key record.
+        own = view.get(self.node_id)
+        clock = node.endpoint.clock
+        if (
+            persist
+            and own is not None
+            and own.keys
+            and tuple(own.keys) != tuple(clock.own_keys)
+        ):
+            if node.journal is not None:
+                node.journal.record_rekey(tuple(own.keys))
+            clock.rekey(own.keys)
+            node.flush_delta_refs()
         if self.node_id not in current_ids and self.joined:
             # We were expelled (evicted while partitioned, most likely).
             self.joined = False
@@ -746,11 +867,15 @@ class GroupMembership:
             node.journal.record_view(
                 view.view_id,
                 [(m.node_id, m.address, m.keys) for m in view.members],
+                epoch=view.epoch,
             )
+        # Stamp subsequent encodings with the installed epoch so mixed-
+        # epoch frames are tellable apart while the bump drains through.
+        node.set_epoch(view.epoch)
         node.trace.emit(
             "view_install", ts=node._now(),
             view=view.view_id, size=len(view.members),
-            members=list(current_ids),
+            members=list(current_ids), epoch=view.epoch,
         )
 
 

@@ -438,6 +438,10 @@ class ReliableCausalNode:
         # Attached by GroupMembership.attach(); duck-typed to avoid an
         # import cycle with repro.net.membership.
         self.membership = None
+        # Set by repro.api.create_node when --adaptive is on; duck-typed
+        # for the same reason (repro.net.adaptive imports nothing from
+        # here, but the assembly order is api's business).
+        self.adaptive = None
         self.store = MessageStore(limit=store_limit)
         self.journal = journal
         self.liveness = (
@@ -636,6 +640,8 @@ class ReliableCausalNode:
             await self.metrics_server.start()
         if self.membership is not None:
             self.membership.start()
+        if self.adaptive is not None:
+            self.adaptive.start()
         return self
 
     async def close(self) -> None:
@@ -648,6 +654,8 @@ class ReliableCausalNode:
         """
         if self.membership is not None:
             self.membership.stop()
+        if self.adaptive is not None:
+            await self.adaptive.stop()
         for task in (self._anti_entropy_task, self._liveness_task,
                      self._export_task):
             if task is not None:
@@ -804,6 +812,33 @@ class ReliableCausalNode:
         copies at the journal boundary, delta decodes); the frame-level
         view counts live on :attr:`ReliableSession.codec_counters`."""
         return self._codec.counters
+
+    @property
+    def epoch(self) -> int:
+        """The clock-sizing epoch currently stamped on outgoing frames
+        (low 8 bits ride the wire header; PROTOCOL.md §11)."""
+        return self._codec.epoch
+
+    def set_epoch(self, epoch: int) -> None:
+        """Stamp subsequent encodings with ``epoch``.
+
+        Called by the membership layer on every view install so that
+        mixed-epoch frames are tellable apart while an (R, K) bump
+        drains through the group; decoding stays epoch-agnostic (a
+        mismatch only bumps ``codec_epoch_mismatches``).
+        """
+        self._codec.epoch = epoch
+
+    def flush_delta_refs(self) -> None:
+        """Drop the per-link delta-encoding references.
+
+        Must be called whenever this node's own key set changes while
+        the session is live (an epoch bump or a re-admission grant):
+        peers cache the sender's keys from full encodings, so the first
+        post-rekey broadcast must travel full to teach them the new
+        identity — delta frames do not carry keys on the wire.
+        """
+        self._delta_tx.clear()
 
     @property
     def local_address(self) -> Address:
@@ -1086,6 +1121,13 @@ class ReliableCausalNode:
         entry = self._delta_rx.setdefault(addr, {}).setdefault(
             sender, _DeltaRx(keys)
         )
+        if entry.keys != tuple(keys):
+            # The sender re-keyed (an epoch bump re-tiled the group):
+            # references learned under the old key set would reconstruct
+            # deltas with a stale sender identity, corrupting the
+            # delivery condition.  The full encoding in hand is
+            # authoritative — restart the reference table from it.
+            entry = self._delta_rx[addr][sender] = _DeltaRx(tuple(keys))
         refs = entry.refs
         if seq in refs:
             refs.move_to_end(seq)

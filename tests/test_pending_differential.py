@@ -87,6 +87,34 @@ def observe(endpoint, arrivals):
     return delivered
 
 
+def observe_with_sends(endpoint, arrivals, send_before):
+    """Like :func:`observe`, but the receiver broadcasts before the
+    arrivals whose indices appear in ``send_before`` — interleaving the
+    Algorithm 1 local increments that historically escaped the indexed
+    buffer's wakeup index."""
+    delivered = []
+    for now, message in enumerate(arrivals):
+        if now in send_before:
+            endpoint.broadcast(f"local:{now}", now=float(now))
+        for record in endpoint.on_receive(message, now=float(now)):
+            delivered.append(
+                (record.message.message_id, record.message.payload, record.alert)
+            )
+    return delivered
+
+
+def assert_equivalent_with_sends(candidate, naive, arrivals, send_before):
+    deliveries_candidate = observe_with_sends(candidate, arrivals, send_before)
+    deliveries_naive = observe_with_sends(naive, arrivals, send_before)
+    assert deliveries_candidate == deliveries_naive
+    assert candidate.clock.snapshot() == naive.clock.snapshot()
+    assert candidate.stats == naive.stats
+    assert [m.message_id for m in candidate.pending_messages()] == [
+        m.message_id for m in naive.pending_messages()
+    ]
+    return deliveries_candidate
+
+
 def assert_equivalent(indexed, naive, arrivals):
     deliveries_indexed = observe(indexed, arrivals)
     deliveries_naive = observe(naive, arrivals)
@@ -137,6 +165,41 @@ class TestDifferential:
         deliveries = assert_equivalent(indexed, naive, list(trace))
         assert len(deliveries) == len(trace)
         assert indexed.pending_count == 0
+
+    @pytest.mark.parametrize("engine", ["indexed", "hybrid", "auto"])
+    def test_local_send_unblocks_pending(self, engine):
+        """Regression for the 340-vs-342 ``check_competitors`` hair: a
+        *local* broadcast (Algorithm 1) increments the receiver's own
+        keys, which can satisfy a pending message's last unsatisfied
+        entries without any delivery touching them.  The next drain must
+        deliver that message exactly where the naive pass-1 rescan would.
+        """
+        r = 8
+        s0 = CausalBroadcastEndpoint("s0", ProbabilisticCausalClock(r, (0, 1)))
+        s1 = CausalBroadcastEndpoint("s1", ProbabilisticCausalClock(r, (2, 3)))
+        s0.broadcast("m1")  # lost: m2 stays pending at the receiver
+        m2 = s0.broadcast("m2")
+        d1 = s1.broadcast("d1")
+        rx = CausalBroadcastEndpoint(
+            "rx", ProbabilisticCausalClock(r, (0, 1)), engine=engine
+        )
+        assert rx.on_receive(m2, now=0.0) == []  # deficit on entries {0, 1}
+        # The receiver's own keys coincide with the deficit entries: its
+        # send completes m2's delivery condition out of band.
+        rx.broadcast("local", now=0.5)
+        ids = [rec.message.message_id for rec in rx.on_receive(d1, now=1.0)]
+        assert ids == [d1.message_id, m2.message_id]
+        assert rx.pending_count == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_interleaved_local_sends_match(self, seed):
+        rng = random.Random(4000 + seed)
+        trace, assigner = make_trace(rng, senders=5, rounds=10, gossip=0.8)
+        arrivals = arrival_schedule(rng, trace, loss=0.25, dup=0.1, window=20)
+        send_before = {i for i in range(len(arrivals)) if rng.random() < 0.2}
+        indexed = make_receiver("indexed", assigner)
+        naive = make_receiver("naive", assigner)
+        assert_equivalent_with_sends(indexed, naive, arrivals, send_before)
 
     def test_wave_unblock_chain_matches(self):
         """A deep dependency chain delivered in reverse arrival order."""
@@ -195,6 +258,16 @@ class TestHybridDifferential:
         hybrid = make_receiver("hybrid", assigner)
         indexed = make_receiver("indexed", assigner)
         assert_equivalent(hybrid, indexed, arrivals)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_interleaved_local_sends_match(self, seed):
+        rng = random.Random(4000 + seed)
+        trace, assigner = make_trace(rng, senders=5, rounds=10, gossip=0.8)
+        arrivals = arrival_schedule(rng, trace, loss=0.25, dup=0.1, window=20)
+        send_before = {i for i in range(len(arrivals)) if rng.random() < 0.2}
+        hybrid = make_receiver("hybrid", assigner)
+        naive = make_receiver("naive", assigner)
+        assert_equivalent_with_sends(hybrid, naive, arrivals, send_before)
 
     def test_reverse_chain_probes_fronts_only(self):
         """One sender's chain arriving in reverse: the prefix property

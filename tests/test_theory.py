@@ -88,6 +88,40 @@ class TestOptimalK:
         assert [k for k, _ in series] == [1, 2, 3]
         assert all(0 <= v <= 1 for _, v in series)
 
+    def test_series_evaluates_fractional_k_as_given(self):
+        # The continuous optimum ≈ 3.47 is the whole point of fractional
+        # k in p_error; the series must not truncate it to 3.
+        k_star = optimal_k(100, 20)
+        series = predicted_error_series(100, 20, [3, k_star, 4])
+        assert [k for k, _ in series] == [3.0, pytest.approx(k_star), 4.0]
+        assert series[1][1] == pytest.approx(p_error(100, k_star, 20))
+        assert series[1][1] <= series[0][1]
+        assert series[1][1] <= series[2][1]
+        assert series[1][1] != p_error(100, 3, 20)
+
+    def test_early_break_matches_full_scan(self):
+        # The unimodal early-break must return exactly what the full
+        # O(R) scan returned, across the whole (r, x, k_max) grid.
+        def full_scan(r, x, k_max=None):
+            upper = r if k_max is None else min(k_max, r)
+            best_k, best_value = 1, p_error(r, 1, x)
+            for k in range(2, upper + 1):
+                value = p_error(r, k, x)
+                if value < best_value:
+                    best_k, best_value = k, value
+            return best_k
+
+        for r in (1, 2, 7, 40, 100, 256):
+            for x in (0.01, 0.5, 1, 3, 9, 20, 77, 1000):
+                for k_max in (None, 1, 4, 16, r):
+                    assert optimal_k_int(r, x, k_max=k_max) == full_scan(
+                        r, x, k_max
+                    ), (r, x, k_max)
+
+    def test_zero_concurrency_degenerate(self):
+        # x=0 makes P_err identically 0; both scans keep K=1.
+        assert optimal_k_int(50, 0.0) == 1
+
 
 class TestExpectedConcurrency:
     def test_paper_headline_value(self):
